@@ -1,0 +1,67 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+All benchmark modules share one memoizing Runner, so configurations
+common to several figures (e.g. the default 4-thread machine) are
+simulated once. Results accumulate in ``benchmarks/results.json`` for
+EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness import Runner
+from repro.workloads import GROUP_I, GROUP_II
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+
+_results = {}
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="session")
+def group1():
+    return GROUP_I
+
+
+@pytest.fixture(scope="session")
+def group2():
+    return GROUP_II
+
+
+def record(experiment, data):
+    """Store one experiment's data for the results file."""
+    _results[experiment] = data
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def geomean_speedup(cycles_a, cycles_b, names):
+    """Average of per-benchmark speedups of a over b."""
+    speedups = [cycles_b[n] / cycles_a[n] - 1 for n in names]
+    return sum(speedups) / len(speedups)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_results():
+    yield
+    if _results:
+        existing = {}
+        if RESULTS_PATH.exists():
+            try:
+                existing = json.loads(RESULTS_PATH.read_text())
+            except json.JSONDecodeError:
+                existing = {}
+        existing.update(_results)
+        RESULTS_PATH.write_text(json.dumps(existing, indent=2, default=str))

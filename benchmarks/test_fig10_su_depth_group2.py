@@ -1,0 +1,29 @@
+"""Figure 10: Group II performance for scheduling units of 32/64/128/256
+entries, single-threaded and 4-threaded."""
+
+from benchmarks.conftest import record
+from repro.harness import format_table, su_depth_study
+
+DEPTHS = (32, 64, 128, 256)
+
+
+def test_fig10_su_depth_group2(benchmark, runner, group2):
+    study = benchmark.pedantic(
+        lambda: su_depth_study(runner, group2, depths=DEPTHS, threads=(1, 4)),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+
+    def avg(n, depth):
+        return sum(study[(n, depth)][name] for name in names) / len(names)
+
+    rows = [[f"SU{d}", avg(1, d), avg(4, d)] for d in DEPTHS]
+    print()
+    print(format_table("Fig. 10: avg Group II cycles vs SU depth",
+                       ["depth", "1 thread", "4 threads"], rows))
+    record("fig10", {f"{n}T_su{d}": study[(n, d)]
+                     for n in (1, 4) for d in DEPTHS})
+
+    # Diminishing returns: the last doubling buys less than the first.
+    assert (avg(1, 32) - avg(1, 64)) >= (avg(1, 128) - avg(1, 256)) - 1
+    # 4-thread runs also see little change beyond 64 entries (<10%).
+    assert abs(avg(4, 256) - avg(4, 64)) / avg(4, 64) < 0.10

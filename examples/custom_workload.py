@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Write a parallel program in MiniC and study its SMT scaling.
+
+The program is a dot-product kernel in the paper's homogeneous-
+multitasking style: every thread runs the same ``main()`` on a cyclic
+slice of the data, with per-thread partial sums combined after a
+barrier. The example compiles it for each register partition
+(``128 / nthreads`` registers per thread, as the paper's modified
+compiler does) and reports cycles and speedup.
+
+Run with: ``python examples/custom_workload.py``
+"""
+
+from repro.core import MachineConfig, PipelineSim
+from repro.lang import compile_source
+
+SOURCE = """
+int n = 256;
+float a[256];
+float b[256];
+float partial[8];
+float result;
+
+void main() {
+    int t; int nt; int i;
+    float s;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n; i = i + nt) {
+        a[i] = 0.5 + 0.001 * i;
+        b[i] = 2.0 - 0.001 * i;
+    }
+    barrier();
+    s = 0.0;
+    for (i = t; i < n; i = i + nt) {
+        s = s + a[i] * b[i];
+    }
+    partial[t] = s;
+    barrier();
+    if (t == 0) {
+        s = 0.0;
+        for (i = 0; i < nt; i = i + 1) { s = s + partial[i]; }
+        result = s;
+    }
+    barrier();
+}
+"""
+
+
+def main():
+    print("dot-product kernel, SMT scaling study")
+    print(f"{'threads':>8} {'regs/thread':>12} {'cycles':>8} {'IPC':>6} "
+          f"{'speedup':>8}")
+    baseline = None
+    for nthreads in (1, 2, 3, 4, 5, 6):
+        program = compile_source(SOURCE, nthreads=nthreads)
+        sim = PipelineSim(program, MachineConfig(nthreads=nthreads))
+        stats = sim.run()
+        result = sim.mem(program.symbol("g_result"))
+        if baseline is None:
+            baseline = stats.cycles
+        speedup = baseline / stats.cycles - 1
+        print(f"{nthreads:>8} {128 // nthreads:>12} {stats.cycles:>8} "
+              f"{stats.ipc:>6.2f} {speedup:>+8.1%}")
+    print(f"\ndot product = {result:.4f}")
+    expected = sum((0.5 + 0.001 * i) * (2.0 - 0.001 * i) for i in range(256))
+    assert abs(result - expected) < 1e-6
+
+
+if __name__ == "__main__":
+    main()

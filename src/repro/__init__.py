@@ -1,0 +1,26 @@
+"""Reproduction of "Performance Study of a Multithreaded Superscalar
+Microprocessor" (Gulati & Bagherzadeh, HPCA 1996).
+
+A complete SDSP-style toolkit built from scratch:
+
+* :mod:`repro.isa` — the instruction set and register model;
+* :mod:`repro.asm` — assembler / disassembler;
+* :mod:`repro.lang` — the MiniC compiler (plus an AST interpreter);
+* :mod:`repro.funcsim` — architectural reference simulator;
+* :mod:`repro.mem` — caches, store buffer, main memory;
+* :mod:`repro.core` — the cycle-accurate multithreaded superscalar
+  pipeline (the paper's contribution);
+* :mod:`repro.workloads` — the paper's eleven benchmarks;
+* :mod:`repro.harness` — experiment drivers for every table and figure.
+
+Quick start::
+
+    from repro.lang import compile_source
+    from repro.core import PipelineSim, MachineConfig
+
+    program = compile_source(minic_source, nthreads=4)
+    stats = PipelineSim(program, MachineConfig(nthreads=4)).run()
+    print(stats.summary())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,443 @@
+"""Two-pass assembler for the SDSP-like ISA.
+
+Pass one parses statements, expands pseudo-instructions to a known
+number of real instructions, and lays out the data segment; a layout
+step then assigns text addresses (optionally padding so control-transfer
+targets start on fetch-block boundaries — the alignment optimization the
+paper lists under "scope for improvement"); pass two materializes
+instructions with all label references resolved.
+"""
+
+import re
+
+from repro.asm.errors import AsmError
+from repro.asm.program import DATA_BASE, Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Op
+from repro.isa.opcodes import MNEMONIC_INFO
+
+REG_ALIASES = {"zero": 0, "ra": 1, "sp": 2, "gp": 3}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+IMM12_MIN, IMM12_MAX = -2048, 2047
+
+
+def _parse_reg(token, line):
+    token = token.lower()
+    if token in REG_ALIASES:
+        return REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if reg < 128:
+            return reg
+    raise AsmError(f"bad register {token!r}", line)
+
+
+def _parse_int(token, line):
+    if _INT_RE.match(token):
+        return int(token, 0)
+    raise AsmError(f"bad integer literal {token!r}", line)
+
+
+def _split_hi_lo(value):
+    """Split a constant into (hi, lo) for a ``lui``/``addi`` pair."""
+    hi = (value + 2048) >> 12
+    lo = value - (hi << 12)
+    return hi, lo
+
+
+#: Mnemonics whose label operands are control-transfer targets.
+_CT_MNEMONICS = {"beq", "bne", "blt", "bge", "bgt", "ble", "beqz", "bnez",
+                 "j", "jal", "b", "call"}
+
+
+def _is_barrier(stmt):
+    """True when control never falls through past ``stmt``.
+
+    Padding is only inserted in such dead positions, so alignment nops
+    are never executed.
+    """
+    if stmt is None:
+        return False
+    if stmt.mnemonic in ("j", "b", "halt", "ret"):
+        return True
+    if stmt.mnemonic == "jalr":
+        return stmt.operands and stmt.operands[0].lower() in ("r0", "zero")
+    return False
+
+#: Fetch-block size in instructions (targets align to this).
+_BLOCK = 4
+
+
+class _Statement:
+    """One parsed source statement destined for the text segment."""
+
+    __slots__ = ("mnemonic", "operands", "line", "addr", "size",
+                 "pad_before")
+
+    def __init__(self, mnemonic, operands, line):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+        self.addr = None
+        self.size = 1
+        self.pad_before = 0
+
+
+class Assembler:
+    """Stateful two-pass assembler; use :func:`assemble` for the one-shot API."""
+
+    def __init__(self):
+        self.symbols = {}
+        self.statements = []
+        self.data = []
+        self.entry_label = None
+        self._text_labels = []  # (label, statement index) pending layout
+
+    # ------------------------------------------------------------- pass 1
+
+    def parse(self, source):
+        """Parse source text, lay out the data segment, collect labels."""
+        segment = "text"
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#")[0].split(";")[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AsmError(f"duplicate label {label!r}", lineno)
+                if segment == "text":
+                    self.symbols[label] = None  # resolved during layout
+                    self._text_labels.append((label, len(self.statements)))
+                else:
+                    self.symbols[label] = DATA_BASE + len(self.data)
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                segment = self._directive(line, segment, lineno)
+                continue
+            if segment != "text":
+                raise AsmError("instruction outside .text segment", lineno)
+            self.statements.append(self._parse_instruction(line, lineno))
+
+    def layout(self, align_targets=False):
+        """Assign text addresses (and optional target-alignment padding).
+
+        With ``align_targets`` every label that is the operand of a
+        control transfer is padded (with nops) to the start of a fetch
+        block, so a taken branch never wastes fetch slots on the
+        instructions preceding its target in the block.
+        """
+        targets = set()
+        if align_targets:
+            for stmt in self.statements:
+                if stmt.mnemonic in _CT_MNEMONICS:
+                    for operand in stmt.operands:
+                        if not _INT_RE.match(operand):
+                            targets.add(operand)
+        labels_at = {}
+        for label, index in self._text_labels:
+            labels_at.setdefault(index, []).append(label)
+        addr = 0
+        previous = None
+        for index, stmt in enumerate(self.statements):
+            here = labels_at.get(index, [])
+            if (align_targets and addr % _BLOCK
+                    and any(label in targets for label in here)
+                    and _is_barrier(previous)):
+                stmt.pad_before = _BLOCK - addr % _BLOCK
+                addr += stmt.pad_before
+            stmt.addr = addr
+            for label in here:
+                self.symbols[label] = addr
+            addr += stmt.size
+            previous = stmt
+        # Labels at the very end of the text segment.
+        for label in labels_at.get(len(self.statements), []):
+            self.symbols[label] = addr
+
+    def _directive(self, line, segment, lineno):
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name == ".entry":
+            self.entry_label = rest.strip()
+            return segment
+        if segment != "data":
+            raise AsmError(f"directive {name} only valid in .data", lineno)
+        if name == ".word":
+            for token in _split_operands(rest):
+                self.data.append(_parse_int(token, lineno))
+        elif name == ".float":
+            for token in _split_operands(rest):
+                try:
+                    self.data.append(float(token))
+                except ValueError:
+                    raise AsmError(f"bad float literal {token!r}", lineno) from None
+        elif name == ".space":
+            count = _parse_int(rest.strip(), lineno)
+            if count < 0:
+                raise AsmError(f".space count must be >= 0, got {count}", lineno)
+            self.data.extend([0] * count)
+        elif name == ".align":
+            unit = _parse_int(rest.strip(), lineno)
+            if unit < 1:
+                raise AsmError(f".align unit must be >= 1, got {unit}", lineno)
+            while len(self.data) % unit:
+                self.data.append(0)
+        else:
+            raise AsmError(f"unknown directive {name}", lineno)
+        return segment
+
+    def _parse_instruction(self, line, lineno):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        stmt = _Statement(mnemonic, operands, lineno)
+        stmt.size = self._pseudo_size(stmt)
+        return stmt
+
+    def _pseudo_size(self, stmt):
+        """Number of real instructions this statement expands to."""
+        if stmt.mnemonic == "la":
+            return 2
+        if stmt.mnemonic == "li":
+            if len(stmt.operands) != 2:
+                raise AsmError("li needs 2 operands", stmt.line)
+            token = stmt.operands[1]
+            if _INT_RE.match(token):
+                value = int(token, 0)
+                if IMM12_MIN <= value <= IMM12_MAX:
+                    return 1
+                __, lo = _split_hi_lo(value)
+                return 1 if lo == 0 else 2
+            return 2  # label: always lui+addi
+        return 1
+
+    # ------------------------------------------------------------- pass 2
+
+    def emit(self):
+        """Materialize the instruction list (pass two)."""
+        instructions = []
+        for stmt in self.statements:
+            for _ in range(stmt.pad_before):
+                instructions.append(Instruction(Op.ADD, 0, 0, 0))
+            emitted = self._emit_statement(stmt)
+            if len(emitted) != stmt.size:
+                raise AsmError(
+                    f"internal: {stmt.mnemonic} expanded to {len(emitted)} "
+                    f"instructions, expected {stmt.size}", stmt.line)
+            instructions.extend(emitted)
+        entry = 0
+        if self.entry_label:
+            if self.entry_label not in self.symbols:
+                raise AsmError(f"unknown .entry label {self.entry_label!r}")
+            entry = self.symbols[self.entry_label]
+        return Program(instructions, data=self.data, symbols=self.symbols,
+                       entry=entry)
+
+    def _resolve(self, token, line):
+        """An immediate operand: integer literal or label address."""
+        if _INT_RE.match(token):
+            return int(token, 0)
+        value = self.symbols.get(token)
+        if value is None:
+            raise AsmError(f"unknown symbol {token!r}", line)
+        return value
+
+    def _emit_li(self, rd, value, line):
+        if IMM12_MIN <= value <= IMM12_MAX:
+            return [Instruction(Op.ADDI, rd=rd, rs1=0, imm=value)]
+        hi, lo = _split_hi_lo(value)
+        if not IMM12_MIN <= hi <= IMM12_MAX:
+            raise AsmError(f"constant {value} out of li range", line)
+        out = [Instruction(Op.LUI, rd=rd, rs1=0, imm=hi)]
+        if lo:
+            out.append(Instruction(Op.ADDI, rd=rd, rs1=rd, imm=lo))
+        return out
+
+    def _emit_statement(self, stmt):
+        m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+        handler = _PSEUDOS.get(m)
+        if handler:
+            return handler(self, ops, line, stmt)
+        info = MNEMONIC_INFO.get(m)
+        if info is None:
+            raise AsmError(f"unknown mnemonic {m!r}", line)
+        return [self._emit_real(info, ops, line, stmt)]
+
+    def _emit_real(self, info, ops, line, stmt):
+        fmt = info.fmt
+
+        def need(count):
+            if len(ops) != count:
+                raise AsmError(f"{info.mnemonic} needs {count} operands, got {len(ops)}", line)
+
+        if fmt is Format.R:
+            if info.op in (Op.CVTIF, Op.CVTFI, Op.FNEG):
+                need(2)
+                return Instruction(info.op, rd=_parse_reg(ops[0], line),
+                                   rs1=_parse_reg(ops[1], line))
+            need(3)
+            return Instruction(info.op, rd=_parse_reg(ops[0], line),
+                               rs1=_parse_reg(ops[1], line),
+                               rs2=_parse_reg(ops[2], line))
+        if fmt is Format.I:
+            need(3)
+            return Instruction(info.op, rd=_parse_reg(ops[0], line),
+                               rs1=_parse_reg(ops[1], line),
+                               imm=_resolve_imm12(self, ops[2], line))
+        if fmt in (Format.L, Format.S):
+            need(2)
+            match = _MEM_RE.match(ops[1])
+            if not match:
+                raise AsmError(f"bad memory operand {ops[1]!r}", line)
+            offset = _parse_int(match.group(1), line)
+            base = _parse_reg(match.group(2), line)
+            reg = _parse_reg(ops[0], line)
+            if fmt is Format.L:
+                return Instruction(info.op, rd=reg, rs1=base, imm=offset)
+            return Instruction(info.op, rs2=reg, rs1=base, imm=offset)
+        if fmt is Format.B:
+            need(3)
+            target = self._resolve(ops[2], line)
+            offset = target - (stmt.addr + 1)
+            if not IMM12_MIN <= offset <= IMM12_MAX:
+                raise AsmError(f"branch target out of range (offset {offset})", line)
+            return Instruction(info.op, rs1=_parse_reg(ops[0], line),
+                               rs2=_parse_reg(ops[1], line), imm=offset)
+        if fmt is Format.J:
+            if info.op is Op.JAL:
+                need(2)
+                return Instruction(info.op, rd=_parse_reg(ops[0], line),
+                                   imm=self._resolve(ops[1], line))
+            need(1)
+            return Instruction(info.op, imm=self._resolve(ops[0], line))
+        if fmt is Format.JR:
+            need(2)
+            return Instruction(info.op, rd=_parse_reg(ops[0], line),
+                               rs1=_parse_reg(ops[1], line))
+        if fmt is Format.X:
+            need(1)
+            return Instruction(info.op, rd=_parse_reg(ops[0], line))
+        need(0)
+        return Instruction(info.op)
+
+
+def _resolve_imm12(assembler, token, line):
+    value = assembler._resolve(token, line)
+    if not IMM12_MIN <= value <= IMM12_MAX:
+        raise AsmError(f"immediate {value} out of 12-bit range", line)
+    return value
+
+
+def _split_operands(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+# --------------------------------------------------------------- pseudos
+
+def _pseudo_nop(asm, ops, line, stmt):
+    return [Instruction(Op.ADD, 0, 0, 0)]
+
+
+def _pseudo_mov(asm, ops, line, stmt):
+    return [Instruction(Op.ADDI, rd=_parse_reg(ops[0], line),
+                        rs1=_parse_reg(ops[1], line), imm=0)]
+
+
+def _pseudo_fmov(asm, ops, line, stmt):
+    return [Instruction(Op.FADD, rd=_parse_reg(ops[0], line),
+                        rs1=_parse_reg(ops[1], line), rs2=0)]
+
+
+def _pseudo_not(asm, ops, line, stmt):
+    return [Instruction(Op.XORI, rd=_parse_reg(ops[0], line),
+                        rs1=_parse_reg(ops[1], line), imm=-1)]
+
+
+def _pseudo_neg(asm, ops, line, stmt):
+    return [Instruction(Op.SUB, rd=_parse_reg(ops[0], line),
+                        rs1=0, rs2=_parse_reg(ops[1], line))]
+
+
+def _pseudo_li(asm, ops, line, stmt):
+    return asm._emit_li(_parse_reg(ops[0], line), asm._resolve(ops[1], line), line)
+
+
+def _pseudo_la(asm, ops, line, stmt):
+    rd = _parse_reg(ops[0], line)
+    value = asm._resolve(ops[1], line)
+    hi, lo = _split_hi_lo(value)
+    return [Instruction(Op.LUI, rd=rd, rs1=0, imm=hi),
+            Instruction(Op.ADDI, rd=rd, rs1=rd, imm=lo)]
+
+
+def _pseudo_b(asm, ops, line, stmt):
+    return [Instruction(Op.J, imm=asm._resolve(ops[0], line))]
+
+
+def _swapped_branch(op):
+    def emit(asm, ops, line, stmt):
+        target = asm._resolve(ops[2], line)
+        offset = target - (stmt.addr + 1)
+        return [Instruction(op, rs1=_parse_reg(ops[1], line),
+                            rs2=_parse_reg(ops[0], line), imm=offset)]
+    return emit
+
+
+def _zero_branch(op):
+    def emit(asm, ops, line, stmt):
+        target = asm._resolve(ops[1], line)
+        offset = target - (stmt.addr + 1)
+        return [Instruction(op, rs1=_parse_reg(ops[0], line), rs2=0, imm=offset)]
+    return emit
+
+
+def _pseudo_call(asm, ops, line, stmt):
+    return [Instruction(Op.JAL, rd=1, imm=asm._resolve(ops[0], line))]
+
+
+def _pseudo_ret(asm, ops, line, stmt):
+    return [Instruction(Op.JALR, rd=0, rs1=1)]
+
+
+_PSEUDOS = {
+    "nop": _pseudo_nop,
+    "mov": _pseudo_mov,
+    "fmov": _pseudo_fmov,
+    "not": _pseudo_not,
+    "neg": _pseudo_neg,
+    "li": _pseudo_li,
+    "la": _pseudo_la,
+    "b": _pseudo_b,
+    "bgt": _swapped_branch(Op.BLT),
+    "ble": _swapped_branch(Op.BGE),
+    "beqz": _zero_branch(Op.BEQ),
+    "bnez": _zero_branch(Op.BNE),
+    "call": _pseudo_call,
+    "ret": _pseudo_ret,
+}
+
+
+def assemble(source, align_targets=False):
+    """Assemble source text into a :class:`~repro.asm.program.Program`.
+
+    ``align_targets`` enables the paper's code-alignment optimization:
+    control-transfer targets are padded to fetch-block boundaries so
+    every instruction in a fetched block is valid.
+    """
+    assembler = Assembler()
+    assembler.parse(source)
+    assembler.layout(align_targets=align_targets)
+    return assembler.emit()

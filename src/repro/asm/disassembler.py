@@ -1,0 +1,33 @@
+"""Disassembler: encoded words or instructions back to assembly text."""
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+
+
+def instruction_text(instr, addr=None):
+    """Assembly text for one instruction.
+
+    When ``addr`` is given, PC-relative branch offsets are rendered as
+    absolute targets (which is also what the assembler accepts), so the
+    output re-assembles to the same program.
+    """
+    if addr is not None and instr.info.fmt is Format.B:
+        target = addr + 1 + instr.imm
+        return (f"{instr.info.mnemonic} r{instr.rs1}, r{instr.rs2}, "
+                f"{target}")
+    return instr.text()
+
+
+def disassemble(program_or_words):
+    """Return assembly text, one instruction per line with addresses.
+
+    Accepts a :class:`~repro.asm.program.Program`, a list of encoded
+    32-bit words, or a list of :class:`Instruction` objects.
+    """
+    items = getattr(program_or_words, "instructions", program_or_words)
+    lines = []
+    for addr, item in enumerate(items):
+        instr = item if isinstance(item, Instruction) else decode(item)
+        lines.append(f"{addr:6d}: {instruction_text(instr, addr)}")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Assembler error type."""
+
+
+class AsmError(Exception):
+    """Raised for any assembly-time problem, with source location."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

@@ -1,0 +1,58 @@
+"""Program image produced by the assembler or compiler.
+
+Addressing model
+----------------
+* The program counter is an *instruction index* into the text segment;
+  a fetch block is four consecutive, block-aligned indices.
+* Data memory is *word addressed* (one 32-bit word per address). The
+  cache's 32-byte lines therefore cover 8 consecutive word addresses.
+* The data segment starts at :data:`DATA_BASE`; per-thread stacks are
+  carved from the top of memory by startup code.
+"""
+
+from repro.isa.encoding import encode
+
+#: First word address of the data segment.
+DATA_BASE = 0
+
+
+class Program:
+    """An assembled program.
+
+    Attributes
+    ----------
+    instructions:
+        Decoded text segment, indexed by PC.
+    data:
+        Initial data-segment image (list of words starting at
+        :data:`DATA_BASE`); may contain ints and floats.
+    symbols:
+        Label name to address map. Text labels map to instruction
+        indices, data labels to word addresses.
+    entry:
+        Initial PC for every thread.
+    """
+
+    def __init__(self, instructions, data=None, symbols=None, entry=0):
+        self.instructions = list(instructions)
+        self.data = list(data or [])
+        self.symbols = dict(symbols or {})
+        self.entry = entry
+        self._words = None
+
+    @property
+    def words(self):
+        """Encoded 32-bit text segment (computed lazily, cached)."""
+        if self._words is None:
+            self._words = [encode(instr) for instr in self.instructions]
+        return self._words
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def symbol(self, name):
+        """Address of a label, raising ``KeyError`` with context if absent."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"no symbol {name!r}; known: {sorted(self.symbols)}") from None

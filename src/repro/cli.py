@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``asm FILE``
+    Assemble an ``.s`` file and print a listing (address, word, text).
+``cc FILE``
+    Compile a MiniC file; print the generated assembly.
+``run FILE``
+    Assemble/compile (by extension) and simulate, printing run statistics.
+``bench NAME``
+    Run one of the paper's workloads by name and verify its checksum.
+``workloads``
+    List the available workloads.
+"""
+
+import argparse
+import sys
+
+from repro.asm import assemble, disassemble
+from repro.core import FetchPolicy, CommitPolicy, MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.lang import compile_source, compile_to_asm
+from repro.mem.cache import CacheConfig
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+
+_MINIC_SUFFIXES = (".mc", ".c", ".minic")
+
+
+def _machine_args(parser):
+    parser.add_argument("--threads", type=int, default=1,
+                        help="number of resident threads (default 1)")
+    parser.add_argument("--policy", default="true_rr",
+                        choices=[p.value for p in FetchPolicy],
+                        help="fetch policy")
+    parser.add_argument("--commit", default="flexible",
+                        choices=[p.value for p in CommitPolicy],
+                        help="result-commit policy")
+    parser.add_argument("--su", type=int, default=64,
+                        help="scheduling-unit entries")
+    parser.add_argument("--cache-kb", type=float, default=2.0,
+                        help="data-cache size in KB")
+    parser.add_argument("--cache-assoc", type=int, default=4,
+                        help="cache associativity (1 = direct-mapped)")
+    parser.add_argument("--store-buffer", type=int, default=8,
+                        help="store-buffer entries")
+    parser.add_argument("--enhanced-fus", action="store_true",
+                        help="use the enhanced functional-unit mix")
+    parser.add_argument("--max-cycles", type=int, default=20_000_000)
+
+
+def _machine_config(args):
+    from repro.core.config import FU_DEFAULT, FU_ENHANCED
+    cache = CacheConfig(size_bytes=int(args.cache_kb * 1024),
+                        assoc=args.cache_assoc)
+    return MachineConfig(
+        nthreads=args.threads,
+        fetch_policy=args.policy,
+        commit_policy=args.commit,
+        su_entries=args.su,
+        store_buffer_depth=args.store_buffer,
+        fu_counts=FU_ENHANCED if args.enhanced_fus else FU_DEFAULT,
+        cache=cache,
+        max_cycles=args.max_cycles,
+    )
+
+
+def _load_program(path, nthreads, align):
+    with open(path) as handle:
+        source = handle.read()
+    if any(path.endswith(suffix) for suffix in _MINIC_SUFFIXES):
+        return compile_source(source, nthreads=nthreads,
+                              align_branch_targets=align)
+    return assemble(source, align_targets=align)
+
+
+def cmd_asm(args):
+    program = _load_program(args.file, 1, args.align)
+    listing = disassemble(program)
+    words = program.words
+    for line, word in zip(listing.splitlines(), words):
+        print(f"{word:08x}  {line}")
+    print(f"# {len(program)} instructions, {len(program.data)} data words, "
+          f"entry pc={program.entry}", file=sys.stderr)
+    return 0
+
+
+def cmd_cc(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    print(compile_to_asm(source, nthreads=args.threads))
+    return 0
+
+
+def cmd_run(args):
+    program = _load_program(args.file, args.threads, args.align)
+    if args.functional:
+        sim = FunctionalSim(program, nthreads=args.threads)
+        sim.run(max_steps=args.max_cycles)
+        print(f"functional run complete: {sim.steps} instructions")
+        for thread in sim.threads:
+            print(f"  thread {thread.tid}: {thread.retired} retired")
+        return 0
+    sim = PipelineSim(program, _machine_config(args))
+    stats = sim.run()
+    print(stats.summary())
+    return 0
+
+
+def cmd_bench(args):
+    workload = BY_NAME.get(args.name)
+    if workload is None:
+        print(f"unknown workload {args.name!r}; try: "
+              + ", ".join(sorted(BY_NAME)), file=sys.stderr)
+        return 2
+    program = workload.program(args.threads)
+    sim = PipelineSim(program, _machine_config(args))
+    stats = sim.run()
+    checksum = sim.mem(workload.checksum_address(args.threads))
+    ok = workload.verify(checksum, args.threads)
+    print(stats.summary())
+    verdict = ("verified" if ok
+               else f"MISMATCH vs {workload.expected(args.threads)!r}")
+    print(f"checksum:            {checksum!r} ({verdict})")
+    return 0 if ok else 1
+
+
+def cmd_workloads(args):
+    from repro.workloads import EXTRA_WORKLOADS
+    for workload in ALL_WORKLOADS:
+        group = "Group I " if workload.group == 1 else "Group II"
+        print(f"{workload.name:8s} {group}  "
+              f"{workload.source.strip().splitlines()[0].lstrip('/ ')}")
+    for workload in EXTRA_WORKLOADS:
+        print(f"{workload.name:8s} extra     "
+              f"{workload.source.strip().splitlines()[0].lstrip('/ ')}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multithreaded superscalar (SDSP/SMT) simulator toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble and list an .s file")
+    p_asm.add_argument("file")
+    p_asm.add_argument("--align", action="store_true",
+                       help="align branch targets to fetch blocks")
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_cc = sub.add_parser("cc", help="compile MiniC to assembly")
+    p_cc.add_argument("file")
+    p_cc.add_argument("--threads", type=int, default=1)
+    p_cc.set_defaults(func=cmd_cc)
+
+    p_run = sub.add_parser("run", help="simulate a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--align", action="store_true")
+    p_run.add_argument("--functional", action="store_true",
+                       help="use the architectural simulator only")
+    _machine_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="run a paper workload")
+    p_bench.add_argument("name")
+    _machine_args(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_list = sub.add_parser("workloads", help="list the paper's workloads")
+    p_list.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Hardware branch prediction.
+
+A table of saturating n-bit counters (2-bit by default, as in the paper)
+indexed by the branch's PC, plus a BTB used only for ``jalr`` (register-
+indirect jumps); direction branches and direct jumps get their targets
+from pre-decode, which is equivalent to a BTB that never aliases.
+
+The paper keeps a *single* predictor shared by all threads ("branch
+instructions of all threads update the same history"), which is the
+default here; a per-thread variant is provided for the ablation bench.
+
+Prediction state is read at fetch but only *updated at result commit*
+(when the instruction is shifted out of the scheduling unit) — the paper
+calls out this delayed update as a source of extra mispredictions with
+deep scheduling units, so the timing is preserved.
+"""
+
+
+class BranchPredictor:
+    """Shared (or per-thread) saturating-counter predictor with a BTB.
+
+    ``kind`` selects the index function: ``"bimodal"`` (the paper's
+    PC-indexed table) or ``"gshare"`` (PC XOR global history — a
+    beyond-paper ablation; the history register is updated at commit,
+    like the counters).
+    """
+
+    def __init__(self, bits=2, entries=512, btb_entries=256, nthreads=1,
+                 shared=True, kind="bimodal"):
+        if bits < 1:
+            raise ValueError("predictor needs at least 1 bit")
+        if kind not in ("bimodal", "gshare"):
+            raise ValueError(f"unknown predictor kind {kind!r}")
+        self.bits = bits
+        self.entries = entries
+        self.btb_entries = btb_entries
+        self.shared = shared
+        self.kind = kind
+        self.max_count = (1 << bits) - 1
+        self.taken_threshold = 1 << (bits - 1)
+        tables = 1 if shared else nthreads
+        init = self.taken_threshold  # weakly taken
+        self._counters = [[init] * entries for _ in range(tables)]
+        self._btb = [{} for _ in range(tables)]
+        self._history = [0] * tables
+        self._history_mask = entries - 1
+        self.lookups = 0
+        self.correct = 0
+
+    def _table(self, tid):
+        return 0 if self.shared else tid
+
+    def _index(self, pc, table):
+        if self.kind == "gshare":
+            return (pc ^ self._history[table]) % self.entries
+        return pc % self.entries
+
+    def predict(self, pc, tid=0):
+        """Predicted direction for the branch at ``pc``."""
+        table = self._table(tid)
+        counter = self._counters[table][self._index(pc, table)]
+        return counter >= self.taken_threshold
+
+    def update(self, pc, taken, tid=0):
+        """Commit-time update of the direction counters (and history)."""
+        table_id = self._table(tid)
+        table = self._counters[table_id]
+        index = self._index(pc, table_id)
+        if taken:
+            if table[index] < self.max_count:
+                table[index] += 1
+        elif table[index] > 0:
+            table[index] -= 1
+        if self.kind == "gshare":
+            self._history[table_id] = (
+                (self._history[table_id] << 1) | int(taken)
+            ) & self._history_mask
+
+    def record_outcome(self, predicted, taken):
+        """Bookkeeping for the accuracy statistic."""
+        self.lookups += 1
+        if predicted == taken:
+            self.correct += 1
+
+    @property
+    def accuracy(self):
+        """Fraction of conditional branches predicted correctly."""
+        if self.lookups == 0:
+            return 1.0
+        return self.correct / self.lookups
+
+    # -------------------------------------------------------------- BTB
+
+    def btb_lookup(self, pc, tid=0):
+        """Predicted target for an indirect jump, or ``None``."""
+        return self._btb[self._table(tid)].get(pc % self.btb_entries)
+
+    def btb_update(self, pc, target, tid=0):
+        """Commit-time BTB update."""
+        self._btb[self._table(tid)][pc % self.btb_entries] = target

@@ -1,0 +1,195 @@
+"""Machine configuration (the paper's Table 1 and Table 2).
+
+Where the surviving paper text lost a numeric value to OCR, the value
+chosen here is documented in DESIGN.md and kept in one place so the
+sensitivity benches can sweep it.
+"""
+
+import enum
+
+from repro.isa.opcodes import FuClass
+from repro.mem.cache import CacheConfig
+
+
+class FetchPolicy(enum.Enum):
+    """The three fetch policies of Section 5.1, plus ICOUNT.
+
+    ICOUNT is not in the paper: it implements the paper's closing
+    suggestion of "a judicious fetch policy, that slows down fetching
+    for a thread in a region of low execution rate" using the
+    instruction-count heuristic later formalized by Tullsen et al.
+    (ISCA 1996): fetch for the fetchable thread with the fewest
+    instructions in the front end and scheduling unit.
+    """
+
+    TRUE_RR = "true_rr"
+    MASKED_RR = "masked_rr"
+    COND_SWITCH = "cond_switch"
+    ICOUNT = "icount"
+
+
+class CommitPolicy(enum.Enum):
+    """Result-commit policies of Section 5.6."""
+
+    #: Commit only from the lower-most block (classic reorder buffer).
+    LOWEST_ONLY = "lowest_only"
+    #: Flexible Result Commit: choose among the bottom four blocks.
+    FLEXIBLE = "flexible"
+
+
+#: Default functional-unit configuration (Table 1, "Default no.").
+FU_DEFAULT = {
+    FuClass.IALU: 4,
+    FuClass.IMUL: 1,
+    FuClass.IDIV: 1,
+    FuClass.LOAD: 1,
+    FuClass.STORE: 1,
+    FuClass.CT: 1,
+    FuClass.FPADD: 1,
+    FuClass.FPMUL: 1,
+    FuClass.FPDIV: 1,
+}
+
+#: Enhanced configuration (Table 1, "Other no."): +2 integer ALUs and one
+#: extra unit of every other type (Table 3 reports usage of exactly this
+#: set of extra units).
+FU_ENHANCED = {
+    FuClass.IALU: 6,
+    FuClass.IMUL: 2,
+    FuClass.IDIV: 2,
+    FuClass.LOAD: 2,
+    FuClass.STORE: 2,
+    FuClass.CT: 1,
+    FuClass.FPADD: 2,
+    FuClass.FPMUL: 2,
+    FuClass.FPDIV: 2,
+}
+
+#: Execution latencies in cycles (Table 1, "Latency").
+FU_LATENCY = {
+    FuClass.IALU: 1,
+    FuClass.IMUL: 4,
+    FuClass.IDIV: 12,
+    FuClass.LOAD: 2,
+    FuClass.STORE: 1,
+    FuClass.CT: 1,
+    FuClass.FPADD: 4,
+    FuClass.FPMUL: 6,
+    FuClass.FPDIV: 12,
+}
+
+#: Block size: instructions fetched, decoded, and committed per block.
+BLOCK = 4
+
+
+class MachineConfig:
+    """Full hardware configuration (the paper's Table 2).
+
+    Parameters mirror the paper's feature list; every keyword has the
+    paper's default value.
+    """
+
+    def __init__(self, *,
+                 nthreads=4,
+                 fetch_policy=FetchPolicy.TRUE_RR,
+                 masked_criterion="commit_stall",
+                 commit_policy=CommitPolicy.FLEXIBLE,
+                 commit_blocks=4,
+                 su_entries=64,
+                 issue_width=8,
+                 writeback_width=8,
+                 store_buffer_depth=8,
+                 fu_counts=None,
+                 fu_latency=None,
+                 cache=None,
+                 icache=None,
+                 bypassing=True,
+                 renaming=True,
+                 predictor_bits=2,
+                 predictor_entries=512,
+                 btb_entries=256,
+                 shared_predictor=True,
+                 predictor_kind="bimodal",
+                 mem_words=1 << 20,
+                 max_cycles=50_000_000):
+        self.nthreads = nthreads
+        self.fetch_policy = (FetchPolicy(fetch_policy)
+                             if not isinstance(fetch_policy, FetchPolicy)
+                             else fetch_policy)
+        if masked_criterion not in ("commit_stall", "long_latency"):
+            raise ValueError(f"unknown masked_criterion {masked_criterion!r}")
+        self.masked_criterion = masked_criterion
+        self.commit_policy = (CommitPolicy(commit_policy)
+                              if not isinstance(commit_policy, CommitPolicy)
+                              else commit_policy)
+        self.commit_blocks = (commit_blocks
+                              if self.commit_policy is CommitPolicy.FLEXIBLE
+                              else 1)
+        if su_entries % BLOCK:
+            raise ValueError(f"su_entries must be a multiple of {BLOCK}")
+        self.su_entries = su_entries
+        self.su_blocks = su_entries // BLOCK
+        self.issue_width = issue_width
+        self.writeback_width = writeback_width
+        if store_buffer_depth < BLOCK:
+            raise ValueError(
+                f"store_buffer_depth must be >= {BLOCK} (a block may "
+                f"contain up to {BLOCK} stores, which must fit in the "
+                f"buffer for the block to commit)")
+        self.store_buffer_depth = store_buffer_depth
+        self.fu_counts = dict(fu_counts or FU_DEFAULT)
+        self.fu_latency = dict(fu_latency or FU_LATENCY)
+        self.cache = cache or CacheConfig()
+        #: None = perfect instruction cache (100% hits), as in the paper.
+        self.icache = icache
+        self.bypassing = bypassing
+        self.renaming = renaming
+        self.predictor_bits = predictor_bits
+        self.predictor_entries = predictor_entries
+        self.btb_entries = btb_entries
+        self.shared_predictor = shared_predictor
+        self.predictor_kind = predictor_kind
+        self.mem_words = mem_words
+        self.max_cycles = max_cycles
+
+    def replace(self, **overrides):
+        """A copy of this configuration with some fields overridden."""
+        fields = dict(
+            nthreads=self.nthreads,
+            fetch_policy=self.fetch_policy,
+            masked_criterion=self.masked_criterion,
+            commit_policy=self.commit_policy,
+            commit_blocks=self.commit_blocks,
+            su_entries=self.su_entries,
+            issue_width=self.issue_width,
+            writeback_width=self.writeback_width,
+            store_buffer_depth=self.store_buffer_depth,
+            fu_counts=self.fu_counts,
+            fu_latency=self.fu_latency,
+            cache=self.cache,
+            icache=self.icache,
+            bypassing=self.bypassing,
+            renaming=self.renaming,
+            predictor_bits=self.predictor_bits,
+            predictor_entries=self.predictor_entries,
+            btb_entries=self.btb_entries,
+            shared_predictor=self.shared_predictor,
+            predictor_kind=self.predictor_kind,
+            mem_words=self.mem_words,
+            max_cycles=self.max_cycles,
+        )
+        fields.update(overrides)
+        return MachineConfig(**fields)
+
+    def describe(self):
+        """Multi-line summary of the configuration."""
+        fus = ", ".join(f"{cls.value}={n}" for cls, n in self.fu_counts.items())
+        return "\n".join([
+            f"threads={self.nthreads} fetch={self.fetch_policy.value} "
+            f"commit={self.commit_policy.value}({self.commit_blocks})",
+            f"SU={self.su_entries} entries, issue={self.issue_width}/cycle, "
+            f"writeback={self.writeback_width}/cycle, "
+            f"store buffer={self.store_buffer_depth}",
+            f"cache: {self.cache.describe()}",
+            f"FUs: {fus}",
+        ])

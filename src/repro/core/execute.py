@@ -1,0 +1,69 @@
+"""Functional-unit pool.
+
+Each unit class has a configurable number of instances (Table 1). Most
+multi-cycle units are internally pipelined, accepting a new operation
+every cycle while results return after the class latency — standard for
+the era's adders/multipliers and for the cache port. Dividers (integer
+and FP) are not pipelined: they occupy their unit for the full latency,
+which is why the paper treats divide as a context-switch trigger.
+Utilization is tracked per *instance*, with instances filled
+lowest-index-first, so the usage of the "extra" units of the enhanced
+configuration (paper Table 3) falls out directly.
+"""
+
+from repro.isa.opcodes import FU_CLASSES, FuClass
+
+#: Unit classes that occupy their unit for the full latency.
+UNPIPELINED = frozenset({FuClass.IDIV, FuClass.FPDIV})
+
+
+class FuPool:
+    """Tracks per-instance busy times for every functional-unit class.
+
+    Internally indexed by ``OpInfo.fu_index`` (integer position in
+    :data:`~repro.isa.opcodes.FU_CLASSES`) to keep the per-issue cost
+    low; :meth:`flush_stats` copies busy counters into the run's
+    :class:`~repro.core.stats.SimStats` at the end.
+    """
+
+    def __init__(self, config, stats):
+        self.stats = stats
+        self._latency = [config.fu_latency[cls] for cls in FU_CLASSES]
+        self._occupancy = [config.fu_latency[cls] if cls in UNPIPELINED
+                           else 1 for cls in FU_CLASSES]
+        self._free_at = [[0] * config.fu_counts.get(cls, 0)
+                         for cls in FU_CLASSES]
+        self._busy = [[0] * config.fu_counts.get(cls, 0)
+                      for cls in FU_CLASSES]
+
+    def latency_of(self, fu_index):
+        """Result latency of the unit class."""
+        return self._latency[fu_index]
+
+    def acquire(self, fu_index, now, occupancy=None):
+        """Reserve a unit starting at cycle ``now``.
+
+        Returns the instance index, or ``None`` if all are busy.
+        """
+        if occupancy is None:
+            occupancy = self._occupancy[fu_index]
+        units = self._free_at[fu_index]
+        for index, free_at in enumerate(units):
+            if free_at <= now:
+                units[index] = now + occupancy
+                self._busy[fu_index][index] += occupancy
+                return index
+        return None
+
+    def available(self, fu_index, now):
+        """True if some unit of the class is free this cycle."""
+        for free_at in self._free_at[fu_index]:
+            if free_at <= now:
+                return True
+        return False
+
+    def flush_stats(self):
+        """Copy per-instance busy counters into the stats object."""
+        for cls, busy in zip(FU_CLASSES, self._busy):
+            if cls in self.stats.fu_busy:
+                self.stats.fu_busy[cls] = list(busy)

@@ -1,0 +1,197 @@
+"""Instruction unit: per-thread PCs, block fetch, and fetch policies.
+
+One aligned block of up to four contiguous instructions is fetched per
+cycle, all from the same thread; which thread is chosen by the active
+:class:`~repro.core.config.FetchPolicy`:
+
+* **True Round Robin** — a modulo-N counter advanced every clock tick,
+  irrespective of thread state; a non-fetchable thread's slot is wasted.
+* **Masked Round Robin** — round robin over threads that are not
+  *masked*; a thread is masked while it is failing to commit from the
+  lower-most reorder-buffer block.
+* **Conditional Switch** — keep fetching the same thread until the
+  decoder sees a switch-trigger instruction (integer divide, FP
+  multiply/divide, or a synchronization primitive), then rotate.
+
+The instruction cache is perfect (100% hits), as in the paper.
+"""
+
+from repro.core.config import BLOCK, FetchPolicy
+from repro.isa.opcodes import Op
+
+
+class ThreadContext:
+    """Fetch-side state of one thread."""
+
+    __slots__ = ("tid", "pc", "fetch_halted", "jalr_wait", "done",
+                 "stall_until")
+
+    def __init__(self, tid, entry_pc):
+        self.tid = tid
+        self.pc = entry_pc
+        self.fetch_halted = False
+        self.jalr_wait = None  # tag of the unresolved jalr, if stalled
+        self.done = False
+        self.stall_until = 0  # instruction-cache miss stall
+
+    def fetchable(self, now=None):
+        if self.done or self.fetch_halted or self.jalr_wait is not None:
+            return False
+        if now is not None and now < self.stall_until:
+            return False
+        return True
+
+    def redirect(self, pc):
+        """Point fetch at a new PC (mispredict recovery / jalr resolve)."""
+        self.pc = pc
+        self.fetch_halted = False
+        self.jalr_wait = None
+
+
+class FetchedInstr:
+    """One pre-decoded instruction leaving the instruction unit."""
+
+    __slots__ = ("pc", "instr", "predicted_taken", "predicted_target")
+
+    def __init__(self, pc, instr, predicted_taken=False, predicted_target=None):
+        self.pc = pc
+        self.instr = instr
+        self.predicted_taken = predicted_taken
+        self.predicted_target = predicted_target
+
+
+class FetchUnit:
+    """Selects a thread each cycle and fetches one block for it."""
+
+    def __init__(self, config, program, predictor, threads):
+        self.config = config
+        self.program = program
+        self.predictor = predictor
+        self.threads = threads
+        self.policy = config.fetch_policy
+        self._rr_counter = 0
+        self._rr_pointer = 0
+        self._current = 0  # conditional-switch active thread
+        self._switch_pending = False
+        self.masked = [False] * config.nthreads
+        #: Callable tid -> in-flight instruction count, set by the
+        #: pipeline; used by the ICOUNT policy.
+        self.occupancy_of = None
+
+    # ------------------------------------------------------ thread choice
+
+    def select_thread(self, cycle):
+        """Thread to fetch for this cycle, or ``None`` (slot wasted).
+
+        True RR advances its modulo-N counter once per fetch
+        *opportunity*: a thread that is waiting on an event loses its
+        slot (as the paper specifies), but cycles where the front end is
+        structurally blocked do not advance the counter — otherwise a
+        periodic commit pattern can phase-lock against the counter and
+        starve half the threads indefinitely.
+        """
+        n = self.config.nthreads
+        if self.policy is FetchPolicy.TRUE_RR:
+            thread = self.threads[self._rr_counter % n]
+            self._rr_counter += 1
+            return thread if thread.fetchable(cycle) else None
+        if self.policy is FetchPolicy.MASKED_RR:
+            for offset in range(n):
+                thread = self.threads[(self._rr_pointer + offset) % n]
+                if thread.fetchable(cycle) and not self.masked[thread.tid]:
+                    self._rr_pointer = (thread.tid + 1) % n
+                    return thread
+            return None
+        if self.policy is FetchPolicy.ICOUNT:
+            best = None
+            best_key = None
+            for offset in range(n):
+                thread = self.threads[(self._rr_pointer + offset) % n]
+                if not thread.fetchable(cycle):
+                    continue
+                key = self.occupancy_of(thread.tid) if self.occupancy_of else 0
+                if best is None or key < best_key:
+                    best, best_key = thread, key
+            if best is not None:
+                self._rr_pointer = (best.tid + 1) % n
+            return best
+        # Conditional switch.
+        if self._switch_pending:
+            self._switch_pending = False
+            self._advance_current()
+        if not self.threads[self._current].fetchable(cycle):
+            self._advance_current(cycle)
+        thread = self.threads[self._current]
+        return thread if thread.fetchable(cycle) else None
+
+    def _advance_current(self, cycle=None):
+        n = self.config.nthreads
+        for offset in range(1, n + 1):
+            candidate = (self._current + offset) % n
+            if self.threads[candidate].fetchable(cycle):
+                self._current = candidate
+                return
+
+    def note_switch_trigger(self):
+        """Decoder saw a switch-trigger instruction (Conditional Switch)."""
+        if self.policy is FetchPolicy.COND_SWITCH:
+            self._switch_pending = True
+
+    def set_mask(self, tid, masked):
+        """Masked-RR: suspend/resume fetching for ``tid``."""
+        self.masked[tid] = masked
+
+    # ------------------------------------------------------- block fetch
+
+    def fetch_block(self, thread):
+        """Fetch one aligned block for ``thread``, updating its PC.
+
+        Fetching stops at the block boundary, after a predicted-taken
+        control transfer, at a ``halt``, or at a ``jalr`` whose target
+        the BTB cannot supply (the thread then stalls until the ``jalr``
+        resolves).
+        """
+        instructions = self.program.instructions
+        pc = thread.pc
+        room = BLOCK - pc % BLOCK
+        fetched = []
+        for _ in range(room):
+            if not 0 <= pc < len(instructions):
+                thread.fetch_halted = True
+                break
+            instr = instructions[pc]
+            op = instr.op
+            info = instr.info
+            item = FetchedInstr(pc, instr)
+            fetched.append(item)
+            if info.is_branch:
+                taken = self.predictor.predict(pc, thread.tid)
+                item.predicted_taken = taken
+                item.predicted_target = pc + 1 + instr.imm if taken else pc + 1
+                if taken:
+                    pc = item.predicted_target
+                    break
+                pc += 1
+            elif op in (Op.J, Op.JAL):
+                item.predicted_taken = True
+                item.predicted_target = instr.imm
+                pc = instr.imm
+                break
+            elif op is Op.JALR:
+                target = self.predictor.btb_lookup(pc, thread.tid)
+                item.predicted_taken = True
+                item.predicted_target = target
+                if target is None:
+                    thread.jalr_wait = -1  # tag filled in by decode
+                else:
+                    pc = target
+                break
+            elif op is Op.HALT:
+                thread.fetch_halted = True
+                pc += 1
+                break
+            else:
+                pc += 1
+        if thread.jalr_wait is None:
+            thread.pc = pc
+        return fetched

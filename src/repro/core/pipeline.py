@@ -1,0 +1,502 @@
+"""The cycle-accurate multithreaded superscalar pipeline simulator.
+
+Stage order within one simulated cycle::
+
+    commit -> writeback -> issue -> decode -> fetch -> store-buffer drain
+
+With result bypassing disabled, issue runs *before* writeback, so a
+dependent instruction sees a result one cycle later — the paper's
+"Bypassing of results: Have / No" configuration knob.
+
+Memory-ordering model
+---------------------
+A store executes in the store unit (address and value computed, entry
+DONE) but its value stays in the scheduling unit until the block
+commits; at commit it moves to the store buffer, and drains to the data
+cache one entry per cycle. A block whose stores do not fit in the store
+buffer cannot commit that cycle. Because every buffered store is already
+committed, the machine cannot deadlock on store-buffer space, while the
+performance-visible behaviour of the paper's restricted load/store
+policy is preserved: loads stall behind older same-thread stores with
+unresolved or matching addresses, and the 8-entry buffer throttles
+store-heavy code. Loads forward from older same-thread stores still in
+the SU and from committed store-buffer entries; ``tas`` additionally
+waits until it is non-speculative and the buffer holds no write to its
+address, then performs an atomic read-modify-write on memory.
+"""
+
+import heapq
+
+from repro.asm.program import Program
+from repro.core.branch import BranchPredictor
+from repro.core.config import CommitPolicy, FetchPolicy, MachineConfig
+from repro.core.execute import FuPool
+from repro.core.fetch import FetchUnit, ThreadContext
+from repro.core.scheduler import DONE, ISSUED, SchedulingUnit, SUEntry, WAITING
+from repro.core.stats import SimStats
+from repro.isa.opcodes import FuClass, Op
+from repro.isa.registers import RegisterFile
+from repro.isa.semantics import branch_taken, compute
+from repro.mem.cache import DataCache
+from repro.mem.memory import MainMemory
+from repro.mem.storebuffer import StoreBuffer
+
+_NO_FORWARD = object()
+
+
+class DeadlockError(RuntimeError):
+    """The simulation exceeded its cycle budget without finishing."""
+
+
+class PipelineSim:
+    """Simulate ``program`` on the configured multithreaded SDSP.
+
+    Usage::
+
+        sim = PipelineSim(program, MachineConfig(nthreads=4))
+        stats = sim.run()
+        print(stats.summary())
+    """
+
+    def __init__(self, program, config=None):
+        if not isinstance(program, Program):
+            raise TypeError(f"expected Program, got {type(program).__name__}")
+        self.config = config or MachineConfig()
+        self.program = program
+        cfg = self.config
+        self.regs = RegisterFile(cfg.nthreads)
+        self.memory = MainMemory(cfg.mem_words)
+        self.memory.load_image(program.data)
+        self.cache = DataCache(cfg.cache)
+        self.icache = DataCache(cfg.icache) if cfg.icache else None
+        self.store_buffer = StoreBuffer(cfg.store_buffer_depth)
+        self.predictor = BranchPredictor(
+            bits=cfg.predictor_bits, entries=cfg.predictor_entries,
+            btb_entries=cfg.btb_entries, nthreads=cfg.nthreads,
+            shared=cfg.shared_predictor, kind=cfg.predictor_kind)
+        self.stats = SimStats(cfg)
+        self.threads = [ThreadContext(tid, program.entry)
+                        for tid in range(cfg.nthreads)]
+        self.su = SchedulingUnit(cfg)
+        self.fetch_unit = FetchUnit(cfg, program, self.predictor, self.threads)
+        self.fetch_unit.occupancy_of = self._thread_occupancy
+        self.fu_pool = FuPool(cfg, self.stats)
+        self.fetch_buffer = None  # (ThreadContext, [FetchedInstr])
+        self.cycle = 0
+        self._next_tag = 0
+        self._pending = []  # heap of (ready_cycle, seq, entry)
+        self._heap_seq = 0
+        self._waiters = {}  # producer tag -> [(waiting entry, operand index)]
+
+    # ------------------------------------------------------------ driver
+
+    @property
+    def done(self):
+        return all(thread.done for thread in self.threads)
+
+    def run(self):
+        """Run to completion and return the populated :class:`SimStats`."""
+        max_cycles = self.config.max_cycles
+        while not self.done:
+            if self.cycle >= max_cycles:
+                raise DeadlockError(
+                    f"no completion after {max_cycles} cycles; "
+                    f"threads: {self.threads}")
+            self.step()
+        # Drain remaining (all committed) stores so memory is final.
+        now = self.cycle
+        while self.store_buffer.entries:
+            self.store_buffer.drain_one(self.cache, self.memory, now)
+            now += 1
+        self._finalize_stats()
+        return self.stats
+
+    def step(self):
+        """Advance the machine by one cycle."""
+        now = self.cycle
+        self._commit(now)
+        if self.config.bypassing:
+            self._writeback(now)
+            self._issue(now)
+        else:
+            self._issue(now)
+            self._writeback(now)
+        self._decode(now)
+        self._fetch(now)
+        self.store_buffer.drain_one(self.cache, self.memory, now)
+        self.stats.su_occupancy_sum += self.su.occupancy()
+        self.cycle += 1
+
+    def _finalize_stats(self):
+        stats = self.stats
+        stats.cycles = self.cycle
+        stats.cache_accesses = self.cache.stats.accesses
+        stats.cache_hits = self.cache.stats.hits
+        stats.cache_misses = self.cache.stats.misses
+        if self.icache is not None:
+            stats.icache_accesses = self.icache.stats.accesses
+            stats.icache_hit_rate = self.icache.stats.hit_rate
+        stats.predictor_accuracy = self.predictor.accuracy
+        self.fu_pool.flush_stats()
+
+    # ------------------------------------------------------------ commit
+
+    def _block_stores(self, block):
+        return [e for e in block.entries
+                if e.info.is_store and not e.info.is_load]
+
+    def _commit(self, now):
+        su = self.su
+        cfg = self.config
+        index = su.choose_commit_block(cfg.commit_blocks)
+        if index is not None:
+            block = su.blocks[index]
+            # A block additionally needs store-buffer room for its stores.
+            stores = self._block_stores(block)
+            free_slots = self.store_buffer.depth - len(self.store_buffer.entries)
+            if len(stores) > free_slots:
+                index = None
+        if index is None:
+            if su.full:
+                self.stats.su_stall_cycles += 1
+        else:
+            self._commit_block(su.pop_block(index))
+        if cfg.fetch_policy is FetchPolicy.MASKED_RR:
+            self._update_masks()
+
+    def _commit_block(self, block):
+        now = self.cycle
+        stats = self.stats
+        for entry in block.entries:
+            if entry.dest is not None and entry.result is not None:
+                self.regs.write(entry.tid, entry.dest, entry.result)
+            op = entry.instr.op
+            info = entry.info
+            if info.is_store and not info.is_load:
+                sbe = self.store_buffer.allocate(entry.tag, entry.tid,
+                                                 entry.addr, entry.vals[1])
+                sbe.committed = True
+            if info.is_branch:
+                self.predictor.update(entry.pc, entry.actual_taken, entry.tid)
+            elif op is Op.JALR:
+                self.predictor.btb_update(entry.pc, entry.actual_target,
+                                          entry.tid)
+            elif op is Op.HALT:
+                self.threads[entry.tid].done = True
+                stats.finish_cycle[entry.tid] = now
+            stats.committed += 1
+            stats.committed_per_thread[entry.tid] += 1
+        stats.commit_blocks += 1
+
+    def _update_masks(self):
+        """Masked-RR masking.
+
+        ``commit_stall`` (the paper's criterion): suspend fetching for a
+        thread while it fails to commit from the lower-most block.
+        ``long_latency`` (ablation): suspend threads with an unfinished
+        divide in flight — the paper notes masking is most beneficial
+        when the failing operation has a long latency.
+        """
+        fetch_unit = self.fetch_unit
+        for tid in range(self.config.nthreads):
+            fetch_unit.set_mask(tid, False)
+        blocks = self.su.blocks
+        if self.config.masked_criterion == "commit_stall":
+            if blocks and not blocks[0].ready():
+                fetch_unit.set_mask(blocks[0].tid, True)
+            return
+        for block in blocks:
+            for entry in block.entries:
+                if (entry.state != DONE
+                        and entry.info.fu in (FuClass.IDIV, FuClass.FPDIV)):
+                    fetch_unit.set_mask(entry.tid, True)
+
+    # --------------------------------------------------------- writeback
+
+    def _writeback(self, now):
+        budget = self.config.writeback_width
+        heap = self._pending
+        while heap and heap[0][0] <= now and budget > 0:
+            __, __, entry = heapq.heappop(heap)
+            if entry.squashed:
+                continue
+            budget -= 1
+            self._complete(entry, now)
+
+    def _complete(self, entry, now):
+        entry.state = DONE
+        for waiter, index in self._waiters.pop(entry.tag, ()):
+            if waiter.squashed:
+                continue
+            waiter.vals[index] = entry.result
+            waiter.tags[index] = None
+            waiter.pending -= 1
+        if entry.info.is_control:
+            self._resolve_control(entry, now)
+
+    def _resolve_control(self, entry, now):
+        op = entry.instr.op
+        thread = self.threads[entry.tid]
+        redirect = None
+        if entry.info.is_branch:
+            self.stats.branches += 1
+            self.predictor.record_outcome(entry.predicted_taken,
+                                          entry.actual_taken)
+            if entry.actual_taken != entry.predicted_taken:
+                redirect = entry.actual_target
+        elif op is Op.JALR:
+            if thread.jalr_wait == entry.tag:
+                thread.redirect(entry.actual_target)
+                return
+            if entry.predicted_target != entry.actual_target:
+                redirect = entry.actual_target
+        if redirect is None:
+            return
+        self.stats.mispredicts += 1
+        squashed = self.su.squash_younger(entry)
+        self.stats.squashed += len(squashed)
+        if self.fetch_buffer is not None and self.fetch_buffer[0] is thread:
+            self.fetch_buffer = None
+        thread.redirect(redirect)
+
+    # -------------------------------------------------------------- issue
+
+    def _issue(self, now):
+        budget = self.config.issue_width
+        for block in self.su.blocks:
+            if not block.waiting:
+                continue
+            for entry in block.entries:
+                if budget == 0:
+                    return
+                if entry.state != WAITING or entry.pending:
+                    continue
+                if self._try_issue(entry, now):
+                    block.waiting -= 1
+                    budget -= 1
+
+    def _try_issue(self, entry, now):
+        info = entry.info
+        fu_index = info.fu_index
+        pool = self.fu_pool
+        latency = pool.latency_of(fu_index)
+        if info.is_load:
+            if not pool.available(fu_index, now):
+                return False
+            return self._issue_load(entry, now, latency)
+        if pool.acquire(fu_index, now) is None:
+            return False
+        if info.is_store:
+            entry.addr = int(entry.vals[0]) + entry.instr.imm
+            entry.result = None
+            self._schedule(entry, now + latency)
+            return True
+        if info.is_control:
+            self._prepare_control(entry)
+            self._schedule(entry, now + latency)
+            return True
+        a, b = entry.operand_values()
+        entry.result = compute(entry.instr.op, a, b, tid=entry.tid,
+                               nthreads=self.config.nthreads,
+                               imm=entry.instr.imm)
+        self._schedule(entry, now + latency)
+        return True
+
+    def _issue_load(self, entry, now, latency):
+        entry.addr = int(entry.vals[0]) + entry.instr.imm
+        if self.su.older_mem_unissued(entry):
+            return False
+        if entry.instr.op is Op.TAS:
+            if not self.su.all_older_done(entry):
+                return False
+            if self.store_buffer.has_match(entry.addr):
+                return False
+            if not self.cache.can_access(now):
+                return False
+            self.fu_pool.acquire(entry.info.fu_index, now)
+            ready = self.cache.access(entry.addr, now) + latency
+            entry.result = self.memory.read(entry.addr)
+            self.memory.write(entry.addr, 1)
+            self._schedule(entry, ready)
+            return True
+        if self.su.older_store_conflict(entry):
+            return False
+        forwarded = self._forward_value(entry)
+        if forwarded is not _NO_FORWARD:
+            self.fu_pool.acquire(entry.info.fu_index, now)
+            entry.result = forwarded
+            self._schedule(entry, now + latency)
+            return True
+        if not 0 <= entry.addr < self.memory.size:
+            # A wrong-path load may compute a garbage address; hardware
+            # does not fault speculatively, so return a dummy value. A
+            # wild load on the *correct* path is a program bug that the
+            # functional simulator reports as a MemoryFault.
+            self.fu_pool.acquire(entry.info.fu_index, now)
+            entry.result = 0
+            self._schedule(entry, now + latency)
+            return True
+        if not self.cache.can_access(now):
+            return False
+        self.fu_pool.acquire(entry.info.fu_index, now)
+        ready = self.cache.access(entry.addr, now) + latency
+        entry.result = self.memory.read(entry.addr)
+        self._schedule(entry, ready)
+        return True
+
+    def _forward_value(self, entry):
+        """Store-to-load forwarding.
+
+        Priority: the youngest *older same-thread* store still in the
+        scheduling unit (value known once it has executed), then the
+        youngest committed store-buffer entry for the address, then
+        memory (signalled by ``_NO_FORWARD``).
+        """
+        addr = entry.addr
+        tid = entry.tid
+        best = None
+        for block in self.su.blocks:
+            if block.seq > entry.block_seq:
+                break
+            if block.tid != tid:
+                continue
+            for candidate in block.entries:
+                if candidate is entry or not candidate.is_older_than(entry):
+                    continue
+                if candidate.info.is_store and candidate.addr == addr:
+                    best = candidate
+        if best is not None:
+            # older_store_conflict guarantees the store has executed.
+            return best.vals[1]
+        for sbe in reversed(self.store_buffer.entries):
+            if sbe.addr == addr:
+                return sbe.value
+        return _NO_FORWARD
+
+    def _prepare_control(self, entry):
+        op = entry.instr.op
+        pc = entry.pc
+        if entry.info.is_branch:
+            taken = branch_taken(op, entry.vals[0], entry.vals[1])
+            entry.actual_taken = taken
+            entry.actual_target = pc + 1 + entry.instr.imm if taken else pc + 1
+        elif op is Op.J:
+            entry.actual_target = entry.instr.imm
+        elif op is Op.JAL:
+            entry.actual_target = entry.instr.imm
+            entry.result = pc + 1
+        elif op is Op.JALR:
+            entry.actual_target = int(entry.vals[0])
+            entry.result = pc + 1
+
+    def _schedule(self, entry, ready_cycle):
+        entry.state = ISSUED
+        entry.issue_cycle = self.cycle
+        self._heap_seq += 1
+        heapq.heappush(self._pending, (ready_cycle, self._heap_seq, entry))
+        self.stats.issued += 1
+
+    # ------------------------------------------------------------- decode
+
+    def _decode(self, now):
+        if self.fetch_buffer is None:
+            return
+        su = self.su
+        if su.full:
+            self.stats.decode_stall_cycles += 1
+            return
+        thread, items = self.fetch_buffer
+        tid = thread.tid
+        if not self.config.renaming and self._scoreboard_hazard(tid, items):
+            self.stats.decode_stall_cycles += 1
+            return
+        block = su.new_block(tid)
+        for item in items:
+            entry = SUEntry(self._next_tag, tid, item.pc, item.instr)
+            self._next_tag += 1
+            entry.predicted_taken = item.predicted_taken
+            entry.predicted_target = item.predicted_target
+            self._rename_operands(entry)
+            su.add(block, entry)
+            if item.instr.op is Op.JALR and thread.jalr_wait == -1:
+                thread.jalr_wait = entry.tag
+            if entry.info.switch_trigger:
+                self.fetch_unit.note_switch_trigger()
+        self.fetch_buffer = None
+
+    def _scoreboard_hazard(self, tid, items):
+        """Without full renaming, stall on in-flight destination writers."""
+        for item in items:
+            dest = item.instr.dest()
+            if dest and self.su.lookup_operand(tid, dest) is not None:
+                return True
+        return False
+
+    def _rename_operands(self, entry):
+        sources = entry.instr.sources()
+        entry.vals = [None] * len(sources)
+        entry.tags = [None] * len(sources)
+        pending = 0
+        su = self.su
+        for index, reg in enumerate(sources):
+            if reg == 0:
+                entry.vals[index] = 0
+                continue
+            producer = su.lookup_operand(entry.tid, reg)
+            if producer is None:
+                entry.vals[index] = self.regs.read(entry.tid, reg)
+            elif producer.state == DONE:
+                entry.vals[index] = producer.result
+            else:
+                entry.tags[index] = producer.tag
+                pending += 1
+                self._waiters.setdefault(producer.tag, []).append(
+                    (entry, index))
+        entry.pending = pending
+
+    # -------------------------------------------------------------- fetch
+
+    def _fetch(self, now):
+        if self.fetch_buffer is not None:
+            return
+        thread = self.fetch_unit.select_thread(now)
+        if thread is None:
+            self.stats.fetch_idle_cycles += 1
+            return
+        if self.icache is not None:
+            ready = self.icache.access(thread.pc, now)
+            if ready > now:
+                # Instruction-cache miss: the thread cannot fetch until
+                # the line refills; the slot is wasted.
+                thread.stall_until = ready
+                self.stats.fetch_idle_cycles += 1
+                return
+        items = self.fetch_unit.fetch_block(thread)
+        if not items:
+            self.stats.fetch_idle_cycles += 1
+            return
+        self.fetch_buffer = (thread, items)
+        self.stats.fetched_blocks += 1
+        self.stats.fetched_instructions += len(items)
+
+    # ------------------------------------------------------------ helpers
+
+    def _thread_occupancy(self, tid):
+        """In-flight instructions of ``tid`` (SU + fetch buffer)."""
+        count = 0
+        for block in self.su.blocks:
+            if block.tid == tid:
+                count += len(block.entries)
+        if self.fetch_buffer is not None and self.fetch_buffer[0].tid == tid:
+            count += len(self.fetch_buffer[1])
+        return count
+
+    def reg(self, tid, reg):
+        """Architectural register value (for inspection in tests)."""
+        return self.regs.read(tid, reg)
+
+    def mem(self, addr, count=1):
+        """Memory contents (one value, or a list when ``count`` > 1)."""
+        if count == 1:
+            return self.memory.read(addr)
+        return self.memory.read_block(addr, count)

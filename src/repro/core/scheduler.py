@@ -1,0 +1,286 @@
+"""The scheduling unit: combined reorder buffer + instruction window.
+
+Entries are grouped in blocks of up to four instructions, each block the
+product of one fetch/decode cycle and therefore single-threaded. The SU
+is FIFO-ordered: block 0 is the oldest ("bottom"); newly decoded blocks
+append at the top. Dynamic scheduling is oldest-first, and one block per
+cycle may commit — under Flexible Result Commit the committed block is
+the lowest ready block among the bottom ``commit_blocks`` whose thread
+differs from every lower (uncommitted) block's thread, which preserves
+per-thread in-order commit.
+"""
+
+from repro.isa.opcodes import Format, Op
+
+# Entry states.
+WAITING = 0
+ISSUED = 1
+DONE = 2
+
+_UNARY_R = {Op.CVTIF, Op.CVTFI, Op.FNEG}
+
+
+class SUEntry:
+    """One instruction resident in the scheduling unit."""
+
+    __slots__ = ("tag", "tid", "pc", "instr", "info", "dest", "state",
+                 "vals", "tags", "pending", "result", "addr", "block_seq",
+                 "slot", "predicted_taken", "predicted_target",
+                 "actual_taken", "actual_target", "squashed", "issue_cycle")
+
+    def __init__(self, tag, tid, pc, instr):
+        self.tag = tag
+        self.tid = tid
+        self.pc = pc
+        self.instr = instr
+        self.info = instr.info
+        self.dest = instr.dest()
+        self.state = WAITING
+        self.vals = []
+        self.tags = []
+        self.pending = 0
+        self.result = None
+        self.addr = None
+        self.block_seq = -1
+        self.slot = -1
+        self.predicted_taken = False
+        self.predicted_target = None
+        self.actual_taken = None
+        self.actual_target = None
+        self.squashed = False
+        self.issue_cycle = -1
+
+    def operand_values(self):
+        """(a, b) operand pair for :func:`repro.isa.semantics.compute`."""
+        fmt = self.info.fmt
+        if fmt is Format.R:
+            if self.instr.op in _UNARY_R:
+                return self.vals[0], 0
+            return self.vals[0], self.vals[1]
+        if fmt is Format.I:
+            return self.vals[0], self.instr.imm
+        return 0, 0
+
+    def is_older_than(self, other):
+        """Program order comparison (valid within one thread)."""
+        if self.block_seq != other.block_seq:
+            return self.block_seq < other.block_seq
+        return self.slot < other.slot
+
+    def __repr__(self):
+        state = {WAITING: "WAIT", ISSUED: "ISSUED", DONE: "DONE"}[self.state]
+        return (f"SUEntry(tag={self.tag}, tid={self.tid}, pc={self.pc}, "
+                f"{self.instr.text()!r}, {state})")
+
+
+class SUBlock:
+    """A block of up to four same-thread entries.
+
+    ``waiting`` counts entries still in the WAITING state so the issue
+    stage can skip fully-issued blocks.
+    """
+
+    __slots__ = ("seq", "tid", "entries", "waiting")
+
+    def __init__(self, seq, tid):
+        self.seq = seq
+        self.tid = tid
+        self.entries = []
+        self.waiting = 0
+
+    def ready(self):
+        """True when every surviving entry has finished executing."""
+        return all(entry.state == DONE for entry in self.entries)
+
+    def __repr__(self):
+        return f"SUBlock(seq={self.seq}, tid={self.tid}, {len(self.entries)} entries)"
+
+
+class SchedulingUnit:
+    """FIFO of :class:`SUBlock` with capacity ``su_entries / 4`` blocks."""
+
+    def __init__(self, config):
+        self.config = config
+        self.capacity_blocks = config.su_blocks
+        self.blocks = []
+        self._next_seq = 0
+        self.by_tag = {}
+        self._entry_count = 0
+        # (tid, dest reg) -> in-flight writer entries, oldest first.
+        self._writers = {}
+
+    @property
+    def full(self):
+        return len(self.blocks) >= self.capacity_blocks
+
+    def occupancy(self):
+        """Number of live entries."""
+        return self._entry_count
+
+    def new_block(self, tid):
+        """Append an empty block at the top; caller fills it via :meth:`add`."""
+        if self.full:
+            raise RuntimeError("SU overflow; caller must check .full")
+        block = SUBlock(self._next_seq, tid)
+        self._next_seq += 1
+        self.blocks.append(block)
+        return block
+
+    def add(self, block, entry):
+        """Place a decoded entry into ``block``."""
+        entry.block_seq = block.seq
+        entry.slot = len(block.entries)
+        block.entries.append(entry)
+        block.waiting += 1
+        self.by_tag[entry.tag] = entry
+        self._entry_count += 1
+        if entry.dest is not None:
+            self._writers.setdefault((entry.tid, entry.dest),
+                                     []).append(entry)
+
+    def _drop_writer(self, entry):
+        if entry.dest is None:
+            return
+        stack = self._writers.get((entry.tid, entry.dest))
+        if stack:
+            try:
+                stack.remove(entry)
+            except ValueError:
+                pass
+
+    def lookup_operand(self, tid, reg):
+        """Most recent in-flight producer of ``(tid, reg)``.
+
+        Returns the matching :class:`SUEntry` (newest first) or ``None``
+        if the value must come from the register file. This is the
+        decoder's TID-qualified associative lookup (indexed here by a
+        per-register writer stack for speed; the hardware does a CAM
+        search over the scheduling unit).
+        """
+        stack = self._writers.get((tid, reg))
+        if stack:
+            return stack[-1]
+        return None
+
+    def older_store_conflict(self, load_entry):
+        """Restricted load/store policy check.
+
+        Returns True if an older same-thread store in the SU either has
+        an unresolved address or matches the load's address while its
+        data is not yet available in the store buffer — in either case
+        the load may not issue this cycle.
+        """
+        addr = load_entry.addr
+        tid = load_entry.tid
+        for block in self.blocks:
+            if block.seq > load_entry.block_seq:
+                break
+            if block.tid != tid:
+                continue
+            for entry in block.entries:
+                if entry is load_entry or not entry.is_older_than(load_entry):
+                    continue
+                if not entry.info.is_store:
+                    continue
+                if entry.state != DONE:
+                    if entry.addr is None or entry.addr == addr:
+                        return True
+        return False
+
+    def older_mem_unissued(self, ref):
+        """True while an older same-thread memory op has not yet issued.
+
+        Loads sample memory at issue time, so issuing a thread's memory
+        operations in program order preserves per-thread load ordering
+        (TSO-like: stores still become visible at drain). Without this,
+        a load can be hoisted above an in-flight ``tas`` and read data
+        that the lock does not yet protect.
+        """
+        tid = ref.tid
+        for block in self.blocks:
+            if block.seq > ref.block_seq:
+                break
+            if block.tid != tid:
+                continue
+            for entry in block.entries:
+                if entry is ref:
+                    continue
+                if (entry.info.is_mem and entry.state == WAITING
+                        and entry.is_older_than(ref)):
+                    return True
+        return False
+
+    def all_older_done(self, ref):
+        """True when every older same-thread entry has executed.
+
+        Used to make ``tas`` non-speculative: by the time all older
+        same-thread entries (including branches) are DONE, any
+        misprediction would already have squashed ``ref``.
+        """
+        tid = ref.tid
+        for block in self.blocks:
+            if block.seq > ref.block_seq:
+                break
+            if block.tid != tid:
+                continue
+            for entry in block.entries:
+                if entry is ref:
+                    continue
+                if entry.is_older_than(ref) and entry.state != DONE:
+                    return False
+        return True
+
+    def squash_younger(self, origin):
+        """Discard all same-thread entries younger than ``origin``.
+
+        Returns the squashed entries (the pipeline removes their store-
+        buffer allocations and counts them). Fully-emptied younger blocks
+        are reclaimed immediately.
+        """
+        squashed = []
+        for block in self.blocks:
+            if block.seq < origin.block_seq or block.tid != origin.tid:
+                continue
+            survivors = []
+            for entry in block.entries:
+                if entry.is_older_than(origin) or entry is origin:
+                    survivors.append(entry)
+                else:
+                    entry.squashed = True
+                    if entry.state == WAITING:
+                        block.waiting -= 1
+                    self.by_tag.pop(entry.tag, None)
+                    self._drop_writer(entry)
+                    squashed.append(entry)
+            block.entries = survivors
+        self._entry_count -= len(squashed)
+        self.blocks = [b for b in self.blocks
+                       if b.entries or b.seq <= origin.block_seq]
+        return squashed
+
+    def choose_commit_block(self, commit_blocks):
+        """Index of the block to commit this cycle, or ``None``.
+
+        Implements Flexible Result Commit: examine the bottom
+        ``commit_blocks`` blocks in order; the first ready block whose
+        thread is not represented among the lower, uncommitted blocks
+        may commit. ``commit_blocks=1`` degenerates to the classic
+        lowest-only reorder-buffer policy.
+        """
+        blocked_tids = set()
+        limit = min(commit_blocks, len(self.blocks))
+        for index in range(limit):
+            block = self.blocks[index]
+            if block.ready() and block.tid not in blocked_tids:
+                return index
+            blocked_tids.add(block.tid)
+        return None
+
+    def pop_block(self, index):
+        """Remove and return a committed block."""
+        block = self.blocks.pop(index)
+        for entry in block.entries:
+            self.by_tag.pop(entry.tag, None)
+            self._drop_writer(entry)
+        self._entry_count -= len(block.entries)
+        return block

@@ -1,0 +1,95 @@
+"""Statistics collected by one pipeline-simulator run."""
+
+from repro.isa.opcodes import FuClass
+
+
+class SimStats:
+    """Counters and derived metrics for a simulation."""
+
+    def __init__(self, config):
+        self.config = config
+        self.cycles = 0
+        self.committed = 0
+        self.committed_per_thread = [0] * config.nthreads
+        #: Cycle at which each thread's halt committed (-1 = never).
+        self.finish_cycle = [-1] * config.nthreads
+        self.fetched_blocks = 0
+        self.fetched_instructions = 0
+        self.fetch_idle_cycles = 0
+        self.decode_stall_cycles = 0
+        self.su_stall_cycles = 0
+        self.commit_blocks = 0
+        self.squashed = 0
+        self.mispredicts = 0
+        self.branches = 0
+        self.su_occupancy_sum = 0
+        # Per functional unit instance: busy-cycle accumulators.
+        self.fu_busy = {cls: [0] * count
+                        for cls, count in config.fu_counts.items()}
+        self.issued = 0
+        # Filled in at the end of a run:
+        self.cache_accesses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.icache_accesses = 0
+        self.icache_hit_rate = 1.0  # perfect I-cache unless modeled
+        self.predictor_accuracy = 1.0
+
+    @property
+    def ipc(self):
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def cache_hit_rate(self):
+        if self.cache_accesses == 0:
+            return 1.0
+        return self.cache_hits / self.cache_accesses
+
+    @property
+    def avg_su_occupancy(self):
+        if self.cycles == 0:
+            return 0.0
+        return self.su_occupancy_sum / self.cycles
+
+    def fu_utilization(self, fu_class, index):
+        """Fraction of cycles functional unit ``index`` of a class was busy."""
+        if self.cycles == 0:
+            return 0.0
+        return self.fu_busy[fu_class][index] / self.cycles
+
+    def extra_fu_usage(self, baseline_counts):
+        """Utilization of units beyond a baseline configuration.
+
+        Reproduces the paper's Table 3 metric: for each class, the
+        percentage of total cycles each *extra* unit (index >= the
+        baseline count) was in use. Returns ``{FuClass: [fractions]}``.
+        """
+        usage = {}
+        for cls, counts in self.fu_busy.items():
+            base = baseline_counts.get(cls, 0)
+            extra = [self.fu_utilization(cls, i)
+                     for i in range(base, len(counts))]
+            if extra:
+                usage[cls] = extra
+        return usage
+
+    def summary(self):
+        """Human-readable multi-line run summary."""
+        lines = [
+            f"cycles:              {self.cycles}",
+            f"instructions:        {self.committed} (IPC {self.ipc:.3f})",
+            f"per-thread retired:  {self.committed_per_thread}",
+            f"branches:            {self.branches} "
+            f"(prediction accuracy {self.predictor_accuracy:.1%})",
+            f"mispredict squashes: {self.mispredicts} "
+            f"({self.squashed} instructions squashed)",
+            f"cache:               {self.cache_accesses} accesses, "
+            f"hit rate {self.cache_hit_rate:.1%}",
+            f"SU stalls:           {self.su_stall_cycles} cycles; "
+            f"avg occupancy {self.avg_su_occupancy:.1f}/{self.config.su_entries}",
+            f"fetch idle:          {self.fetch_idle_cycles} cycles",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Pipeline tracing: per-instruction lifecycle records.
+
+Attach a :class:`Tracer` to a :class:`~repro.core.pipeline.PipelineSim`
+to record when each instruction was fetched, decoded, issued, written
+back, and committed (or squashed), then render a textual pipeline
+diagram — handy for debugging schedules and for teaching what the
+machine does cycle by cycle.
+
+Usage::
+
+    sim = PipelineSim(program, config)
+    tracer = Tracer.attach(sim, limit=200)
+    sim.run()
+    print(tracer.render())
+"""
+
+
+class TraceRecord:
+    """Lifecycle of one instruction through the pipeline."""
+
+    __slots__ = ("tag", "tid", "pc", "text", "decoded", "issued",
+                 "completed", "committed", "squashed")
+
+    def __init__(self, tag, tid, pc, text, decoded):
+        self.tag = tag
+        self.tid = tid
+        self.pc = pc
+        self.text = text
+        self.decoded = decoded
+        self.issued = None
+        self.completed = None
+        self.committed = None
+        self.squashed = None
+
+    def stages(self):
+        """(label, cycle) pairs for the stages this instruction reached."""
+        out = [("D", self.decoded)]
+        if self.issued is not None:
+            out.append(("X", self.issued))
+        if self.completed is not None:
+            out.append(("W", self.completed))
+        if self.committed is not None:
+            out.append(("C", self.committed))
+        if self.squashed is not None:
+            out.append(("K", self.squashed))
+        return out
+
+
+class Tracer:
+    """Records instruction lifecycles from a running pipeline."""
+
+    def __init__(self, limit=1000):
+        self.limit = limit
+        self.records = {}
+        self.order = []
+
+    # ------------------------------------------------------------- hooks
+
+    @classmethod
+    def attach(cls, sim, limit=1000):
+        """Wrap ``sim``'s stage methods to feed a new tracer."""
+        tracer = cls(limit=limit)
+
+        original_rename = sim._rename_operands
+        original_schedule = sim._schedule
+        original_complete = sim._complete
+        original_commit_block = sim._commit_block
+        original_squash = sim.su.squash_younger
+
+        def rename(entry):
+            tracer.on_decode(entry, sim.cycle)
+            return original_rename(entry)
+
+        def schedule(entry, ready):
+            tracer.on_issue(entry, sim.cycle)
+            return original_schedule(entry, ready)
+
+        def complete(entry, now):
+            tracer.on_complete(entry, now)
+            return original_complete(entry, now)
+
+        def commit_block(block):
+            for entry in block.entries:
+                tracer.on_commit(entry, sim.cycle)
+            return original_commit_block(block)
+
+        def squash_younger(origin):
+            squashed = original_squash(origin)
+            for entry in squashed:
+                tracer.on_squash(entry, sim.cycle)
+            return squashed
+
+        sim._rename_operands = rename
+        sim._schedule = schedule
+        sim._complete = complete
+        sim._commit_block = commit_block
+        sim.su.squash_younger = squash_younger
+        return tracer
+
+    def _record(self, entry):
+        return self.records.get(entry.tag)
+
+    def on_decode(self, entry, cycle):
+        if len(self.order) >= self.limit:
+            return
+        record = TraceRecord(entry.tag, entry.tid, entry.pc,
+                             entry.instr.text(), cycle)
+        self.records[entry.tag] = record
+        self.order.append(record)
+
+    def on_issue(self, entry, cycle):
+        record = self._record(entry)
+        if record:
+            record.issued = cycle
+
+    def on_complete(self, entry, cycle):
+        record = self._record(entry)
+        if record:
+            record.completed = cycle
+
+    def on_commit(self, entry, cycle):
+        record = self._record(entry)
+        if record:
+            record.committed = cycle
+
+    def on_squash(self, entry, cycle):
+        record = self._record(entry)
+        if record:
+            record.squashed = cycle
+
+    # ---------------------------------------------------------- rendering
+
+    def render(self, width=60):
+        """Text pipeline diagram: one line per traced instruction.
+
+        Stage letters: D decode, X issue, W writeback, C commit,
+        K squashed (killed).
+        """
+        if not self.order:
+            return "(no instructions traced)"
+        start = min(record.decoded for record in self.order)
+        lines = []
+        for record in self.order:
+            lane = [" "] * width
+            for label, cycle in record.stages():
+                offset = cycle - start
+                if 0 <= offset < width:
+                    lane[offset] = label
+            marker = "x" if record.squashed is not None else " "
+            lines.append(f"t{record.tid} {record.pc:5d} "
+                         f"{record.text:28.28s}{marker}|{''.join(lane)}|")
+        header = (f"cycles {start}..{start + width - 1} "
+                  f"(D=decode X=issue W=writeback C=commit K=squash)")
+        return header + "\n" + "\n".join(lines)

@@ -1,0 +1,161 @@
+"""The functional simulator."""
+
+from repro.isa.opcodes import Format, Op
+from repro.isa.registers import RegisterFile
+from repro.isa.semantics import branch_taken, compute
+from repro.mem.memory import MainMemory
+
+
+class SimFault(Exception):
+    """Raised when a program does something architecturally illegal."""
+
+
+class ThreadState:
+    """Architectural state of one thread."""
+
+    __slots__ = ("tid", "pc", "halted", "retired")
+
+    def __init__(self, tid, pc):
+        self.tid = tid
+        self.pc = pc
+        self.halted = False
+        self.retired = 0
+
+    def __repr__(self):
+        state = "halted" if self.halted else f"pc={self.pc}"
+        return f"ThreadState(tid={self.tid}, {state}, retired={self.retired})"
+
+
+class FunctionalSim:
+    """Instruction-level simulator for N homogeneous threads.
+
+    All threads start at the program entry point with zeroed registers.
+    Threads are stepped round-robin, one instruction each, which makes
+    multithreaded runs deterministic.
+    """
+
+    def __init__(self, program, nthreads=1, mem_words=None):
+        self.program = program
+        self.nthreads = nthreads
+        self.regs = RegisterFile(nthreads)
+        self.memory = MainMemory() if mem_words is None else MainMemory(mem_words)
+        self.memory.load_image(program.data)
+        self.threads = [ThreadState(tid, program.entry) for tid in range(nthreads)]
+        self.steps = 0
+        self.opcode_counts = {}
+
+    @property
+    def done(self):
+        """True when every thread has halted."""
+        return all(t.halted for t in self.threads)
+
+    def run(self, max_steps=10_000_000):
+        """Run until all threads halt; returns total steps executed.
+
+        Raises :class:`SimFault` if ``max_steps`` is exceeded, which in
+        practice means a deadlocked or runaway program.
+        """
+        while not self.done:
+            progress = False
+            for thread in self.threads:
+                if thread.halted:
+                    continue
+                self.step(thread)
+                progress = True
+                if self.steps > max_steps:
+                    raise SimFault(f"exceeded {max_steps} steps; "
+                                   f"threads: {self.threads}")
+            if not progress:
+                break
+        return self.steps
+
+    def step(self, thread):
+        """Execute one instruction of ``thread``."""
+        if not 0 <= thread.pc < len(self.program.instructions):
+            raise SimFault(f"thread {thread.tid} pc {thread.pc} outside program")
+        instr = self.program.instructions[thread.pc]
+        self.steps += 1
+        thread.retired += 1
+        op_name = instr.op.name
+        self.opcode_counts[op_name] = self.opcode_counts.get(op_name, 0) + 1
+        next_pc = thread.pc + 1
+        op = instr.op
+        info = instr.info
+        read = self.regs.read
+        tid = thread.tid
+
+        if info.is_load:
+            addr = int(read(tid, instr.rs1)) + instr.imm
+            value = self.memory.read(addr)
+            if op is Op.TAS:
+                self.memory.write(addr, 1)
+            self.regs.write(tid, instr.rd, value)
+        elif info.is_store:
+            addr = int(read(tid, instr.rs1)) + instr.imm
+            self.memory.write(addr, read(tid, instr.rs2))
+        elif info.is_branch:
+            if branch_taken(op, read(tid, instr.rs1), read(tid, instr.rs2)):
+                next_pc = thread.pc + 1 + instr.imm
+        elif op is Op.J:
+            next_pc = instr.imm
+        elif op is Op.JAL:
+            self.regs.write(tid, instr.rd, thread.pc + 1)
+            next_pc = instr.imm
+        elif op is Op.JALR:
+            target = int(read(tid, instr.rs1))
+            self.regs.write(tid, instr.rd, thread.pc + 1)
+            next_pc = target
+        elif op is Op.HALT:
+            thread.halted = True
+        else:
+            b = instr.imm if info.fmt in (Format.I,) else read(tid, instr.rs2)
+            value = compute(op, read(tid, instr.rs1), b,
+                            tid=tid, nthreads=self.nthreads, imm=instr.imm)
+            self.regs.write(tid, instr.rd, value)
+
+        thread.pc = next_pc
+
+    # ------------------------------------------------------------ helpers
+
+    def reg(self, tid, reg):
+        """Architectural register value."""
+        return self.regs.read(tid, reg)
+
+    def mem(self, addr, count=1):
+        """Memory contents (one value, or a list if ``count`` > 1)."""
+        if count == 1:
+            return self.memory.read(addr)
+        return self.memory.read_block(addr, count)
+
+    def instruction_mix(self):
+        """Fraction of executed instructions per category.
+
+        Categories: ``alu``, ``mul_div``, ``load``, ``store``,
+        ``branch``, ``jump``, ``fp``, ``sync``, ``other`` — the workload
+        characterization tables architecture papers report.
+        """
+        from repro.isa.opcodes import FuClass, Op, OPCODE_INFO
+        buckets = {"alu": 0, "mul_div": 0, "load": 0, "store": 0,
+                   "branch": 0, "jump": 0, "fp": 0, "sync": 0, "other": 0}
+        for op_name, count in self.opcode_counts.items():
+            info = OPCODE_INFO[Op[op_name]]
+            if info.is_sync:
+                buckets["sync"] += count
+            elif info.is_load:
+                buckets["load"] += count
+            elif info.is_store:
+                buckets["store"] += count
+            elif info.is_branch:
+                buckets["branch"] += count
+            elif info.is_jump:
+                buckets["jump"] += count
+            elif info.fu in (FuClass.FPADD, FuClass.FPMUL, FuClass.FPDIV):
+                buckets["fp"] += count
+            elif info.fu in (FuClass.IMUL, FuClass.IDIV):
+                buckets["mul_div"] += count
+            elif info.fu is FuClass.IALU:
+                buckets["alu"] += count
+            else:
+                buckets["other"] += count
+        total = sum(buckets.values()) or 1
+        return {k: v / total for k, v in buckets.items()}

@@ -1,0 +1,37 @@
+"""Experiment harness: drivers that regenerate every table and figure.
+
+Each function in :mod:`repro.harness.experiments` corresponds to one
+section of the paper's evaluation and returns plain data structures;
+:mod:`repro.harness.tables` renders them as the tables/series the paper
+reports. Runs are memoized per (workload, configuration) so experiments
+that share a configuration (e.g. the single-threaded base case) reuse
+results.
+"""
+
+from repro.harness.runner import Runner, RunResult
+from repro.harness.experiments import (
+    cache_study,
+    commit_study,
+    fetch_policy_study,
+    fu_study,
+    fu_usage_study,
+    speedup_summary,
+    su_depth_study,
+    thread_sweep,
+)
+from repro.harness.tables import format_table, series_table
+
+__all__ = [
+    "RunResult",
+    "Runner",
+    "cache_study",
+    "commit_study",
+    "fetch_policy_study",
+    "format_table",
+    "fu_study",
+    "fu_usage_study",
+    "series_table",
+    "speedup_summary",
+    "su_depth_study",
+    "thread_sweep",
+]

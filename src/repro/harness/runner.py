@@ -1,0 +1,94 @@
+"""Memoizing simulation runner used by every experiment."""
+
+from repro.core import MachineConfig, PipelineSim
+
+
+class RunResult:
+    """Outcome of one simulation run."""
+
+    __slots__ = ("workload", "nthreads", "stats", "checksum", "verified")
+
+    def __init__(self, workload, nthreads, stats, checksum, verified):
+        self.workload = workload
+        self.nthreads = nthreads
+        self.stats = stats
+        self.checksum = checksum
+        self.verified = verified
+
+    @property
+    def cycles(self):
+        return self.stats.cycles
+
+    def __repr__(self):
+        return (f"RunResult({self.workload.name}, nthreads={self.nthreads}, "
+                f"cycles={self.cycles}, verified={self.verified})")
+
+
+def _config_key(config):
+    cache = config.cache
+    icache = config.icache
+    ickey = (None if icache is None
+             else (icache.size_bytes, icache.line_words, icache.assoc,
+                   icache.miss_penalty, icache.ports))
+    fus = tuple(sorted((cls.value, n) for cls, n in config.fu_counts.items()))
+    lats = tuple(sorted((cls.value, n) for cls, n in config.fu_latency.items()))
+    return (config.nthreads, config.fetch_policy.value,
+            config.masked_criterion,
+            config.commit_policy.value, config.commit_blocks,
+            config.su_entries, config.issue_width, config.writeback_width,
+            config.store_buffer_depth, fus, lats,
+            cache.size_bytes, cache.line_words, cache.assoc, cache.ports,
+            cache.miss_penalty, ickey, config.bypassing, config.renaming,
+            config.predictor_bits, config.predictor_entries,
+            config.shared_predictor, config.predictor_kind)
+
+
+class Runner:
+    """Runs workloads on configurations, caching results.
+
+    Parameters
+    ----------
+    verify:
+        When True (default), every run's checksum is compared against
+        the workload's Python mirror; a mismatch raises immediately —
+        a performance number from a wrong computation is worthless.
+    quiet:
+        Suppress the per-run progress line.
+    """
+
+    def __init__(self, verify=True, quiet=True):
+        self.verify = verify
+        self.quiet = quiet
+        self._cache = {}
+
+    def run(self, workload, config=None, aligned=False, **overrides):
+        """Simulate ``workload`` under ``config`` (plus overrides).
+
+        ``aligned`` compiles the workload with branch-target alignment.
+        """
+        config = (config or MachineConfig()).replace(**overrides) \
+            if overrides else (config or MachineConfig())
+        if config.max_cycles > 2_000_000:
+            # Benchmarks finish in tens of thousands of cycles; cap the
+            # guard so a pathological configuration fails fast instead
+            # of burning an hour of single-core simulation.
+            config = config.replace(max_cycles=2_000_000)
+        key = (workload.name, aligned, _config_key(config))
+        if key in self._cache:
+            return self._cache[key]
+        nthreads = config.nthreads
+        program = workload.program(nthreads, aligned=aligned)
+        sim = PipelineSim(program, config)
+        stats = sim.run()
+        checksum = sim.mem(workload.checksum_address(nthreads))
+        verified = workload.verify(checksum, nthreads)
+        if self.verify and not verified:
+            raise AssertionError(
+                f"{workload.name} with {nthreads} threads computed "
+                f"{checksum!r}, expected {workload.expected(nthreads)!r}")
+        result = RunResult(workload, nthreads, stats, checksum, verified)
+        self._cache[key] = result
+        if not self.quiet:
+            print(f"  {workload.name:8s} threads={nthreads} "
+                  f"cycles={stats.cycles:8d} ipc={stats.ipc:.2f}")
+        return result

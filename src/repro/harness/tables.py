@@ -1,0 +1,41 @@
+"""ASCII rendering of experiment results in the paper's shape."""
+
+
+def format_table(title, columns, rows):
+    """Render a simple aligned table.
+
+    ``columns`` is a list of header strings; ``rows`` a list of value
+    lists (strings or numbers).
+    """
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    grid = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in grid)) if grid else len(col)
+              for i, col in enumerate(columns)]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    for row in grid:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(title, series, benchmarks=None, scale=1.0, unit=""):
+    """Render ``{series_label: {benchmark: value}}`` with benchmarks as rows.
+
+    ``scale`` divides every value (e.g. 1000 for kilo-cycles).
+    """
+    labels = list(series)
+    if benchmarks is None:
+        benchmarks = list(next(iter(series.values())))
+    columns = ["benchmark"] + [f"{label}{unit}" for label in labels]
+    rows = []
+    for bench in benchmarks:
+        row = [bench]
+        for label in labels:
+            value = series[label][bench]
+            row.append(value / scale if scale != 1.0 else value)
+        rows.append(row)
+    return format_table(title, columns, rows)

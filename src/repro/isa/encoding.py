@@ -1,0 +1,110 @@
+"""Fixed-width 32-bit binary encoding.
+
+Layout (bit 31 is the MSB)::
+
+    [31:26] opcode        (6 bits)
+    [25:19] field a       (7 bits)  rd, or rs1 for branches, or rs2 for stores
+    [18:12] field b       (7 bits)  rs1
+    [11:0]  field c       (12 bits) rs2 (low 7 bits) or signed imm12
+
+J-format instructions instead use ``[18:0]`` as a signed 19-bit absolute
+instruction index. The 12-bit immediate limits constants to ±2048;
+larger values are materialized with ``lui``/``ori`` pairs (the assembler
+provides the ``li``/``la`` pseudo-instructions).
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Op, OPCODE_INFO
+
+IMM12_MIN, IMM12_MAX = -(1 << 11), (1 << 11) - 1
+IMM19_MIN, IMM19_MAX = -(1 << 18), (1 << 18) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in 32 bits."""
+
+
+def _check_reg(name, value):
+    if not 0 <= value < 128:
+        raise EncodingError(f"{name}={value} out of 7-bit register range")
+    return value
+
+
+def _check_imm(value, lo, hi):
+    if not lo <= value <= hi:
+        raise EncodingError(f"immediate {value} outside [{lo}, {hi}]")
+    return value
+
+
+def encode(instr):
+    """Encode an :class:`~repro.isa.instruction.Instruction` to a 32-bit int."""
+    info = instr.info
+    word = int(instr.op) << 26
+    fmt = info.fmt
+    if fmt is Format.J:
+        word |= _check_reg("rd", instr.rd) << 19
+        imm = _check_imm(instr.imm, IMM19_MIN, IMM19_MAX)
+        word |= imm & 0x7FFFF
+        return word
+    if fmt is Format.R:
+        word |= _check_reg("rd", instr.rd) << 19
+        word |= _check_reg("rs1", instr.rs1) << 12
+        word |= _check_reg("rs2", instr.rs2)
+        return word
+    if fmt in (Format.I, Format.L):
+        word |= _check_reg("rd", instr.rd) << 19
+        word |= _check_reg("rs1", instr.rs1) << 12
+        word |= _check_imm(instr.imm, IMM12_MIN, IMM12_MAX) & 0xFFF
+        return word
+    if fmt is Format.S:
+        word |= _check_reg("rs2", instr.rs2) << 19
+        word |= _check_reg("rs1", instr.rs1) << 12
+        word |= _check_imm(instr.imm, IMM12_MIN, IMM12_MAX) & 0xFFF
+        return word
+    if fmt is Format.B:
+        word |= _check_reg("rs1", instr.rs1) << 19
+        word |= _check_reg("rs2", instr.rs2) << 12
+        word |= _check_imm(instr.imm, IMM12_MIN, IMM12_MAX) & 0xFFF
+        return word
+    if fmt is Format.JR:
+        word |= _check_reg("rd", instr.rd) << 19
+        word |= _check_reg("rs1", instr.rs1) << 12
+        return word
+    if fmt is Format.X:
+        word |= _check_reg("rd", instr.rd) << 19
+        return word
+    return word  # Format.N
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word):
+    """Decode a 32-bit int back to an :class:`Instruction`."""
+    opnum = (word >> 26) & 0x3F
+    try:
+        op = Op(opnum)
+    except ValueError:
+        raise EncodingError(f"unknown opcode {opnum} in word {word:#010x}") from None
+    info = OPCODE_INFO[op]
+    a = (word >> 19) & 0x7F
+    b = (word >> 12) & 0x7F
+    c = word & 0xFFF
+    fmt = info.fmt
+    if fmt is Format.J:
+        return Instruction(op, rd=a, imm=_sext(word & 0x7FFFF, 19))
+    if fmt is Format.R:
+        return Instruction(op, rd=a, rs1=b, rs2=c & 0x7F)
+    if fmt in (Format.I, Format.L):
+        return Instruction(op, rd=a, rs1=b, imm=_sext(c, 12))
+    if fmt is Format.S:
+        return Instruction(op, rs2=a, rs1=b, imm=_sext(c, 12))
+    if fmt is Format.B:
+        return Instruction(op, rs1=a, rs2=b, imm=_sext(c, 12))
+    if fmt is Format.JR:
+        return Instruction(op, rd=a, rs1=b)
+    if fmt is Format.X:
+        return Instruction(op, rd=a)
+    return Instruction(op)

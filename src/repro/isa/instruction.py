@@ -1,0 +1,126 @@
+"""In-memory instruction representation.
+
+An :class:`Instruction` is the decoded form shared by the assembler,
+both simulators, and the disassembler. Operand fields that a format does
+not use are zero.
+"""
+
+from repro.isa.opcodes import Format, Op, OPCODE_INFO
+
+_UNARY_R = {Op.CVTIF, Op.CVTFI, Op.FNEG}
+
+
+class Instruction:
+    """One decoded instruction.
+
+    Attributes
+    ----------
+    op:
+        The :class:`~repro.isa.opcodes.Op`.
+    rd, rs1, rs2:
+        Architectural (thread-relative) register numbers.
+    imm:
+        Signed immediate. For branches it is the offset, in instructions,
+        relative to the *next* sequential instruction; for jumps it is an
+        absolute instruction index.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "info",
+                 "_sources", "_dest")
+
+    def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.info = OPCODE_INFO[op]
+        self._sources = None
+        self._dest = False  # sentinel: not yet computed (None is valid)
+
+    def sources(self):
+        """Architectural registers this instruction reads, in order.
+
+        Cached: instructions are immutable and decoded repeatedly by
+        the pipeline's front end.
+        """
+        if self._sources is not None:
+            return self._sources
+        self._sources = self._compute_sources()
+        return self._sources
+
+    def _compute_sources(self):
+        fmt = self.info.fmt
+        if fmt is Format.R:
+            if self.op in _UNARY_R:
+                return (self.rs1,)
+            return (self.rs1, self.rs2)
+        if fmt in (Format.I, Format.L):
+            return (self.rs1,)
+        if fmt is Format.S:
+            return (self.rs1, self.rs2)
+        if fmt is Format.B:
+            return (self.rs1, self.rs2)
+        if fmt is Format.JR:
+            return (self.rs1,)
+        return ()
+
+    def dest(self):
+        """Architectural register written, or ``None`` (cached)."""
+        if self._dest is not False:
+            return self._dest
+        self._dest = self._compute_dest()
+        return self._dest
+
+    def _compute_dest(self):
+        fmt = self.info.fmt
+        if fmt in (Format.R, Format.I, Format.L, Format.X):
+            return self.rd
+        if fmt is Format.J and self.op is Op.JAL:
+            return self.rd
+        if fmt is Format.JR:
+            return self.rd
+        return None
+
+    def __eq__(self, other):
+        return (isinstance(other, Instruction)
+                and self.op == other.op and self.rd == other.rd
+                and self.rs1 == other.rs1 and self.rs2 == other.rs2
+                and self.imm == other.imm)
+
+    def __hash__(self):
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))
+
+    def __repr__(self):
+        return f"Instruction({self.text()})"
+
+    def text(self):
+        """Assembly text for this instruction."""
+        m = self.info.mnemonic
+        fmt = self.info.fmt
+        if fmt is Format.R:
+            if self.op in _UNARY_R:
+                return f"{m} r{self.rd}, r{self.rs1}"
+            return f"{m} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if fmt is Format.I:
+            return f"{m} r{self.rd}, r{self.rs1}, {self.imm}"
+        if fmt is Format.L:
+            return f"{m} r{self.rd}, {self.imm}(r{self.rs1})"
+        if fmt is Format.S:
+            return f"{m} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if fmt is Format.B:
+            return f"{m} r{self.rs1}, r{self.rs2}, {self.imm}"
+        if fmt is Format.J:
+            if self.op is Op.JAL:
+                return f"{m} r{self.rd}, {self.imm}"
+            return f"{m} {self.imm}"
+        if fmt is Format.JR:
+            return f"{m} r{self.rd}, r{self.rs1}"
+        if fmt is Format.X:
+            return f"{m} r{self.rd}"
+        return m
+
+
+def nop():
+    """Canonical no-op (``add r0, r0, r0``)."""
+    return Instruction(Op.ADD, 0, 0, 0)

@@ -1,0 +1,204 @@
+"""Opcode table.
+
+Each opcode carries the metadata the rest of the system needs:
+
+* its assembly mnemonic and encoding :class:`Format`;
+* the :class:`FuClass` (functional-unit class) it executes on;
+* whether decoding it triggers a context switch under the
+  Conditional-Switch fetch policy (the paper lists integer divide,
+  FP multiply/divide, and synchronization primitives);
+* whether it is a control transfer / memory operation.
+"""
+
+import enum
+
+
+class Format(enum.Enum):
+    """Instruction encoding/operand formats.
+
+    ``R``  op rd, rs1, rs2          three-register ALU/FP
+    ``I``  op rd, rs1, imm          register-immediate
+    ``L``  op rd, imm(rs1)          load
+    ``S``  op rs2, imm(rs1)         store
+    ``B``  op rs1, rs2, offset      compare-and-branch (PC-relative)
+    ``J``  op target / op rd,target jump / jump-and-link (absolute)
+    ``JR`` op rd, rs1               jump register
+    ``X``  op rd                    destination only (mftid/mfnth)
+    ``N``  op                       no operands (halt/nop)
+    """
+
+    R = "R"
+    I = "I"  # noqa: E741 - conventional format name
+    L = "L"
+    S = "S"
+    B = "B"
+    J = "J"
+    JR = "JR"
+    X = "X"
+    N = "N"
+
+
+class FuClass(enum.Enum):
+    """Functional-unit classes, matching Table 1 of the paper."""
+
+    IALU = "int_alu"
+    IMUL = "int_mul"
+    IDIV = "int_div"
+    LOAD = "load"
+    STORE = "store"
+    CT = "control_transfer"
+    FPADD = "fp_add"
+    FPMUL = "fp_mul"
+    FPDIV = "fp_div"
+
+
+class Op(enum.IntEnum):
+    """All opcodes, with stable encoding values."""
+
+    # Integer ALU
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLL = 5
+    SRL = 6
+    SRA = 7
+    SLT = 8
+    SLTU = 9
+    ADDI = 10
+    ANDI = 11
+    ORI = 12
+    XORI = 13
+    SLTI = 14
+    SLLI = 15
+    SRLI = 16
+    SRAI = 17
+    LUI = 18
+    MFTID = 19
+    MFNTH = 20
+    # Integer multiply / divide
+    MUL = 21
+    DIV = 22
+    REM = 23
+    # Memory
+    LW = 24
+    SW = 25
+    FLW = 26
+    FSW = 27
+    TAS = 28  # atomic test-and-set: the synchronization primitive
+    # Control transfer
+    BEQ = 29
+    BNE = 30
+    BLT = 31
+    BGE = 32
+    J = 33
+    JAL = 34
+    JALR = 35
+    HALT = 36
+    # Floating point
+    FADD = 37
+    FSUB = 38
+    FMUL = 39
+    FDIV = 40
+    FEQ = 41
+    FLT = 42
+    FLE = 43
+    CVTIF = 44  # int -> float
+    CVTFI = 45  # float -> int (truncate)
+    FNEG = 46
+
+
+#: FuClass members in stable order; ``OpInfo.fu_index`` indexes this.
+FU_CLASSES = list(FuClass)
+_FU_INDEX = {cls: i for i, cls in enumerate(FU_CLASSES)}
+
+
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    __slots__ = ("op", "mnemonic", "fmt", "fu", "fu_index", "is_branch",
+                 "is_jump", "is_load", "is_store", "switch_trigger",
+                 "is_sync")
+
+    def __init__(self, op, mnemonic, fmt, fu, *, is_branch=False,
+                 is_jump=False, is_load=False, is_store=False,
+                 switch_trigger=False, is_sync=False):
+        self.op = op
+        self.mnemonic = mnemonic
+        self.fmt = fmt
+        self.fu = fu
+        self.fu_index = _FU_INDEX[fu]
+        self.is_branch = is_branch
+        self.is_jump = is_jump
+        self.is_load = is_load
+        self.is_store = is_store
+        self.switch_trigger = switch_trigger
+        self.is_sync = is_sync
+
+    @property
+    def is_control(self):
+        """True for any control-transfer operation."""
+        return self.is_branch or self.is_jump or self.op is Op.HALT
+
+    @property
+    def is_mem(self):
+        """True for loads and stores (including ``tas``)."""
+        return self.is_load or self.is_store
+
+    def __repr__(self):
+        return f"OpInfo({self.mnemonic})"
+
+
+def _build_table():
+    table = {}
+
+    def add(op, fmt, fu, **flags):
+        table[op] = OpInfo(op, op.name.lower(), fmt, fu, **flags)
+
+    for op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL,
+               Op.SRA, Op.SLT, Op.SLTU):
+        add(op, Format.R, FuClass.IALU)
+    for op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLLI,
+               Op.SRLI, Op.SRAI):
+        add(op, Format.I, FuClass.IALU)
+    add(Op.LUI, Format.I, FuClass.IALU)
+    add(Op.MFTID, Format.X, FuClass.IALU)
+    add(Op.MFNTH, Format.X, FuClass.IALU)
+
+    add(Op.MUL, Format.R, FuClass.IMUL)
+    add(Op.DIV, Format.R, FuClass.IDIV, switch_trigger=True)
+    add(Op.REM, Format.R, FuClass.IDIV, switch_trigger=True)
+
+    add(Op.LW, Format.L, FuClass.LOAD, is_load=True)
+    add(Op.FLW, Format.L, FuClass.LOAD, is_load=True)
+    add(Op.SW, Format.S, FuClass.STORE, is_store=True)
+    add(Op.FSW, Format.S, FuClass.STORE, is_store=True)
+    add(Op.TAS, Format.L, FuClass.LOAD, is_load=True, is_store=True,
+        switch_trigger=True, is_sync=True)
+
+    for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        add(op, Format.B, FuClass.CT, is_branch=True)
+    add(Op.J, Format.J, FuClass.CT, is_jump=True)
+    add(Op.JAL, Format.J, FuClass.CT, is_jump=True)
+    add(Op.JALR, Format.JR, FuClass.CT, is_jump=True)
+    add(Op.HALT, Format.N, FuClass.CT)
+
+    add(Op.FADD, Format.R, FuClass.FPADD)
+    add(Op.FSUB, Format.R, FuClass.FPADD)
+    add(Op.FMUL, Format.R, FuClass.FPMUL, switch_trigger=True)
+    add(Op.FDIV, Format.R, FuClass.FPDIV, switch_trigger=True)
+    add(Op.FEQ, Format.R, FuClass.FPADD)
+    add(Op.FLT, Format.R, FuClass.FPADD)
+    add(Op.FLE, Format.R, FuClass.FPADD)
+    add(Op.CVTIF, Format.R, FuClass.FPADD)
+    add(Op.CVTFI, Format.R, FuClass.FPADD)
+    add(Op.FNEG, Format.R, FuClass.FPADD)
+    return table
+
+
+#: Mapping from :class:`Op` to its :class:`OpInfo`.
+OPCODE_INFO = _build_table()
+
+#: Mapping from mnemonic string to :class:`OpInfo`.
+MNEMONIC_INFO = {info.mnemonic: info for info in OPCODE_INFO.values()}

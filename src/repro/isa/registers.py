@@ -1,0 +1,95 @@
+"""Architectural register model.
+
+The SDSP register file has 128 physical registers shared by all threads.
+Register allocation is static: the compiler produces code for a register
+set of ``128 // nthreads`` registers, all threads execute the same
+binary, and the hardware maps an architectural register number ``r`` of
+thread ``t`` to physical register ``t * K + r``.
+
+Register values are plain Python numbers. Integer registers notionally
+hold 32-bit two's-complement values; floating-point values are stored
+directly as Python floats (a documented simplification — the simulator
+does not model IEEE-754 bit packing).
+"""
+
+NUM_PHYSICAL_REGS = 128
+
+#: Software conventions (within each thread's private partition).
+REG_ZERO = 0  #: hardwired zero
+REG_RA = 1  #: link register for ``jal``/``jalr``
+REG_SP = 2  #: stack pointer
+REG_GP = 3  #: global/scratch pointer used by the runtime
+
+INT_MIN = -(1 << 31)
+INT_MASK = (1 << 32) - 1
+
+
+def regs_per_thread(nthreads):
+    """Number of architectural registers each thread receives.
+
+    The paper distributes the 128 registers equally among threads; the
+    modified compiler then targets that many registers.
+    """
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be >= 1, got {nthreads}")
+    if nthreads > NUM_PHYSICAL_REGS:
+        raise ValueError(f"cannot partition {NUM_PHYSICAL_REGS} registers among {nthreads} threads")
+    return NUM_PHYSICAL_REGS // nthreads
+
+
+def to_int32(value):
+    """Wrap an integer to signed 32-bit two's-complement range."""
+    value &= INT_MASK
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+class RegisterFile:
+    """The shared physical register file with per-thread partitions.
+
+    Parameters
+    ----------
+    nthreads:
+        Number of resident threads. Determines the partition size
+        ``K = 128 // nthreads``.
+    """
+
+    def __init__(self, nthreads):
+        self.nthreads = nthreads
+        self.k = regs_per_thread(nthreads)
+        self._regs = [0] * NUM_PHYSICAL_REGS
+
+    def physical(self, tid, reg):
+        """Map ``(tid, architectural reg)`` to a physical register index."""
+        if not 0 <= reg < self.k:
+            raise IndexError(f"register r{reg} out of range for partition of {self.k}")
+        if not 0 <= tid < self.nthreads:
+            raise IndexError(f"thread {tid} out of range for {self.nthreads} threads")
+        return tid * self.k + reg
+
+    def read(self, tid, reg):
+        """Read architectural register ``reg`` of thread ``tid``."""
+        physical = self.physical(tid, reg)
+        if reg == REG_ZERO:
+            return 0
+        return self._regs[physical]
+
+    def write(self, tid, reg, value):
+        """Write architectural register ``reg`` of thread ``tid``.
+
+        Writes to ``r0`` are discarded; integer values are wrapped to
+        32 bits, floats are stored as-is.
+        """
+        if reg == REG_ZERO:
+            return
+        if isinstance(value, int):
+            value = to_int32(value)
+        self._regs[self.physical(tid, reg)] = value
+
+    def snapshot(self, tid):
+        """Return thread ``tid``'s architectural registers as a list."""
+        base = tid * self.k
+        regs = list(self._regs[base:base + self.k])
+        regs[REG_ZERO] = 0
+        return regs

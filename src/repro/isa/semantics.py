@@ -1,0 +1,127 @@
+"""Operation semantics shared by the functional and pipeline simulators.
+
+Keeping the arithmetic in one place guarantees the two simulators can
+only disagree about *timing*, never about *values* — the property-based
+equivalence tests rely on this.
+
+Integer results wrap to signed 32-bit. Floating-point values are Python
+floats (no IEEE bit packing). Division by zero is defined, not trapped:
+integer ``div``/``rem`` by zero yield 0 and the dividend respectively;
+float division by zero yields ±inf/nan via Python semantics guarded to
+0.0 to keep register contents finite.
+"""
+
+from repro.isa.opcodes import Op
+from repro.isa.registers import to_int32
+
+
+def _shift_amount(value):
+    return value & 31
+
+
+def _as_unsigned(value):
+    return int(value) & 0xFFFFFFFF
+
+
+def _int_div(a, b):
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _int_rem(a, b):
+    if b == 0:
+        return a
+    return a - _int_div(a, b) * b
+
+
+def _fdiv(a, b):
+    if b == 0:
+        return 0.0
+    return a / b
+
+
+#: op -> binary function over (rs1 value, rs2-or-immediate value).
+_BINOPS = {
+    Op.ADD: lambda a, b: to_int32(int(a) + int(b)),
+    Op.ADDI: lambda a, b: to_int32(int(a) + int(b)),
+    Op.SUB: lambda a, b: to_int32(int(a) - int(b)),
+    Op.AND: lambda a, b: to_int32(int(a) & int(b)),
+    Op.ANDI: lambda a, b: to_int32(int(a) & int(b)),
+    Op.OR: lambda a, b: to_int32(int(a) | int(b)),
+    Op.ORI: lambda a, b: to_int32(int(a) | int(b)),
+    Op.XOR: lambda a, b: to_int32(int(a) ^ int(b)),
+    Op.XORI: lambda a, b: to_int32(int(a) ^ int(b)),
+    Op.SLL: lambda a, b: to_int32(int(a) << _shift_amount(int(b))),
+    Op.SLLI: lambda a, b: to_int32(int(a) << _shift_amount(int(b))),
+    Op.SRL: lambda a, b: to_int32(_as_unsigned(a) >> _shift_amount(int(b))),
+    Op.SRLI: lambda a, b: to_int32(_as_unsigned(a) >> _shift_amount(int(b))),
+    Op.SRA: lambda a, b: to_int32(int(a) >> _shift_amount(int(b))),
+    Op.SRAI: lambda a, b: to_int32(int(a) >> _shift_amount(int(b))),
+    Op.SLT: lambda a, b: int(int(a) < int(b)),
+    Op.SLTI: lambda a, b: int(int(a) < int(b)),
+    Op.SLTU: lambda a, b: int(_as_unsigned(a) < _as_unsigned(b)),
+    Op.MUL: lambda a, b: to_int32(int(a) * int(b)),
+    Op.DIV: lambda a, b: to_int32(_int_div(int(a), int(b))),
+    Op.REM: lambda a, b: to_int32(_int_rem(int(a), int(b))),
+    Op.FADD: lambda a, b: float(a) + float(b),
+    Op.FSUB: lambda a, b: float(a) - float(b),
+    Op.FMUL: lambda a, b: float(a) * float(b),
+    Op.FDIV: lambda a, b: _fdiv(float(a), float(b)),
+    Op.FEQ: lambda a, b: int(float(a) == float(b)),
+    Op.FLT: lambda a, b: int(float(a) < float(b)),
+    Op.FLE: lambda a, b: int(float(a) <= float(b)),
+}
+
+#: op -> unary function over the rs1 value.
+_UNOPS = {
+    Op.CVTIF: lambda a: float(a),
+    Op.CVTFI: lambda a: to_int32(int(a)),
+    Op.FNEG: lambda a: -float(a),
+}
+
+_BRANCH_CONDS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+
+# Integer-indexed dispatch tables (Op is an IntEnum) for speed.
+_BINOP_LIST = [None] * 64
+for _op, _fn in _BINOPS.items():
+    _BINOP_LIST[int(_op)] = _fn
+_UNOP_LIST = [None] * 64
+for _op, _fn in _UNOPS.items():
+    _UNOP_LIST[int(_op)] = _fn
+
+
+def compute(op, a=0, b=0, *, tid=0, nthreads=1, imm=0):
+    """Compute the register result of a non-memory, non-CT instruction.
+
+    ``a`` and ``b`` are the already-selected operand values (``b`` is the
+    rs2 value or the immediate, per the instruction format).
+    """
+    index = int(op)
+    fn = _BINOP_LIST[index]
+    if fn is not None:
+        return fn(a, b)
+    fn = _UNOP_LIST[index]
+    if fn is not None:
+        return fn(a)
+    if op is Op.LUI:
+        return to_int32(imm << 12)
+    if op is Op.MFTID:
+        return tid
+    if op is Op.MFNTH:
+        return nthreads
+    raise ValueError(f"compute() does not handle {op.name}")
+
+
+def branch_taken(op, a, b):
+    """Evaluate a conditional branch's direction."""
+    return _BRANCH_CONDS[op](a, b)

@@ -1,0 +1,123 @@
+"""MiniC abstract syntax tree.
+
+Every node carries its source line for diagnostics. Expression nodes
+gain a ``type`` attribute ("int" or "float") during semantic analysis.
+"""
+
+INT = "int"
+FLOAT = "float"
+VOID = "void"
+
+
+class Node:
+    """Base class: keyword-argument construction with a line number."""
+
+    _fields = ()
+
+    def __init__(self, line=None, **kwargs):
+        self.line = line
+        for field in self._fields:
+            setattr(self, field, kwargs.pop(field))
+        if kwargs:
+            raise TypeError(f"unexpected fields {sorted(kwargs)} for {type(self).__name__}")
+
+    def __repr__(self):
+        parts = ", ".join(f"{f}={getattr(self, f)!r}" for f in self._fields)
+        return f"{type(self).__name__}({parts})"
+
+
+# ------------------------------------------------------------ top level
+
+class ProgramAst(Node):
+    _fields = ("globals", "functions")
+
+
+class GlobalVar(Node):
+    """Global scalar or array. ``size`` is None for scalars."""
+    _fields = ("name", "type", "size", "init")
+
+
+class Function(Node):
+    _fields = ("name", "return_type", "params", "body")
+
+
+class Param(Node):
+    _fields = ("name", "type")
+
+
+# ------------------------------------------------------------ statements
+
+class Block(Node):
+    _fields = ("statements",)
+
+
+class Declare(Node):
+    """Local scalar declaration with optional initializer."""
+    _fields = ("name", "type", "init")
+
+
+class Assign(Node):
+    """Assignment to a scalar name or an array element."""
+    _fields = ("target", "value")
+
+
+class If(Node):
+    _fields = ("cond", "then", "otherwise")
+
+
+class While(Node):
+    _fields = ("cond", "body")
+
+
+class For(Node):
+    _fields = ("init", "cond", "update", "body")
+
+
+class Return(Node):
+    _fields = ("value",)
+
+
+class Break(Node):
+    _fields = ()
+
+
+class Continue(Node):
+    _fields = ()
+
+
+class ExprStmt(Node):
+    _fields = ("expr",)
+
+
+# ----------------------------------------------------------- expressions
+
+class Expr(Node):
+    type = None
+
+
+class IntLit(Expr):
+    _fields = ("value",)
+
+
+class FloatLit(Expr):
+    _fields = ("value",)
+
+
+class Name(Expr):
+    _fields = ("name",)
+
+
+class Index(Expr):
+    _fields = ("name", "index")
+
+
+class Unary(Expr):
+    _fields = ("op", "operand")
+
+
+class Binary(Expr):
+    _fields = ("op", "left", "right")
+
+
+class Call(Expr):
+    _fields = ("name", "args")

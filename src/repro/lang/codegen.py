@@ -1,0 +1,535 @@
+"""MiniC code generator.
+
+Emits SDSP assembly text for a configurable per-thread register count
+(the paper's compiler "modified to produce code for a register set of
+different sizes").
+
+Register conventions (within a thread's partition of K registers)::
+
+    r0        zero
+    r1        return address
+    r2        stack pointer (word-addressed, grows down)
+    r3        codegen scratch (address formation)
+    r4..r7    arguments / return value (r4)
+    r8..      expression temporaries (caller-saved)
+    ..K-1     register-allocated locals (allocated from the top down)
+
+Scalar locals and parameters are register-allocated from the top of the
+partition while at least :data:`MIN_TEMPS` temporaries remain; the rest
+live in stack slots. A small partition (many threads) therefore spills
+more — exactly the register-pressure cost of the paper's static equal
+partitioning. Register locals are caller-saved into their stack slots
+around calls.
+
+Stack frames are word-granular: slot 0 holds the caller's return
+address, then one slot per parameter and local (register-allocated ones
+keep their slot as the call-time save area). Expression evaluation is a
+register-stack discipline; running out of temporaries is a
+:class:`~repro.lang.errors.CompileError` (deep expressions are not
+spilled — :data:`MIN_TEMPS` temporaries are always reserved).
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+
+FIRST_ARG_REG = 4
+FIRST_TEMP_REG = 8
+MIN_TEMPS = 9
+MIN_REGS = 12
+
+
+class TempPool:
+    """Allocator for expression temporaries r8..K-1."""
+
+    def __init__(self, k):
+        self.first = FIRST_TEMP_REG
+        self.limit = k
+        self.free = list(range(self.first, k))
+        self.live = []
+
+    def alloc(self, line=None):
+        if not self.free:
+            raise CompileError("expression too complex (out of registers)", line)
+        reg = self.free.pop(0)
+        self.live.append(reg)
+        return reg
+
+    def release(self, reg):
+        if reg not in self.live:
+            raise CompileError(f"internal: double free of r{reg}")
+        self.live.remove(reg)
+        self.free.insert(0, reg)
+        self.free.sort()
+
+    def assert_empty(self, line=None):
+        if self.live:
+            raise CompileError(f"internal: leaked temporaries {self.live}", line)
+
+
+class CodeGenerator:
+    """Generates assembly for one analyzed program."""
+
+    def __init__(self, tables, k):
+        if k < MIN_REGS:
+            raise CompileError(
+                f"cannot compile for {k} registers; need at least {MIN_REGS}")
+        self.tables = tables
+        self.k = k
+        self.lines = []
+        self.data_lines = []
+        self._label_count = 0
+        self._float_consts = {}
+        self.temps = None
+        self.function = None
+        self._loop_stack = []  # (continue_label, break_label)
+
+    # ------------------------------------------------------------ helpers
+
+    def emit(self, text):
+        self.lines.append("        " + text)
+
+    def emit_label(self, label):
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint="L"):
+        self._label_count += 1
+        return f".{hint}{self._label_count}"
+
+    def move(self, dst, src, type_):
+        """Register-to-register move preserving float values."""
+        if type_ == ast.FLOAT:
+            self.emit(f"fmov r{dst}, r{src}")
+        else:
+            self.emit(f"mov r{dst}, r{src}")
+
+    def _assign_local_registers(self, func):
+        """Map parameter/local symbols to registers from the top down.
+
+        Registers are granted in declaration order while at least
+        MIN_TEMPS temporaries remain; later locals stay in stack slots.
+        """
+        budget = max(0, self.k - FIRST_TEMP_REG - MIN_TEMPS)
+        symbols = sorted(func.local_table.values(), key=lambda s: s.slot)
+        assigned = {}
+        for symbol in symbols[:budget]:
+            assigned[symbol] = self.k - 1 - len(assigned)
+        return assigned
+
+    def float_const_label(self, value):
+        value = float(value)
+        key = repr(value)
+        label = self._float_consts.get(key)
+        if label is None:
+            label = f"fc_{len(self._float_consts)}"
+            self._float_consts[key] = label
+            self.data_lines.append(f"{label}: .float {value!r}")
+        return label
+
+    # ----------------------------------------------------------- program
+
+    def run(self, program):
+        for gvar in program.globals:
+            self._emit_global(gvar)
+        for func in program.functions:
+            self._emit_function(func)
+        text = ["        .text"] + self.lines
+        data = ["        .data"] + self.data_lines
+        return "\n".join(data + text) + "\n"
+
+    def _emit_global(self, gvar):
+        symbol = gvar.symbol
+        directive = ".float" if gvar.type == ast.FLOAT else ".word"
+        if not symbol.is_array:
+            value = gvar.init if gvar.init is not None else 0
+            if gvar.type == ast.FLOAT:
+                value = float(value)
+            self.data_lines.append(f"{symbol.label}: {directive} {value!r}")
+            return
+        init = list(gvar.init or [])
+        if gvar.type == ast.FLOAT:
+            init = [float(v) for v in init]
+        pad = symbol.size - len(init)
+        if init:
+            values = ", ".join(repr(v) for v in init)
+            self.data_lines.append(f"{symbol.label}: {directive} {values}")
+            if pad:
+                self.data_lines.append(f"        .space {pad}")
+        else:
+            self.data_lines.append(f"{symbol.label}: .space {symbol.size}")
+
+    def _emit_function(self, func):
+        self.function = func
+        self.local_regs = self._assign_local_registers(func)
+        self.temps = TempPool(self.k - len(self.local_regs))
+        self.emit_label(f"f_{func.name}")
+        frame = func.frame_slots
+        self.emit(f"addi sp, sp, -{frame}")
+        self.emit("sw ra, 0(sp)")
+        for index, param in enumerate(func.params):
+            reg = self.local_regs.get(param.symbol)
+            if reg is not None:
+                self.move(reg, FIRST_ARG_REG + index, param.symbol.type)
+            else:
+                self.emit(f"sw r{FIRST_ARG_REG + index}, {param.symbol.slot}(sp)")
+        self._epilogue_label = self.new_label("ret")
+        self._gen_block(func.body)
+        self.emit_label(self._epilogue_label)
+        self.emit("lw ra, 0(sp)")
+        self.emit(f"addi sp, sp, {frame}")
+        self.emit("ret")
+        self.temps.assert_empty(func.line)
+        self.function = None
+
+    # --------------------------------------------------------- statements
+
+    def _gen_block(self, block):
+        for stmt in block.statements:
+            self._gen_statement(stmt)
+
+    def _gen_statement(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.Declare):
+            if stmt.init is not None:
+                reg = self._eval_as(stmt.init, stmt.symbol.type)
+                home = self.local_regs.get(stmt.symbol)
+                if home is not None:
+                    self.move(home, reg, stmt.symbol.type)
+                else:
+                    self.emit(f"sw r{reg}, {stmt.symbol.slot}(sp)")
+                self.temps.release(reg)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self._eval_as(stmt.value, self.function.return_type)
+                self.move(FIRST_ARG_REG, reg, self.function.return_type)
+                self.temps.release(reg)
+            self.emit(f"b {self._epilogue_label}")
+        elif isinstance(stmt, ast.ExprStmt):
+            reg = self._eval(stmt.expr)
+            if reg is not None:
+                self.temps.release(reg)
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"b {self._loop_stack[-1][1]}")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(f"b {self._loop_stack[-1][0]}")
+        else:
+            raise CompileError(f"cannot generate {type(stmt).__name__}",
+                               stmt.line)
+
+    def _gen_assign(self, stmt):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            symbol = target.symbol
+            reg = self._eval_as(stmt.value, symbol.type)
+            store = "fsw" if symbol.type == ast.FLOAT else "sw"
+            home = self.local_regs.get(symbol)
+            if home is not None:
+                self.move(home, reg, symbol.type)
+            elif hasattr(symbol, "slot"):
+                self.emit(f"{store} r{reg}, {symbol.slot}(sp)")
+            else:
+                self.emit(f"la r3, {symbol.label}")
+                self.emit(f"{store} r{reg}, 0(r3)")
+            self.temps.release(reg)
+        else:  # Index
+            symbol = target.symbol
+            index_reg = self._eval(target.index)
+            value_reg = self._eval_as(stmt.value, symbol.type)
+            store = "fsw" if symbol.type == ast.FLOAT else "sw"
+            self.emit(f"la r3, {symbol.label}")
+            self.emit(f"add r3, r3, r{index_reg}")
+            self.emit(f"{store} r{value_reg}, 0(r3)")
+            self.temps.release(index_reg)
+            self.temps.release(value_reg)
+
+    def _gen_if(self, stmt):
+        else_label = self.new_label("else")
+        cond = self._eval_truthy(stmt.cond)
+        self.emit(f"beqz r{cond}, {else_label}")
+        self.temps.release(cond)
+        self._gen_statement(stmt.then)
+        if stmt.otherwise is not None:
+            end_label = self.new_label("endif")
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self._gen_statement(stmt.otherwise)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _gen_while(self, stmt):
+        top = self.new_label("while")
+        end = self.new_label("wend")
+        self.emit_label(top)
+        cond = self._eval_truthy(stmt.cond)
+        self.emit(f"beqz r{cond}, {end}")
+        self.temps.release(cond)
+        self._loop_stack.append((top, end))
+        self._gen_statement(stmt.body)
+        self._loop_stack.pop()
+        self.emit(f"b {top}")
+        self.emit_label(end)
+
+    def _gen_for(self, stmt):
+        if stmt.init is not None:
+            self._gen_statement(stmt.init)
+        top = self.new_label("for")
+        step = self.new_label("fstep")
+        end = self.new_label("fend")
+        self.emit_label(top)
+        if stmt.cond is not None:
+            cond = self._eval_truthy(stmt.cond)
+            self.emit(f"beqz r{cond}, {end}")
+            self.temps.release(cond)
+        self._loop_stack.append((step, end))
+        self._gen_statement(stmt.body)
+        self._loop_stack.pop()
+        self.emit_label(step)
+        if stmt.update is not None:
+            self._gen_statement(stmt.update)
+        self.emit(f"b {top}")
+        self.emit_label(end)
+
+    # -------------------------------------------------------- expressions
+
+    def _eval_as(self, expr, want_type):
+        """Evaluate and convert to ``want_type`` if needed."""
+        reg = self._eval(expr)
+        return self._convert(reg, expr.type, want_type)
+
+    def _convert(self, reg, have, want):
+        if have == want or want == ast.VOID:
+            return reg
+        if have == ast.INT and want == ast.FLOAT:
+            self.emit(f"cvtif r{reg}, r{reg}")
+        elif have == ast.FLOAT and want == ast.INT:
+            self.emit(f"cvtfi r{reg}, r{reg}")
+        else:
+            raise CompileError(f"cannot convert {have} to {want}")
+        return reg
+
+    def _eval_truthy(self, expr):
+        """Evaluate to a 0/1 int register."""
+        reg = self._eval(expr)
+        if expr.type == ast.FLOAT:
+            zero = self.temps.alloc(expr.line)
+            label = self.float_const_label(0.0)
+            self.emit(f"la r3, {label}")
+            self.emit(f"flw r{zero}, 0(r3)")
+            self.emit(f"feq r{reg}, r{reg}, r{zero}")
+            self.emit(f"xori r{reg}, r{reg}, 1")
+            self.temps.release(zero)
+        return reg
+
+    def _eval(self, expr):
+        """Evaluate ``expr`` into a fresh temporary; returns the register.
+
+        Returns ``None`` for void calls.
+        """
+        if isinstance(expr, ast.IntLit):
+            reg = self.temps.alloc(expr.line)
+            self.emit(f"li r{reg}, {expr.value}")
+            return reg
+        if isinstance(expr, ast.FloatLit):
+            reg = self.temps.alloc(expr.line)
+            label = self.float_const_label(expr.value)
+            self.emit(f"la r3, {label}")
+            self.emit(f"flw r{reg}, 0(r3)")
+            return reg
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        raise CompileError(f"cannot evaluate {type(expr).__name__}", expr.line)
+
+    def _eval_name(self, expr):
+        symbol = expr.symbol
+        reg = self.temps.alloc(expr.line)
+        load = "flw" if symbol.type == ast.FLOAT else "lw"
+        home = self.local_regs.get(symbol)
+        if home is not None:
+            self.move(reg, home, symbol.type)
+        elif hasattr(symbol, "slot"):
+            self.emit(f"{load} r{reg}, {symbol.slot}(sp)")
+        else:
+            self.emit(f"la r3, {symbol.label}")
+            self.emit(f"{load} r{reg}, 0(r3)")
+        return reg
+
+    def _eval_index(self, expr):
+        index_reg = self._eval(expr.index)
+        load = "flw" if expr.symbol.type == ast.FLOAT else "lw"
+        self.emit(f"la r3, {expr.symbol.label}")
+        self.emit(f"add r3, r3, r{index_reg}")
+        self.emit(f"{load} r{index_reg}, 0(r3)")
+        return index_reg
+
+    def _eval_unary(self, expr):
+        if expr.op == "!":
+            reg = self._eval_truthy(expr.operand)
+            self.emit(f"sltu r{reg}, r0, r{reg}")
+            self.emit(f"xori r{reg}, r{reg}, 1")
+            return reg
+        reg = self._eval(expr.operand)
+        if expr.type == ast.FLOAT:
+            self.emit(f"fneg r{reg}, r{reg}")
+        else:
+            self.emit(f"neg r{reg}, r{reg}")
+        return reg
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _eval_binary(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._eval_logical(expr)
+        operand_type = getattr(expr, "operand_type", expr.type)
+        left = self._eval_as(expr.left, operand_type)
+        right = self._eval_as(expr.right, operand_type)
+        if op in self._INT_OPS:
+            mnemonic = (self._FLOAT_OPS[op] if operand_type == ast.FLOAT
+                        else self._INT_OPS[op])
+            self.emit(f"{mnemonic} r{left}, r{left}, r{right}")
+            self.temps.release(right)
+            return left
+        return self._eval_compare(expr, left, right, operand_type)
+
+    def _eval_compare(self, expr, left, right, operand_type):
+        op = expr.op
+        if operand_type == ast.FLOAT:
+            table = {"==": ("feq", left, right, False),
+                     "!=": ("feq", left, right, True),
+                     "<": ("flt", left, right, False),
+                     "<=": ("fle", left, right, False),
+                     ">": ("flt", right, left, False),
+                     ">=": ("fle", right, left, False)}
+            mnemonic, a, b, negate = table[op]
+            self.emit(f"{mnemonic} r{left}, r{a}, r{b}")
+            if negate:
+                self.emit(f"xori r{left}, r{left}, 1")
+        else:
+            if op == "==":
+                self.emit(f"sub r{left}, r{left}, r{right}")
+                self.emit(f"sltu r{left}, r0, r{left}")
+                self.emit(f"xori r{left}, r{left}, 1")
+            elif op == "!=":
+                self.emit(f"sub r{left}, r{left}, r{right}")
+                self.emit(f"sltu r{left}, r0, r{left}")
+            elif op == "<":
+                self.emit(f"slt r{left}, r{left}, r{right}")
+            elif op == ">=":
+                self.emit(f"slt r{left}, r{left}, r{right}")
+                self.emit(f"xori r{left}, r{left}, 1")
+            elif op == ">":
+                self.emit(f"slt r{left}, r{right}, r{left}")
+            elif op == "<=":
+                self.emit(f"slt r{left}, r{right}, r{left}")
+                self.emit(f"xori r{left}, r{left}, 1")
+        self.temps.release(right)
+        return left
+
+    def _eval_logical(self, expr):
+        result = self.temps.alloc(expr.line)
+        end = self.new_label("sc")
+        left = self._eval_truthy(expr.left)
+        if expr.op == "&&":
+            self.emit(f"li r{result}, 0")
+            self.emit(f"beqz r{left}, {end}")
+        else:
+            self.emit(f"li r{result}, 1")
+            self.emit(f"bnez r{left}, {end}")
+        self.temps.release(left)
+        right = self._eval_truthy(expr.right)
+        self.emit(f"sltu r{result}, r0, r{right}")
+        self.temps.release(right)
+        self.emit_label(end)
+        return result
+
+    # -------------------------------------------------------------- calls
+
+    def _eval_call(self, expr):
+        if expr.intrinsic:
+            return self._eval_intrinsic(expr)
+        symbol = expr.symbol
+        arg_regs = []
+        for arg, ptype in zip(expr.args, symbol.param_types):
+            arg_regs.append(self._eval_as(arg, ptype))
+        return self._finish_call(expr, symbol.label, arg_regs,
+                                 symbol.return_type,
+                                 arg_types=symbol.param_types)
+
+    def _eval_intrinsic(self, expr):
+        name = expr.name
+        if name == "tid":
+            reg = self.temps.alloc(expr.line)
+            self.emit(f"mftid r{reg}")
+            return reg
+        if name == "nthreads":
+            reg = self.temps.alloc(expr.line)
+            self.emit(f"mfnth r{reg}")
+            return reg
+        if name == "barrier":
+            return self._finish_call(expr, "__barrier", [], ast.VOID)
+        if name == "pause":
+            # A tas on the runtime's scratch word: a synchronization
+            # primitive the Conditional-Switch front end rotates on,
+            # for polite lock-free spin-waiting.
+            reg = self.temps.alloc(expr.line)
+            self.emit("la r3, __bar_poke")
+            self.emit(f"tas r{reg}, 0(r3)")
+            self.temps.release(reg)
+            return None
+        # lock/unlock: pass the global's address.
+        symbol = expr.args[0].symbol
+        addr = self.temps.alloc(expr.line)
+        self.emit(f"la r{addr}, {symbol.label}")
+        target = "__lock" if name == "lock" else "__unlock"
+        return self._finish_call(expr, target, [addr], ast.VOID)
+
+    def _finish_call(self, expr, label, arg_regs, return_type,
+                     arg_types=None):
+        """Spill register locals, save live temporaries, marshal
+        arguments, call, fetch the result, and restore."""
+        # Register locals are caller-saved into their own frame slots
+        # (while sp still points at the frame base).
+        reg_locals = sorted((symbol.slot, reg)
+                            for symbol, reg in self.local_regs.items())
+        for slot, reg in reg_locals:
+            self.emit(f"sw r{reg}, {slot}(sp)")
+        save = [reg for reg in self.temps.live if reg not in arg_regs]
+        if save:
+            self.emit(f"addi sp, sp, -{len(save)}")
+            for offset, reg in enumerate(save):
+                self.emit(f"sw r{reg}, {offset}(sp)")
+        arg_types = arg_types or [ast.INT] * len(arg_regs)
+        for index, (reg, type_) in enumerate(zip(arg_regs, arg_types)):
+            self.move(FIRST_ARG_REG + index, reg, type_)
+        for reg in arg_regs:
+            self.temps.release(reg)
+        self.emit(f"call {label}")
+        result = None
+        if return_type != ast.VOID:
+            result = self.temps.alloc(expr.line)
+            self.move(result, FIRST_ARG_REG, return_type)
+        if save:
+            for offset, reg in enumerate(save):
+                self.emit(f"lw r{reg}, {offset}(sp)")
+            self.emit(f"addi sp, sp, {len(save)}")
+        for slot, reg in reg_locals:
+            self.emit(f"lw r{reg}, {slot}(sp)")
+        return result

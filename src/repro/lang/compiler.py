@@ -1,0 +1,34 @@
+"""MiniC compiler driver: source text to an assembled Program."""
+
+from repro.asm import assemble
+from repro.isa.registers import regs_per_thread
+from repro.lang.codegen import CodeGenerator
+from repro.lang.parser import parse
+from repro.lang.runtime import DEFAULT_STACK_TOP, STACK_WORDS, runtime_asm
+from repro.lang.sema import analyze
+
+
+def compile_to_asm(source, nthreads=1, regs=None):
+    """Compile MiniC source to assembly text (without the runtime).
+
+    ``regs`` overrides the per-thread register count; by default it is
+    the static partition ``128 // nthreads``, matching the paper's
+    equal-distribution register allocation.
+    """
+    k = regs if regs is not None else regs_per_thread(nthreads)
+    ast_root = parse(source)
+    tables = analyze(ast_root)
+    return CodeGenerator(tables, k).run(ast_root)
+
+
+def compile_source(source, nthreads=1, regs=None,
+                   stack_top=DEFAULT_STACK_TOP, stack_words=STACK_WORDS,
+                   align_branch_targets=False):
+    """Compile MiniC source into an executable Program (runtime included).
+
+    ``align_branch_targets`` pads control-transfer targets to fetch-block
+    boundaries (the paper's code-alignment improvement).
+    """
+    user_asm = compile_to_asm(source, nthreads=nthreads, regs=regs)
+    full = user_asm + runtime_asm(stack_top=stack_top, stack_words=stack_words)
+    return assemble(full, align_targets=align_branch_targets)

@@ -1,0 +1,11 @@
+"""Compiler error type."""
+
+
+class CompileError(Exception):
+    """Raised for lexical, syntactic, or semantic errors, with location."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

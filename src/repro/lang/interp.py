@@ -1,0 +1,258 @@
+"""MiniC AST interpreter: a compiler-independent oracle.
+
+Executes the *analyzed* AST directly with the same value semantics as
+the ISA (32-bit wrapping integers, truncating conversions, defined
+division by zero), so a MiniC program's result can be checked without
+trusting the code generator, assembler, or simulators.
+
+Threads run as coroutines that yield at ``barrier()``; between barriers
+each thread runs to completion before the next starts. That is a legal
+schedule for data-race-free programs (the only kind the test generators
+produce); ``lock``/``unlock`` regions therefore execute atomically by
+construction and are treated as no-ops.
+"""
+
+from repro.isa.registers import to_int32
+from repro.isa.semantics import _int_div, _int_rem  # shared semantics
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.sema import GlobalSymbol, analyze
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class Interpreter:
+    """Interpret one analyzed program for N threads."""
+
+    def __init__(self, source, nthreads=1):
+        self.tree = parse(source)
+        self.tables = analyze(self.tree)
+        self.nthreads = nthreads
+        self.globals = {}
+        for name, symbol in self.tables.globals.items():
+            if symbol.is_array:
+                values = list(symbol.init or [])
+                if symbol.type == ast.FLOAT:
+                    values = [float(v) for v in values]
+                values += [0.0 if symbol.type == ast.FLOAT else 0] \
+                    * (symbol.size - len(values))
+                self.globals[name] = values
+            else:
+                value = symbol.init if symbol.init is not None else 0
+                if symbol.type == ast.FLOAT:
+                    value = float(value)
+                self.globals[name] = self._coerce(value, symbol.type)
+        self.functions = {f.name: f for f in self.tree.functions}
+
+    # ------------------------------------------------------------ driver
+
+    def run(self, max_phases=100_000):
+        """Run all threads to completion; returns the globals dict."""
+        coroutines = [self._call_main(tid) for tid in range(self.nthreads)]
+        live = list(coroutines)
+        phases = 0
+        while live:
+            phases += 1
+            if phases > max_phases:
+                raise RuntimeError("interpreter exceeded max barrier phases")
+            still = []
+            for coroutine in live:
+                try:
+                    next(coroutine)
+                    still.append(coroutine)
+                except StopIteration:
+                    pass
+            live = still
+        return self.globals
+
+    def _call_main(self, tid):
+        yield from self._exec_function(self.functions["main"], [], tid)
+
+    # --------------------------------------------------------- execution
+
+    def _exec_function(self, func, args, tid):
+        env = {}
+        for param, value in zip(func.params, args):
+            env[param.name] = self._coerce(value, param.type)
+        try:
+            yield from self._exec_block(func.body, env, tid)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def _exec_block(self, block, env, tid):
+        for stmt in block.statements:
+            yield from self._exec_statement(stmt, env, tid)
+
+    def _exec_statement(self, stmt, env, tid):
+        if isinstance(stmt, ast.Block):
+            yield from self._exec_block(stmt, env, tid)
+        elif isinstance(stmt, ast.Declare):
+            value = 0.0 if stmt.type == ast.FLOAT else 0
+            if stmt.init is not None:
+                value = self._coerce((yield from self._eval(stmt.init, env, tid)),
+                                     stmt.type)
+            env[stmt.name] = value
+        elif isinstance(stmt, ast.Assign):
+            value = yield from self._eval(stmt.value, env, tid)
+            target = stmt.target
+            if isinstance(target, ast.Index):
+                index = yield from self._eval(target.index, env, tid)
+                self.globals[target.name][index] = self._coerce(
+                    value, target.symbol.type)
+            elif isinstance(target.symbol, GlobalSymbol):
+                self.globals[target.name] = self._coerce(
+                    value, target.symbol.type)
+            else:
+                env[target.name] = self._coerce(value, target.symbol.type)
+        elif isinstance(stmt, ast.If):
+            cond = yield from self._eval(stmt.cond, env, tid)
+            if cond:
+                yield from self._exec_statement(stmt.then, env, tid)
+            elif stmt.otherwise is not None:
+                yield from self._exec_statement(stmt.otherwise, env, tid)
+        elif isinstance(stmt, ast.While):
+            while (yield from self._eval(stmt.cond, env, tid)):
+                try:
+                    yield from self._exec_statement(stmt.body, env, tid)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                yield from self._exec_statement(stmt.init, env, tid)
+            while (stmt.cond is None
+                   or (yield from self._eval(stmt.cond, env, tid))):
+                try:
+                    yield from self._exec_statement(stmt.body, env, tid)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.update is not None:
+                    yield from self._exec_statement(stmt.update, env, tid)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = yield from self._eval(stmt.value, env, tid)
+            raise _Return(value)
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from self._eval(stmt.expr, env, tid)
+        else:
+            raise CompileError(f"cannot interpret {type(stmt).__name__}")
+
+    # ------------------------------------------------------- expressions
+
+    def _eval(self, expr, env, tid):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if isinstance(expr.symbol, GlobalSymbol):
+                return self.globals[expr.name]
+            return env[expr.name]
+        if isinstance(expr, ast.Index):
+            index = yield from self._eval(expr.index, env, tid)
+            return self.globals[expr.name][index]
+        if isinstance(expr, ast.Unary):
+            operand = yield from self._eval(expr.operand, env, tid)
+            if expr.op == "!":
+                return int(not operand)
+            if expr.type == ast.FLOAT:
+                return -float(operand)
+            return to_int32(-int(operand))
+        if isinstance(expr, ast.Binary):
+            return (yield from self._eval_binary(expr, env, tid))
+        if isinstance(expr, ast.Call):
+            return (yield from self._eval_call(expr, env, tid))
+        raise CompileError(f"cannot interpret {type(expr).__name__}")
+
+    def _eval_binary(self, expr, env, tid):
+        op = expr.op
+        if op == "&&":
+            left = yield from self._eval(expr.left, env, tid)
+            if not left:
+                return 0
+            return int(bool((yield from self._eval(expr.right, env, tid))))
+        if op == "||":
+            left = yield from self._eval(expr.left, env, tid)
+            if left:
+                return 1
+            return int(bool((yield from self._eval(expr.right, env, tid))))
+        left = yield from self._eval(expr.left, env, tid)
+        right = yield from self._eval(expr.right, env, tid)
+        operand_type = getattr(expr, "operand_type", expr.type)
+        if operand_type == ast.FLOAT:
+            left, right = float(left), float(right)
+            table = {"+": lambda: left + right, "-": lambda: left - right,
+                     "*": lambda: left * right,
+                     "/": lambda: left / right if right else 0.0,
+                     "==": lambda: int(left == right),
+                     "!=": lambda: int(left != right),
+                     "<": lambda: int(left < right),
+                     "<=": lambda: int(left <= right),
+                     ">": lambda: int(left > right),
+                     ">=": lambda: int(left >= right)}
+        else:
+            left, right = int(left), int(right)
+            table = {"+": lambda: to_int32(left + right),
+                     "-": lambda: to_int32(left - right),
+                     "*": lambda: to_int32(left * right),
+                     "/": lambda: to_int32(_int_div(left, right)),
+                     "%": lambda: to_int32(_int_rem(left, right)),
+                     "==": lambda: int(left == right),
+                     "!=": lambda: int(left != right),
+                     "<": lambda: int(left < right),
+                     "<=": lambda: int(left <= right),
+                     ">": lambda: int(left > right),
+                     ">=": lambda: int(left >= right)}
+        return table[op]()
+
+    def _eval_call(self, expr, env, tid):
+        name = expr.name
+        if expr.intrinsic:
+            if name == "tid":
+                return tid
+            if name == "nthreads":
+                return self.nthreads
+            if name == "barrier":
+                yield "barrier"
+                return None
+            return None  # lock/unlock: atomic by schedule
+        func = self.functions[name]
+        args = []
+        for arg, ptype in zip(expr.args, expr.symbol.param_types):
+            value = yield from self._eval(arg, env, tid)
+            args.append(self._coerce(value, ptype))
+        return (yield from self._exec_function(func, args, tid))
+
+    # ----------------------------------------------------------- helpers
+
+    @staticmethod
+    def _coerce(value, type_):
+        if type_ == ast.FLOAT:
+            return float(value)
+        return to_int32(int(value))
+
+
+def interpret(source, nthreads=1):
+    """Run MiniC source in the interpreter; returns the globals dict."""
+    return Interpreter(source, nthreads=nthreads).run()

@@ -1,0 +1,57 @@
+"""MiniC lexer."""
+
+import re
+
+from repro.lang.errors import CompileError
+
+KEYWORDS = {"int", "float", "void", "if", "else", "while", "for",
+            "return", "break", "continue"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*([eE][-+]?\d+)?|\.\d+([eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>0x[0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>\+=|-=|\*=|/=|%=|<=|>=|==|!=|&&|\|\||[-+*/%<>=!(){}\[\];,&|^~])
+""", re.VERBOSE | re.DOTALL)
+
+
+class Token:
+    """One lexical token."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind  # 'int', 'float', 'ident', 'kw', 'op', 'eof'
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source):
+    """Split MiniC source into tokens (comments and whitespace dropped)."""
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if not match:
+            raise CompileError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        if match.lastgroup == "ws" or match.lastgroup == "comment":
+            line += text.count("\n")
+        elif match.lastgroup == "float":
+            tokens.append(Token("float", float(text), line))
+        elif match.lastgroup == "int":
+            tokens.append(Token("int", int(text, 0), line))
+        elif match.lastgroup == "ident":
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token("op", text, line))
+        pos = match.end()
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,312 @@
+"""MiniC recursive-descent parser."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+class Parser:
+    """Token-stream parser; use :func:`parse` for the one-shot API."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect_op(self, op):
+        token = self.current
+        if token.kind != "op" or token.value != op:
+            raise CompileError(f"expected {op!r}, found {token.value!r}", token.line)
+        return self.advance()
+
+    def match_op(self, op):
+        token = self.current
+        if token.kind == "op" and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self):
+        token = self.current
+        if token.kind != "ident":
+            raise CompileError(f"expected identifier, found {token.value!r}", token.line)
+        return self.advance()
+
+    def at_type(self):
+        return self.current.kind == "kw" and self.current.value in ("int", "float", "void")
+
+    # ---------------------------------------------------------- top level
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while self.current.kind != "eof":
+            if not self.at_type():
+                raise CompileError(
+                    f"expected declaration, found {self.current.value!r}",
+                    self.current.line)
+            decl_type = self.advance().value
+            name_tok = self.expect_ident()
+            if self.current.kind == "op" and self.current.value == "(":
+                functions.append(self._function(decl_type, name_tok))
+            else:
+                globals_.extend(self._global_var(decl_type, name_tok))
+        return ast.ProgramAst(globals=globals_, functions=functions, line=1)
+
+    def _global_var(self, decl_type, name_tok):
+        if decl_type == "void":
+            raise CompileError("void variable", name_tok.line)
+        out = []
+        while True:
+            size = None
+            init = None
+            if self.match_op("["):
+                size_tok = self.advance()
+                if size_tok.kind != "int":
+                    raise CompileError("array size must be an integer literal",
+                                       size_tok.line)
+                size = size_tok.value
+                self.expect_op("]")
+            if self.match_op("="):
+                init = self._initializer(size is not None)
+            out.append(ast.GlobalVar(name=name_tok.value, type=decl_type,
+                                     size=size, init=init, line=name_tok.line))
+            if not self.match_op(","):
+                break
+            name_tok = self.expect_ident()
+        self.expect_op(";")
+        return out
+
+    def _initializer(self, is_array):
+        if is_array:
+            self.expect_op("{")
+            values = [self._const_value()]
+            while self.match_op(","):
+                values.append(self._const_value())
+            self.expect_op("}")
+            return values
+        return self._const_value()
+
+    def _const_value(self):
+        negative = self.match_op("-")
+        token = self.advance()
+        if token.kind not in ("int", "float"):
+            raise CompileError("initializers must be literals", token.line)
+        value = -token.value if negative else token.value
+        return value
+
+    def _function(self, return_type, name_tok):
+        self.expect_op("(")
+        params = []
+        if not self.match_op(")"):
+            while True:
+                if not self.at_type():
+                    raise CompileError("expected parameter type", self.current.line)
+                ptype = self.advance().value
+                if ptype == "void":
+                    raise CompileError("void parameter", self.current.line)
+                pname = self.expect_ident()
+                params.append(ast.Param(name=pname.value, type=ptype,
+                                        line=pname.line))
+                if self.match_op(")"):
+                    break
+                self.expect_op(",")
+        body = self._block()
+        return ast.Function(name=name_tok.value, return_type=return_type,
+                            params=params, body=body, line=name_tok.line)
+
+    # --------------------------------------------------------- statements
+
+    def _block(self):
+        start = self.expect_op("{")
+        statements = []
+        while not self.match_op("}"):
+            if self.current.kind == "eof":
+                raise CompileError("unterminated block", start.line)
+            statements.append(self._statement())
+        return ast.Block(statements=statements, line=start.line)
+
+    def _statement(self):
+        token = self.current
+        if token.kind == "op" and token.value == "{":
+            return self._block()
+        if token.kind == "kw":
+            if token.value in ("int", "float"):
+                return self._declaration()
+            if token.value == "if":
+                return self._if()
+            if token.value == "while":
+                return self._while()
+            if token.value == "for":
+                return self._for()
+            if token.value == "return":
+                return self._return()
+            if token.value == "break":
+                self.advance()
+                self.expect_op(";")
+                return ast.Break(line=token.line)
+            if token.value == "continue":
+                self.advance()
+                self.expect_op(";")
+                return ast.Continue(line=token.line)
+        return self._simple_statement(terminated=True)
+
+    def _declaration(self):
+        decl_type = self.advance().value
+        name_tok = self.expect_ident()
+        init = None
+        if self.match_op("="):
+            init = self._expression()
+        self.expect_op(";")
+        return ast.Declare(name=name_tok.value, type=decl_type, init=init,
+                           line=name_tok.line)
+
+    def _if(self):
+        token = self.advance()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        then = self._statement()
+        otherwise = None
+        if self.current.kind == "kw" and self.current.value == "else":
+            self.advance()
+            otherwise = self._statement()
+        return ast.If(cond=cond, then=then, otherwise=otherwise, line=token.line)
+
+    def _while(self):
+        token = self.advance()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        body = self._statement()
+        return ast.While(cond=cond, body=body, line=token.line)
+
+    def _for(self):
+        token = self.advance()
+        self.expect_op("(")
+        init = None if self.current.value == ";" else self._simple_statement(False)
+        self.expect_op(";")
+        cond = None if self.current.value == ";" else self._expression()
+        self.expect_op(";")
+        update = None if self.current.value == ")" else self._simple_statement(False)
+        self.expect_op(")")
+        body = self._statement()
+        return ast.For(init=init, cond=cond, update=update, body=body,
+                       line=token.line)
+
+    def _return(self):
+        token = self.advance()
+        value = None
+        if not (self.current.kind == "op" and self.current.value == ";"):
+            value = self._expression()
+        self.expect_op(";")
+        return ast.Return(value=value, line=token.line)
+
+    def _simple_statement(self, terminated):
+        """Assignment or expression statement (used bare inside ``for``)."""
+        expr = self._expression()
+        compound = None
+        for op in ("+=", "-=", "*=", "/=", "%="):
+            if self.current.kind == "op" and self.current.value == op:
+                compound = op[0]
+                self.advance()
+                break
+        if compound is not None:
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise CompileError("invalid assignment target", expr.line)
+            value = ast.Binary(op=compound, left=expr,
+                               right=self._expression(), line=expr.line)
+            stmt = ast.Assign(target=expr, value=value, line=expr.line)
+        elif self.match_op("="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise CompileError("invalid assignment target", expr.line)
+            value = self._expression()
+            stmt = ast.Assign(target=expr, value=value, line=expr.line)
+        else:
+            stmt = ast.ExprStmt(expr=expr, line=expr.line)
+        if terminated:
+            self.expect_op(";")
+        return stmt
+
+    # -------------------------------------------------------- expressions
+
+    def _expression(self, min_prec=1):
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                break
+            prec = _PRECEDENCE.get(token.value, 0)
+            if prec < min_prec:
+                break
+            self.advance()
+            right = self._expression(prec + 1)
+            left = ast.Binary(op=token.value, left=left, right=right,
+                              line=token.line)
+        return left
+
+    def _unary(self):
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "!"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(op=token.value, operand=operand, line=token.line)
+        if token.kind == "op" and token.value == "+":
+            self.advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self):
+        token = self.advance()
+        if token.kind == "int":
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind == "float":
+            return ast.FloatLit(value=token.value, line=token.line)
+        if token.kind == "op" and token.value == "(":
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == "ident":
+            if self.current.kind == "op" and self.current.value == "(":
+                self.advance()
+                args = []
+                if not self.match_op(")"):
+                    while True:
+                        args.append(self._expression())
+                        if self.match_op(")"):
+                            break
+                        self.expect_op(",")
+                return ast.Call(name=token.value, args=args, line=token.line)
+            if self.current.kind == "op" and self.current.value == "[":
+                self.advance()
+                index = self._expression()
+                self.expect_op("]")
+                return ast.Index(name=token.value, index=index, line=token.line)
+            return ast.Name(name=token.value, line=token.line)
+        raise CompileError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source):
+    """Parse MiniC source into a :class:`~repro.lang.ast_nodes.ProgramAst`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,101 @@
+"""MiniC runtime library (startup code and synchronization primitives).
+
+The runtime is hand-written assembly appended to every compiled program:
+
+* ``__start`` — computes the thread's private stack pointer
+  (``stack_top - tid * stack_words``), calls ``main``, halts.
+* ``__lock`` / ``__unlock`` — test-and-set spin lock on a global word.
+* ``__barrier`` — a counter barrier with generation (sense) word,
+  protected by its own internal lock. Spinning threads burn fetch slots,
+  which is exactly the synchronization cost the paper discusses for the
+  loop-carried-dependence benchmark.
+
+The primitives clobber only the argument registers (r4..r7) and the
+first temporaries (r8, r9); compiled callers save live temporaries
+around every call.
+"""
+
+#: Words of private stack per thread. Deliberately not a multiple of the
+#: cache-set stride: 4104 = 8 * 513 staggers the stacks across cache
+#: sets so per-thread stacks do not all alias into one set.
+STACK_WORDS = 4104
+
+#: Default top-of-memory for stacks (matches MainMemory's default size).
+DEFAULT_STACK_TOP = 1 << 20
+
+
+def runtime_asm(stack_top=DEFAULT_STACK_TOP, stack_words=STACK_WORDS):
+    """Assembly text of the runtime library."""
+    return f"""
+        .entry __start
+        .data
+__bar_lock:  .word 0
+__bar_count: .word 0
+__bar_gen:   .word 0
+__bar_poke:  .word 0
+        .text
+__start:
+        mftid r8
+        li    r9, {stack_words}
+        mul   r9, r8, r9
+        li    sp, {stack_top}
+        sub   sp, sp, r9
+        call  f_main
+        halt
+
+__lock:
+        # Test-and-set with per-thread, per-retry backoff: on a
+        # deterministic machine a fixed-phase retry loop can livelock
+        # against a lock holder that releases and promptly re-acquires
+        # (observed with LL5's progress polling); a delay that varies
+        # with the retry count breaks the phase lock.
+        addi  r7, r0, 0
+.lk_try:
+        tas   r8, 0(r4)
+        beqz  r8, .lk_got
+        addi  r7, r7, 1
+        mftid r9
+        add   r9, r9, r7
+        andi  r9, r9, 15
+        addi  r9, r9, 1
+.lk_off:
+        addi  r9, r9, -1
+        bnez  r9, .lk_off
+        j     .lk_try
+.lk_got:
+        ret
+
+__unlock:
+        sw    r0, 0(r4)
+        ret
+
+__barrier:
+        la    r4, __bar_lock
+.bar_lk:
+        tas   r8, 0(r4)
+        bnez  r8, .bar_lk
+        la    r5, __bar_gen
+        lw    r9, 0(r5)
+        la    r6, __bar_count
+        lw    r7, 0(r6)
+        addi  r7, r7, 1
+        mfnth r8
+        beq   r7, r8, .bar_last
+        sw    r7, 0(r6)
+        sw    r0, 0(r4)
+.bar_spin:
+        # The tas is a synchronization primitive the decoder recognizes,
+        # so a Conditional-Switch front end rotates away from waiters
+        # instead of fetching the spin loop forever.
+        la    r7, __bar_poke
+        tas   r8, 0(r7)
+        lw    r8, 0(r5)
+        beq   r8, r9, .bar_spin
+        ret
+.bar_last:
+        sw    r0, 0(r6)
+        addi  r9, r9, 1
+        sw    r9, 0(r5)
+        sw    r0, 0(r4)
+        ret
+"""

@@ -1,0 +1,289 @@
+"""MiniC semantic analysis: name resolution and type checking.
+
+Annotates the AST in place: every expression node gets a ``type``
+("int"/"float"), ``Name``/``Index`` nodes get a ``symbol``, calls are
+classified as user calls or intrinsics, and each function learns its
+stack-slot layout.
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+
+INTRINSICS = {
+    # name -> (param types, return type); None = address-of-global param
+    "tid": ((), ast.INT),
+    "nthreads": ((), ast.INT),
+    "barrier": ((), ast.VOID),
+    "pause": ((), ast.VOID),
+    "lock": ((None,), ast.VOID),
+    "unlock": ((None,), ast.VOID),
+}
+
+
+class GlobalSymbol:
+    """A global scalar or array."""
+
+    def __init__(self, name, type_, size, init):
+        self.name = name
+        self.type = type_
+        self.size = size  # None for scalars
+        self.init = init
+        self.label = f"g_{name}"
+
+    @property
+    def is_array(self):
+        return self.size is not None
+
+
+class LocalSymbol:
+    """A function parameter or local scalar, living in a stack slot."""
+
+    def __init__(self, name, type_, slot):
+        self.name = name
+        self.type = type_
+        self.slot = slot
+
+
+class FunctionSymbol:
+    """A user-defined function."""
+
+    def __init__(self, node):
+        self.name = node.name
+        self.return_type = node.return_type
+        self.param_types = [p.type for p in node.params]
+        self.label = f"f_{node.name}"
+        self.node = node
+
+
+class SymbolTables:
+    """Result of semantic analysis."""
+
+    def __init__(self):
+        self.globals = {}
+        self.functions = {}
+
+
+MAX_PARAMS = 4
+
+
+class Analyzer:
+    """Single-pass semantic analyzer; use :func:`analyze`."""
+
+    def __init__(self):
+        self.tables = SymbolTables()
+        self._locals = None
+        self._function = None
+
+    # ---------------------------------------------------------- top level
+
+    def run(self, program):
+        for gvar in program.globals:
+            self._declare_global(gvar)
+        for func in program.functions:
+            if func.name in self.tables.functions or func.name in INTRINSICS:
+                raise CompileError(f"duplicate function {func.name!r}", func.line)
+            if func.name in self.tables.globals:
+                raise CompileError(f"{func.name!r} is already a global", func.line)
+            self.tables.functions[func.name] = FunctionSymbol(func)
+        main = self.tables.functions.get("main")
+        if main is None:
+            raise CompileError("program has no main()")
+        if main.param_types or main.return_type != ast.VOID:
+            raise CompileError("main must be 'void main()'", main.node.line)
+        for func in program.functions:
+            self._check_function(func)
+        return self.tables
+
+    def _declare_global(self, gvar):
+        if gvar.name in self.tables.globals:
+            raise CompileError(f"duplicate global {gvar.name!r}", gvar.line)
+        if gvar.size is not None:
+            if gvar.size < 1:
+                raise CompileError(f"array {gvar.name!r} has size {gvar.size}",
+                                   gvar.line)
+            if gvar.init is not None and len(gvar.init) > gvar.size:
+                raise CompileError(
+                    f"too many initializers for {gvar.name!r}", gvar.line)
+        symbol = GlobalSymbol(gvar.name, gvar.type, gvar.size, gvar.init)
+        self.tables.globals[gvar.name] = symbol
+        gvar.symbol = symbol
+
+    def _check_function(self, func):
+        if len(func.params) > MAX_PARAMS:
+            raise CompileError(
+                f"{func.name!r} has {len(func.params)} parameters; "
+                f"at most {MAX_PARAMS} are supported", func.line)
+        self._function = func
+        self._locals = {}
+        self._loop_depth = 0
+        func.frame_slots = 1  # slot 0 holds the return address
+        for param in func.params:
+            param.symbol = self._add_local(param.name, param.type, param.line)
+        self._check_block(func.body)
+        func.local_table = dict(self._locals)
+        self._locals = None
+        self._function = None
+
+    def _add_local(self, name, type_, line):
+        if name in self._locals:
+            raise CompileError(f"duplicate local {name!r}", line)
+        symbol = LocalSymbol(name, type_, self._function.frame_slots)
+        self._function.frame_slots += 1
+        self._locals[name] = symbol
+        return symbol
+
+    # --------------------------------------------------------- statements
+
+    def _check_block(self, block):
+        for stmt in block.statements:
+            self._check_statement(stmt)
+
+    def _check_statement(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.Declare):
+            stmt.symbol = self._add_local(stmt.name, stmt.type, stmt.line)
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.target)
+            self._check_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name) and stmt.target.symbol_is_array:
+                raise CompileError("cannot assign to a whole array", stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond)
+            self._check_statement(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_statement(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond)
+            self._loop_depth += 1
+            self._check_statement(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._check_statement(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.update is not None:
+                self._check_statement(stmt.update)
+            self._loop_depth += 1
+            self._check_statement(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise CompileError(f"{keyword} outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            rtype = self._function.return_type
+            if stmt.value is None:
+                if rtype != ast.VOID:
+                    raise CompileError("missing return value", stmt.line)
+            else:
+                if rtype == ast.VOID:
+                    raise CompileError("void function returns a value", stmt.line)
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        else:
+            raise CompileError(f"unknown statement {type(stmt).__name__}",
+                               stmt.line)
+
+    # -------------------------------------------------------- expressions
+
+    def _check_expr(self, expr):
+        if isinstance(expr, ast.IntLit):
+            expr.type = ast.INT
+        elif isinstance(expr, ast.FloatLit):
+            expr.type = ast.FLOAT
+        elif isinstance(expr, ast.Name):
+            expr.symbol = self._lookup(expr.name, expr.line)
+            expr.symbol_is_array = (isinstance(expr.symbol, GlobalSymbol)
+                                    and expr.symbol.is_array)
+            expr.type = expr.symbol.type
+        elif isinstance(expr, ast.Index):
+            symbol = self._lookup(expr.name, expr.line)
+            if not isinstance(symbol, GlobalSymbol) or not symbol.is_array:
+                raise CompileError(f"{expr.name!r} is not an array", expr.line)
+            expr.symbol = symbol
+            self._check_expr(expr.index)
+            if expr.index.type != ast.INT:
+                raise CompileError("array index must be int", expr.line)
+            expr.type = symbol.type
+        elif isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand)
+            expr.type = ast.INT if expr.op == "!" else expr.operand.type
+        elif isinstance(expr, ast.Binary):
+            self._check_binary(expr)
+        elif isinstance(expr, ast.Call):
+            self._check_call(expr)
+        else:
+            raise CompileError(f"unknown expression {type(expr).__name__}",
+                               expr.line)
+        return expr.type
+
+    def _check_binary(self, expr):
+        self._check_expr(expr.left)
+        self._check_expr(expr.right)
+        op = expr.op
+        operand_type = ast.FLOAT if ast.FLOAT in (expr.left.type,
+                                                  expr.right.type) else ast.INT
+        if op == "%" and operand_type == ast.FLOAT:
+            raise CompileError("% is not defined on floats", expr.line)
+        if op in ("&&", "||"):
+            expr.type = ast.INT
+        elif op in ("==", "!=", "<", "<=", ">", ">="):
+            expr.type = ast.INT
+            expr.operand_type = operand_type
+        else:
+            expr.type = operand_type
+
+    def _check_call(self, expr):
+        name = expr.name
+        if name in INTRINSICS:
+            param_types, return_type = INTRINSICS[name]
+            expr.intrinsic = True
+            if len(expr.args) != len(param_types):
+                raise CompileError(
+                    f"{name}() takes {len(param_types)} argument(s)", expr.line)
+            for arg, ptype in zip(expr.args, param_types):
+                if ptype is None:  # address-of-global argument (lock/unlock)
+                    if not isinstance(arg, ast.Name):
+                        raise CompileError(
+                            f"{name}() needs a global int scalar", expr.line)
+                    symbol = self._lookup(arg.name, arg.line)
+                    if (not isinstance(symbol, GlobalSymbol)
+                            or symbol.is_array or symbol.type != ast.INT):
+                        raise CompileError(
+                            f"{name}() needs a global int scalar", expr.line)
+                    arg.symbol = symbol
+                    arg.type = ast.INT
+                else:
+                    self._check_expr(arg)
+            expr.type = return_type
+            return
+        symbol = self.tables.functions.get(name)
+        if symbol is None:
+            raise CompileError(f"unknown function {name!r}", expr.line)
+        expr.intrinsic = False
+        expr.symbol = symbol
+        if len(expr.args) != len(symbol.param_types):
+            raise CompileError(
+                f"{name}() takes {len(symbol.param_types)} argument(s), "
+                f"got {len(expr.args)}", expr.line)
+        for arg in expr.args:
+            self._check_expr(arg)
+        expr.type = symbol.return_type
+
+    def _lookup(self, name, line):
+        if self._locals is not None and name in self._locals:
+            return self._locals[name]
+        symbol = self.tables.globals.get(name)
+        if symbol is None:
+            raise CompileError(f"unknown name {name!r}", line)
+        return symbol
+
+
+def analyze(program):
+    """Run semantic analysis; returns the :class:`SymbolTables`."""
+    return Analyzer().run(program)

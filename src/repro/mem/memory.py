@@ -1,0 +1,46 @@
+"""Flat word-addressed main memory."""
+
+from repro.asm.program import DATA_BASE
+
+#: Default memory size: 1 Mi words (4 MB equivalent).
+DEFAULT_WORDS = 1 << 20
+
+
+class MemoryFault(Exception):
+    """Raised on an out-of-range memory access."""
+
+    def __init__(self, addr, size):
+        super().__init__(f"address {addr} outside memory of {size} words")
+        self.addr = addr
+
+
+class MainMemory:
+    """Word-addressed memory holding Python numbers (ints or floats)."""
+
+    def __init__(self, words=DEFAULT_WORDS):
+        self.size = words
+        self._cells = [0] * words
+
+    def load_image(self, data, base=DATA_BASE):
+        """Install a program's initial data segment."""
+        if base + len(data) > self.size:
+            raise MemoryFault(base + len(data), self.size)
+        self._cells[base:base + len(data)] = list(data)
+
+    def read(self, addr):
+        """Read one word."""
+        if not 0 <= addr < self.size:
+            raise MemoryFault(addr, self.size)
+        return self._cells[addr]
+
+    def write(self, addr, value):
+        """Write one word."""
+        if not 0 <= addr < self.size:
+            raise MemoryFault(addr, self.size)
+        self._cells[addr] = value
+
+    def read_block(self, addr, count):
+        """Read ``count`` consecutive words (for inspecting results)."""
+        if not (0 <= addr and addr + count <= self.size):
+            raise MemoryFault(addr, self.size)
+        return self._cells[addr:addr + count]

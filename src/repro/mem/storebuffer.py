@@ -1,0 +1,102 @@
+"""Store buffer between the scheduling unit and the data cache.
+
+A store occupies an entry from the moment it *issues* (address and value
+computed) until the line has been written to the cache. The entry only
+becomes drainable once the store's scheduling-unit entry has been
+committed ("an instruction stays in the store buffer until its entry in
+the SU is shifted out"). One committed entry drains per cycle, subject
+to the cache's refill port.
+
+Loads consult the buffer for same-address forwarding so a thread always
+sees its own completed stores.
+"""
+
+
+class StoreBufferEntry:
+    """One pending store."""
+
+    __slots__ = ("tag", "tid", "addr", "value", "committed")
+
+    def __init__(self, tag, tid, addr, value):
+        self.tag = tag
+        self.tid = tid
+        self.addr = addr
+        self.value = value
+        self.committed = False
+
+    def __repr__(self):
+        state = "committed" if self.committed else "speculative"
+        return f"StoreBufferEntry(tag={self.tag}, tid={self.tid}, addr={self.addr}, {state})"
+
+
+class StoreBuffer:
+    """FIFO store buffer with a fixed number of entries (8 in the paper)."""
+
+    def __init__(self, depth=8):
+        self.depth = depth
+        self.entries = []
+        self.drained = 0
+        self._busy_until = 0
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.depth
+
+    def allocate(self, tag, tid, addr, value):
+        """Add a store at issue time; raises if the buffer is full."""
+        if self.full:
+            raise RuntimeError("store buffer overflow; caller must check .full")
+        entry = StoreBufferEntry(tag, tid, addr, value)
+        self.entries.append(entry)
+        return entry
+
+    def commit(self, tag):
+        """Mark the entry with ``tag`` drainable (its SU entry committed)."""
+        for entry in self.entries:
+            if entry.tag == tag:
+                entry.committed = True
+                return
+        raise KeyError(f"no store-buffer entry with tag {tag}")
+
+    def squash(self, tags):
+        """Drop speculative entries whose tags are in ``tags``."""
+        self.entries = [e for e in self.entries
+                        if e.committed or e.tag not in tags]
+
+    def forward(self, addr):
+        """Most recent buffered value for ``addr``, or ``None``.
+
+        Used for load forwarding; returns the youngest matching entry's
+        value regardless of thread (the youngest is the architecturally
+        latest store to that address that has issued).
+        """
+        for entry in reversed(self.entries):
+            if entry.addr == addr:
+                return entry.value
+        return None
+
+    def has_match(self, addr):
+        """True if any buffered store targets ``addr``."""
+        return any(entry.addr == addr for entry in self.entries)
+
+    def drain_one(self, cache, memory, now):
+        """Write the oldest committed entry to cache+memory.
+
+        Returns True if an entry drained. Only the oldest buffer entry
+        may drain (FIFO order preserves store ordering); it must be
+        committed, and the previous drain must have completed — a store
+        that misses occupies the drain port for the whole refill, which
+        is how a small buffer backs up and gates commit.
+        """
+        if now < self._busy_until:
+            return False
+        if not self.entries or not self.entries[0].committed:
+            return False
+        if not cache.can_access(now):
+            return False
+        entry = self.entries.pop(0)
+        ready = cache.access(entry.addr, now)
+        self._busy_until = max(ready, now + 1)
+        memory.write(entry.addr, entry.value)
+        self.drained += 1
+        return True

@@ -1,0 +1,101 @@
+"""Trace-driven cache simulation.
+
+The paper's era explored cache organizations with trace-driven
+simulation: collect a memory-reference trace once, then replay it
+through candidate cache configurations in seconds. This module provides
+both halves:
+
+* :func:`collect_trace` runs a program on the functional simulator and
+  records every data-memory reference (address, is_write, tid) in
+  execution order;
+* :class:`TraceCacheSim` replays a trace through a
+  :class:`~repro.mem.cache.DataCache` for hit-rate statistics, orders of
+  magnitude faster than the cycle-accurate pipeline.
+
+Because the functional simulator interleaves threads round-robin per
+instruction while the pipeline interleaves per fetch block, trace-driven
+hit rates approximate (not equal) the pipeline's — the classic
+methodological caveat, which `tests/test_tracesim.py` quantifies.
+"""
+
+from repro.funcsim.machine import FunctionalSim
+from repro.isa.opcodes import Op
+from repro.mem.cache import DataCache
+
+
+class MemoryReference:
+    """One data-memory access."""
+
+    __slots__ = ("addr", "is_write", "tid")
+
+    def __init__(self, addr, is_write, tid):
+        self.addr = addr
+        self.is_write = is_write
+        self.tid = tid
+
+    def __repr__(self):
+        kind = "W" if self.is_write else "R"
+        return f"{kind} t{self.tid} @{self.addr}"
+
+
+class _TracingSim(FunctionalSim):
+    """Functional simulator that records data-memory references."""
+
+    def __init__(self, program, nthreads=1, mem_words=None):
+        super().__init__(program, nthreads=nthreads, mem_words=mem_words)
+        self.trace = []
+
+    def step(self, thread):
+        instr = self.program.instructions[thread.pc] \
+            if 0 <= thread.pc < len(self.program.instructions) else None
+        if instr is not None and instr.info.is_mem:
+            addr = int(self.regs.read(thread.tid, instr.rs1)) + instr.imm
+            is_write = instr.info.is_store and instr.op is not Op.TAS
+            self.trace.append(MemoryReference(addr, is_write, thread.tid))
+            if instr.op is Op.TAS:
+                # tas is a read-modify-write: one read + one write.
+                self.trace.append(MemoryReference(addr, True, thread.tid))
+        super().step(thread)
+
+
+def collect_trace(program, nthreads=1, max_steps=20_000_000):
+    """Run ``program`` and return its data-reference trace."""
+    sim = _TracingSim(program, nthreads=nthreads)
+    sim.run(max_steps=max_steps)
+    return sim.trace
+
+
+class TraceCacheSim:
+    """Replay a reference trace through a cache configuration."""
+
+    def __init__(self, config):
+        self.cache = DataCache(config)
+
+    def replay(self, trace):
+        """Replay all references; returns the cache's stats object.
+
+        References are spaced far apart in time so the refill port never
+        interferes — trace simulation measures *locality*, not port
+        contention.
+        """
+        cache = self.cache
+        now = 0
+        for ref in trace:
+            now += 100
+            cache.access(ref.addr, now)
+        return cache.stats
+
+
+def sweep_cache_sizes(trace, sizes, assoc=4, line_words=8):
+    """Hit rate for each cache size over one trace.
+
+    Returns ``{size_bytes: hit_rate}`` — the classic trace-driven
+    working-set curve.
+    """
+    from repro.mem.cache import CacheConfig
+    out = {}
+    for size in sizes:
+        stats = TraceCacheSim(CacheConfig(size_bytes=size, assoc=assoc,
+                                          line_words=line_words)).replay(trace)
+        out[size] = stats.hit_rate
+    return out

@@ -1,0 +1,33 @@
+"""The paper's eleven benchmarks, written in MiniC.
+
+Group I: six Livermore loops (LL1, LL2, LL3, LL5, LL7, LL12).
+Group II: Laplace, MPD, Matrix, Sieve, Water.
+
+All are *homogeneous multitasking* programs: every thread runs the same
+``main()`` on a different slice of the data, synchronizing with
+barriers (and, for LL5's loop-carried dependence, explicit locks). Each
+workload carries a pure-Python mirror of its computation so tests can
+verify simulated results against an independent implementation.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.livermore import LL1, LL2, LL3, LL5, LL7, LL12, GROUP_I
+from repro.workloads.apps import LAPLACE, MATRIX, MPD, SIEVE, WATER, GROUP_II
+from repro.workloads.extra import EXTRA_WORKLOADS, LL4, LL11
+
+#: All eleven benchmarks, Group I first (the paper's presentation order).
+ALL_WORKLOADS = GROUP_I + GROUP_II
+
+#: Lookup by name (includes the beyond-paper extras).
+BY_NAME = {w.name: w for w in ALL_WORKLOADS + EXTRA_WORKLOADS}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BY_NAME",
+    "EXTRA_WORKLOADS",
+    "GROUP_I",
+    "GROUP_II",
+    "LL1", "LL2", "LL3", "LL4", "LL5", "LL7", "LL11", "LL12",
+    "LAPLACE", "MATRIX", "MPD", "SIEVE", "WATER",
+    "Workload",
+]

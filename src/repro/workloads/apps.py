@@ -1,0 +1,396 @@
+"""Group II benchmarks: Laplace, MPD, Matrix, Sieve, Water.
+
+Laplace and Sieve follow Boothe's kernels, Water and MPD are small
+reimplementations of the same computational pattern as the SPLASH
+originals (pairwise-interaction dynamics; particle push), and Matrix is
+the authors' matrix multiply. See DESIGN.md for the substitution notes.
+"""
+
+from repro.workloads.base import Workload, cyclic
+
+
+def _parallel_sum(values, bound, nthreads):
+    """Mirror of the per-thread partial-sum reduction the kernels emit."""
+    total = 0.0
+    for tid in range(nthreads):
+        partial = 0.0
+        for i in cyclic(0, bound, tid, nthreads):
+            partial = partial + values[i]
+        total = total + partial
+    return total
+
+# -------------------------------------------------------------- Laplace
+
+_LAP_W = 16
+_LAP_H = 16
+_LAP_SWEEPS = 3
+
+_LAPLACE_SOURCE = f"""
+// Jacobi relaxation of Laplace's equation on a {_LAP_W}x{_LAP_H} grid.
+int w = {_LAP_W};
+int h = {_LAP_H};
+int sweeps = {_LAP_SWEEPS};
+float grid[{_LAP_W * _LAP_H}];
+float fresh[{_LAP_W * _LAP_H}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int j; int s;
+    float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < w * h; i = i + nt) {{
+        grid[i] = 0.0;
+    }}
+    barrier();
+    // Boundary: top row held at 1.0, bottom at -0.5 (thread 0 only).
+    if (t == 0) {{
+        for (j = 0; j < w; j = j + 1) {{
+            grid[j] = 1.0;
+            grid[(h - 1) * w + j] = 0.0 - 0.5;
+        }}
+    }}
+    barrier();
+    for (s = 0; s < sweeps; s = s + 1) {{
+        for (i = 1 + t; i < h - 1; i = i + nt) {{
+            for (j = 1; j < w - 1; j = j + 1) {{
+                fresh[i * w + j] = 0.25 * (grid[(i - 1) * w + j]
+                                           + grid[(i + 1) * w + j]
+                                           + grid[i * w + j - 1]
+                                           + grid[i * w + j + 1]);
+            }}
+        }}
+        barrier();
+        for (i = 1 + t; i < h - 1; i = i + nt) {{
+            for (j = 1; j < w - 1; j = j + 1) {{
+                grid[i * w + j] = fresh[i * w + j];
+            }}
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < w * h; i = i + nt) {{ ps = ps + grid[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _laplace_mirror(nthreads):
+    w, h = _LAP_W, _LAP_H
+    grid = [0.0] * (w * h)
+    for j in range(w):
+        grid[j] = 1.0
+        grid[(h - 1) * w + j] = 0.0 - 0.5
+    for _ in range(_LAP_SWEEPS):
+        fresh = dict()
+        for i in range(1, h - 1):
+            for j in range(1, w - 1):
+                fresh[i * w + j] = 0.25 * (grid[(i - 1) * w + j]
+                                           + grid[(i + 1) * w + j]
+                                           + grid[i * w + j - 1]
+                                           + grid[i * w + j + 1])
+        for key, value in fresh.items():
+            grid[key] = value
+    return _parallel_sum(grid, w * h, nthreads)
+
+
+LAPLACE = Workload("Laplace", 2, _LAPLACE_SOURCE, _laplace_mirror)
+
+# ------------------------------------------------------------------ MPD
+
+_MPD_N = 64
+_MPD_CELLS = 32
+_MPD_STEPS = 2
+
+_MPD_SOURCE = f"""
+// MPD: particle push with a field gather (irregular, data-dependent
+// memory access pattern -- low locality, like Boothe's MPD).
+int n = {_MPD_N};
+int cells = {_MPD_CELLS};
+int steps = {_MPD_STEPS};
+float pos[{_MPD_N}];
+float vel[{_MPD_N}];
+float field[{_MPD_CELLS}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int s; int c;
+    float dt; float ps;
+    t = tid(); nt = nthreads();
+    dt = 0.125;
+    for (i = t; i < cells; i = i + nt) {{
+        field[i] = 0.01 * (i % 7) - 0.02;
+    }}
+    for (i = t; i < n; i = i + nt) {{
+        pos[i] = (i * 13 % cells) + 0.5;
+        vel[i] = 0.001 * (i % 11) - 0.005;
+    }}
+    barrier();
+    for (s = 0; s < steps; s = s + 1) {{
+        for (i = t; i < n; i = i + nt) {{
+            c = pos[i];
+            vel[i] = vel[i] + field[c] * dt;
+            pos[i] = pos[i] + vel[i] * dt;
+            while (pos[i] >= cells) {{ pos[i] = pos[i] - cells; }}
+            while (pos[i] < 0.0) {{ pos[i] = pos[i] + cells; }}
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + pos[i] + vel[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _mpd_mirror(nthreads):
+    n, cells, dt = _MPD_N, _MPD_CELLS, 0.125
+    field = [0.01 * (i % 7) - 0.02 for i in range(cells)]
+    pos = [float(i * 13 % cells) + 0.5 for i in range(n)]
+    vel = [0.001 * (i % 11) - 0.005 for i in range(n)]
+    for _ in range(_MPD_STEPS):
+        for i in range(n):
+            c = int(pos[i])
+            vel[i] = vel[i] + field[c] * dt
+            pos[i] = pos[i] + vel[i] * dt
+            while pos[i] >= cells:
+                pos[i] = pos[i] - cells
+            while pos[i] < 0.0:
+                pos[i] = pos[i] + cells
+    total = 0.0
+    for tid in range(nthreads):
+        partial = 0.0
+        for i in cyclic(0, n, tid, nthreads):
+            partial = partial + pos[i] + vel[i]
+        total = total + partial
+    return total
+
+
+MPD = Workload("MPD", 2, _MPD_SOURCE, _mpd_mirror)
+
+# --------------------------------------------------------------- Matrix
+
+_MAT_M = 12
+
+_MATRIX_SOURCE = f"""
+// Matrix multiply C = A * B, threads split rows of C cyclically.
+int m = {_MAT_M};
+float a[{_MAT_M * _MAT_M}];
+float b[{_MAT_M * _MAT_M}];
+float c[{_MAT_M * _MAT_M}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int j; int k;
+    float acc; float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < m * m; i = i + nt) {{
+        a[i] = 0.001 * (i % 17) + 0.01;
+        b[i] = 0.002 * (i % 13) - 0.01;
+    }}
+    barrier();
+    for (i = t; i < m; i = i + nt) {{
+        for (j = 0; j < m; j = j + 1) {{
+            acc = 0.0;
+            for (k = 0; k < m; k = k + 1) {{
+                acc = acc + a[i * m + k] * b[k * m + j];
+            }}
+            c[i * m + j] = acc;
+        }}
+    }}
+    barrier();
+    ps = 0.0;
+    for (i = t; i < m * m; i = i + nt) {{ ps = ps + c[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _matrix_mirror(nthreads):
+    m = _MAT_M
+    a = [0.001 * (i % 17) + 0.01 for i in range(m * m)]
+    b = [0.002 * (i % 13) - 0.01 for i in range(m * m)]
+    c = [0.0] * (m * m)
+    for i in range(m):
+        for j in range(m):
+            acc = 0.0
+            for k in range(m):
+                acc = acc + a[i * m + k] * b[k * m + j]
+            c[i * m + j] = acc
+    return _parallel_sum(c, m * m, nthreads)
+
+
+MATRIX = Workload("Matrix", 2, _MATRIX_SOURCE, _matrix_mirror)
+
+# ---------------------------------------------------------------- Sieve
+
+_SIEVE_M = 400
+
+_SIEVE_SOURCE = f"""
+// Parallel sieve of Eratosthenes: every thread walks all candidate
+// primes but strikes an interleaved 1/nt of each prime's multiples,
+// which balances the load. Racing reads of flags[p] are benign: a stale
+// 1 only causes redundant strikes of an already-composite stride.
+int m = {_SIEVE_M};
+int flags[{_SIEVE_M}];
+int partial[8];
+int checksum;
+
+void main() {{
+    int t; int nt; int p; int q; int count;
+    t = tid(); nt = nthreads();
+    for (p = t; p < m; p = p + nt) {{
+        flags[p] = 1;
+    }}
+    barrier();
+    for (p = 2; p * p < m; p = p + 1) {{
+        if (flags[p]) {{
+            for (q = p * p + t * p; q < m; q = q + nt * p) {{
+                flags[q] = 0;
+            }}
+        }}
+    }}
+    barrier();
+    count = 0;
+    for (p = 2 + t; p < m; p = p + nt) {{
+        if (flags[p]) {{ count = count + 1; }}
+    }}
+    partial[t] = count;
+    barrier();
+    if (t == 0) {{
+        count = 0;
+        for (p = 0; p < nt; p = p + 1) {{ count = count + partial[p]; }}
+        checksum = count;
+    }}
+    barrier();
+}}
+"""
+
+
+def _sieve_mirror(nthreads):
+    m = _SIEVE_M
+    flags = [True] * m
+    p = 2
+    while p * p < m:
+        if flags[p]:
+            for q in range(p * p, m, p):
+                flags[q] = False
+        p += 1
+    return sum(1 for p in range(2, m) if flags[p])
+
+
+SIEVE = Workload("Sieve", 2, _SIEVE_SOURCE, _sieve_mirror, tolerance=0)
+
+# ---------------------------------------------------------------- Water
+
+_WATER_N = 12
+_WATER_STEPS = 2
+
+_WATER_SOURCE = f"""
+// Water: pairwise-interaction molecular dynamics step (the SPLASH Water
+// pattern: O(n^2) force phase, then integration, barriers between).
+int n = {_WATER_N};
+int steps = {_WATER_STEPS};
+float pos[{_WATER_N}];
+float vel[{_WATER_N}];
+float force[{_WATER_N}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int j; int s;
+    float d; float f; float dt; float ps;
+    t = tid(); nt = nthreads();
+    dt = 0.01;
+    for (i = t; i < n; i = i + nt) {{
+        pos[i] = 0.37 * i + 0.1;
+        vel[i] = 0.0;
+        force[i] = 0.0;
+    }}
+    barrier();
+    for (s = 0; s < steps; s = s + 1) {{
+        for (i = t; i < n; i = i + nt) {{
+            f = 0.0;
+            for (j = 0; j < n; j = j + 1) {{
+                if (j != i) {{
+                    d = pos[j] - pos[i];
+                    f = f + d / (d * d + 0.3);
+                }}
+            }}
+            force[i] = f;
+        }}
+        barrier();
+        for (i = t; i < n; i = i + nt) {{
+            vel[i] = vel[i] + force[i] * dt;
+            pos[i] = pos[i] + vel[i] * dt;
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + pos[i] + vel[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        f = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ f = f + partial[i]; }}
+        checksum = f;
+    }}
+    barrier();
+}}
+"""
+
+
+def _water_mirror(nthreads):
+    n, dt = _WATER_N, 0.01
+    pos = [0.37 * i + 0.1 for i in range(n)]
+    vel = [0.0] * n
+    force = [0.0] * n
+    for _ in range(_WATER_STEPS):
+        for i in range(n):
+            f = 0.0
+            for j in range(n):
+                if j != i:
+                    d = pos[j] - pos[i]
+                    f = f + d / (d * d + 0.3)
+            force[i] = f
+        for i in range(n):
+            vel[i] = vel[i] + force[i] * dt
+            pos[i] = pos[i] + vel[i] * dt
+    total = 0.0
+    for tid in range(nthreads):
+        partial = 0.0
+        for i in cyclic(0, n, tid, nthreads):
+            partial = partial + pos[i] + vel[i]
+        total = total + partial
+    return total
+
+
+WATER = Workload("Water", 2, _WATER_SOURCE, _water_mirror)
+
+#: Group II in the paper's order.
+GROUP_II = [LAPLACE, MPD, MATRIX, SIEVE, WATER]

@@ -1,0 +1,151 @@
+"""Extended workloads beyond the paper's eleven.
+
+The paper notes that "many of the Livermore loops" fit the homogeneous-
+multitasking model; these two extend the suite:
+
+* **LL4** (banded linear equations) — more data-parallel FP work with a
+  sequential reduction per band, a different balance point than LL1/LL7.
+* **LL11** (first partial sums) — a prefix-sum recurrence
+  ``x[k] = x[k-1] + y[k]``: like LL5 it is dominated by cross-iteration
+  synchronization and is expected to *lose* from multithreading, which
+  corroborates the paper's LL5 finding on a second kernel.
+
+They are not part of GROUP_I/GROUP_II (the paper's figures) but are
+exercised by tests and available to the CLI and harness.
+"""
+
+from repro.workloads.base import Workload, cyclic
+
+
+def _parallel_sum(values, bound, nthreads):
+    total = 0.0
+    for tid in range(nthreads):
+        partial = 0.0
+        for i in cyclic(0, bound, tid, nthreads):
+            partial = partial + values[i]
+        total = total + partial
+    return total
+
+
+# ----------------------------------------------------------------- LL4
+
+_LL4_N = 96
+_LL4_BAND = 5
+
+def _ll4_mirror(nthreads):
+    n, band = _LL4_N, _LL4_BAND
+    size = n + band + 1
+    x = [0.001 * (i + 1) for i in range(size)]
+    y = [0.002 * (i + 3) for i in range(size)]
+    # Two-phase, like the MiniC source: the update reads x[i+1..i+band],
+    # which other threads may write, so results go to a fresh array and
+    # are copied back after a barrier.
+    fresh = []
+    for i in range(n):
+        s = 0.0
+        for j in range(band):
+            s = s + y[i + j] * x[i + j + 1]
+        fresh.append(x[i] - s * 0.25)
+    for i in range(n):
+        x[i] = fresh[i]
+    return _parallel_sum(x, n, nthreads)
+
+
+_LL4_SOURCE = f"""
+// Livermore loop 4: banded linear equations. Two-phase (compute into a
+// fresh array, barrier, copy back) so the cyclic parallelization is
+// race-free.
+int n = {_LL4_N};
+int band = {_LL4_BAND};
+float x[{_LL4_N + _LL4_BAND + 1}];
+float y[{_LL4_N + _LL4_BAND + 1}];
+float fresh[{_LL4_N}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int j;
+    float s; float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n + band + 1; i = i + nt) {{
+        x[i] = 0.001 * (i + 1);
+        y[i] = 0.002 * (i + 3);
+    }}
+    barrier();
+    for (i = t; i < n; i = i + nt) {{
+        s = 0.0;
+        for (j = 0; j < band; j = j + 1) {{
+            s = s + y[i + j] * x[i + j + 1];
+        }}
+        fresh[i] = x[i] - s * 0.25;
+    }}
+    barrier();
+    for (i = t; i < n; i = i + nt) {{
+        x[i] = fresh[i];
+    }}
+    barrier();
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + x[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        s = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ s = s + partial[i]; }}
+        checksum = s;
+    }}
+    barrier();
+}}
+"""
+
+LL4 = Workload("LL4", 1, _LL4_SOURCE, _ll4_mirror)
+
+# ---------------------------------------------------------------- LL11
+
+_LL11_N = 48
+
+_LL11_SOURCE = f"""
+// Livermore loop 11: first partial sums, x[k] = x[k-1] + y[k].
+// A prefix-sum recurrence: like LL5, threads must hand the running sum
+// down the iteration chain through a post/wait progress index.
+int n = {_LL11_N};
+float x[{_LL11_N}];
+float y[{_LL11_N}];
+int progress;
+float checksum;
+
+void main() {{
+    int t; int nt; int i;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n; i = i + nt) {{
+        y[i] = 0.002 * (i + 1);
+        x[i] = 0.0;
+    }}
+    barrier();
+    if (t == 0) {{ x[0] = y[0]; progress = 0; }}
+    barrier();
+    for (i = 1 + t; i < n; i = i + nt) {{
+        while (progress < i - 1) {{ pause(); }}
+        x[i] = x[i - 1] + y[i];
+        progress = i;
+    }}
+    barrier();
+    if (t == 0) {{ checksum = x[n - 1]; }}
+    barrier();
+}}
+"""
+
+
+def _ll11_mirror(nthreads):
+    n = _LL11_N
+    y = [0.002 * (i + 1) for i in range(n)]
+    x = [0.0] * n
+    x[0] = y[0]
+    for i in range(1, n):
+        x[i] = x[i - 1] + y[i]
+    return x[n - 1]
+
+
+LL11 = Workload("LL11", 1, _LL11_SOURCE, _ll11_mirror)
+
+#: Workloads beyond the paper's eleven.
+EXTRA_WORKLOADS = [LL4, LL11]

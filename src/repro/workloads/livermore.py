@@ -1,0 +1,405 @@
+"""Group I benchmarks: six Livermore loops in MiniC.
+
+Each loop is parallelized in the paper's homogeneous-multitasking style:
+cyclic distribution of iterations over threads, barriers between phases,
+and — for LL5's loop-carried recurrence — explicit lock-protected
+progress synchronization (the paper notes this benchmark needs explicit
+synchronization primitives and can lose performance from them).
+
+Problem sizes are chosen so a full simulation takes thousands (not
+millions) of cycles; the paper's qualitative behaviour is preserved.
+"""
+
+from repro.workloads.base import Workload, cyclic
+
+
+def _parallel_sum(values, bound, nthreads):
+    """Mirror of the per-thread partial-sum reduction the kernels emit."""
+    total = 0.0
+    for tid in range(nthreads):
+        partial = 0.0
+        for i in cyclic(0, bound, tid, nthreads):
+            partial = partial + values[i]
+        total = total + partial
+    return total
+
+# ----------------------------------------------------------------- LL1
+
+_LL1_N = 120
+_LL1_REPS = 3
+
+_LL1_SOURCE = f"""
+// Livermore loop 1: hydro fragment.
+int n = {_LL1_N};
+int reps = {_LL1_REPS};
+float x[{_LL1_N + 12}];
+float y[{_LL1_N + 12}];
+float z[{_LL1_N + 12}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int rep;
+    float q; float r; float tt; float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n + 12; i = i + nt) {{
+        y[i] = 0.0001 * (i + 1);
+        z[i] = 0.0002 * (i + 2);
+    }}
+    barrier();
+    q = 0.5; r = 0.25; tt = 0.125;
+    for (rep = 0; rep < reps; rep = rep + 1) {{
+        for (i = t; i < n; i = i + nt) {{
+            x[i] = q + y[i] * (r * z[i + 10] + tt * z[i + 11]);
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + x[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll1_mirror(nthreads):
+    n = _LL1_N
+    y = [0.0001 * (i + 1) for i in range(n + 12)]
+    z = [0.0002 * (i + 2) for i in range(n + 12)]
+    q, r, tt = 0.5, 0.25, 0.125
+    x = [q + y[i] * (r * z[i + 10] + tt * z[i + 11]) for i in range(n)]
+    return _parallel_sum(x, n, nthreads)
+
+
+LL1 = Workload("LL1", 1, _LL1_SOURCE, _ll1_mirror)
+
+# ----------------------------------------------------------------- LL2
+
+_LL2_N = 64
+_LL2_SIZE = 2 * _LL2_N + 8
+
+_LL2_SOURCE = f"""
+// Livermore loop 2: ICCG excerpt (incomplete Cholesky conjugate gradient).
+int n = {_LL2_N};
+float x[{_LL2_SIZE}];
+float v[{_LL2_SIZE}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int k; int j;
+    int ii; int ipnt; int ipntp; int count;
+    float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < 2 * n + 8; i = i + nt) {{
+        x[i] = 0.0001 * (i + 1);
+        v[i] = 0.0002 * (i + 3);
+    }}
+    barrier();
+    ii = n;
+    ipntp = 0;
+    while (ii > 0) {{
+        ipnt = ipntp;
+        ipntp = ipntp + ii;
+        ii = ii / 2;
+        count = (ipntp - ipnt) / 2;
+        // All iterations but the level's last run in parallel; the last
+        // reads x[ipntp], which iteration 0 writes, so it runs after the
+        // barrier (this boundary dependence exists in the original loop).
+        for (j = t; j < count - 1; j = j + nt) {{
+            k = ipnt + 1 + 2 * j;
+            x[ipntp + j] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+        }}
+        barrier();
+        if (t == 0) {{
+            if (count > 0) {{
+                j = count - 1;
+                k = ipnt + 1 + 2 * j;
+                x[ipntp + j] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+            }}
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < 2 * n + 8; i = i + nt) {{ ps = ps + x[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll2_mirror(nthreads):
+    n = _LL2_N
+    size = 2 * n + 8
+    x = [0.0001 * (i + 1) for i in range(size)]
+    v = [0.0002 * (i + 3) for i in range(size)]
+    ii, ipntp = n, 0
+    while ii > 0:
+        ipnt = ipntp
+        ipntp = ipntp + ii
+        ii = ii // 2
+        for k in range(ipnt + 1, ipntp, 2):
+            j = (k - ipnt - 1) // 2
+            x[ipntp + j] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]
+    return _parallel_sum(x, size, nthreads)
+
+
+LL2 = Workload("LL2", 1, _LL2_SOURCE, _ll2_mirror)
+
+# ----------------------------------------------------------------- LL3
+
+_LL3_N = 192
+_LL3_REPS = 3
+_MAX_THREADS = 8
+
+_LL3_SOURCE = f"""
+// Livermore loop 3: inner product (per-thread partial sums).
+int n = {_LL3_N};
+int reps = {_LL3_REPS};
+float x[{_LL3_N}];
+float z[{_LL3_N}];
+float partial[{_MAX_THREADS}];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int rep;
+    float q;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n; i = i + nt) {{
+        x[i] = 0.001 * (i + 1);
+        z[i] = 0.002 * (i + 2);
+    }}
+    barrier();
+    for (rep = 0; rep < reps; rep = rep + 1) {{
+        q = 0.0;
+        for (i = t; i < n; i = i + nt) {{
+            q = q + z[i] * x[i];
+        }}
+        partial[t] = q;
+        barrier();
+    }}
+    if (t == 0) {{
+        float s;
+        s = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ s = s + partial[i]; }}
+        checksum = s;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll3_mirror(nthreads):
+    n = _LL3_N
+    x = [0.001 * (i + 1) for i in range(n)]
+    z = [0.002 * (i + 2) for i in range(n)]
+    partial = []
+    for t in range(nthreads):
+        q = 0.0
+        for i in cyclic(0, n, t, nthreads):
+            q = q + z[i] * x[i]
+        partial.append(q)
+    total = 0.0
+    for value in partial:
+        total = total + value
+    return total
+
+
+LL3 = Workload("LL3", 1, _LL3_SOURCE, _ll3_mirror)
+
+# ----------------------------------------------------------------- LL5
+
+_LL5_N = 48
+
+_LL5_SOURCE = f"""
+// Livermore loop 5: tri-diagonal elimination below the diagonal.
+// The recurrence x[i] = z[i]*(y[i] - x[i-1]) carries a dependence across
+// iterations, so threads synchronize with an explicit post/wait on a
+// progress index (the explicit synchronization the paper describes).
+int n = {_LL5_N};
+float x[{_LL5_N}];
+float y[{_LL5_N}];
+float z[{_LL5_N}];
+int progress;
+float checksum;
+
+void main() {{
+    int t; int nt; int i;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n; i = i + nt) {{
+        y[i] = 0.001 * (i + 2);
+        z[i] = 0.5 + 0.001 * i;
+        x[i] = 0.0;
+    }}
+    barrier();
+    // Post/wait handoff: iteration i waits for the producer of i-1 to
+    // post progress = i-1. One writer at a time by construction, so
+    // progress needs no lock; pause() keeps the spin polite.
+    for (i = 1 + t; i < n; i = i + nt) {{
+        while (progress < i - 1) {{ pause(); }}
+        x[i] = z[i] * (y[i] - x[i - 1]);
+        progress = i;
+    }}
+    barrier();
+    if (t == 0) {{
+        float s;
+        s = 0.0;
+        for (i = 0; i < n; i = i + 1) {{ s = s + x[i]; }}
+        checksum = s;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll5_mirror(nthreads):
+    n = _LL5_N
+    y = [0.001 * (i + 2) for i in range(n)]
+    z = [0.5 + 0.001 * i for i in range(n)]
+    x = [0.0] * n
+    for i in range(1, n):
+        x[i] = z[i] * (y[i] - x[i - 1])
+    total = 0.0
+    for value in x:
+        total = total + value
+    return total
+
+
+LL5 = Workload("LL5", 1, _LL5_SOURCE, _ll5_mirror)
+
+# ----------------------------------------------------------------- LL7
+
+_LL7_N = 96
+_LL7_REPS = 2
+
+_LL7_SOURCE = f"""
+// Livermore loop 7: equation of state fragment.
+int n = {_LL7_N};
+int reps = {_LL7_REPS};
+float x[{_LL7_N}];
+float y[{_LL7_N}];
+float z[{_LL7_N}];
+float u[{_LL7_N + 8}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int rep;
+    float q; float r; float tt; float e; float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n + 8; i = i + nt) {{
+        u[i] = 0.0005 * (i + 1);
+    }}
+    for (i = t; i < n; i = i + nt) {{
+        y[i] = 0.001 * (i + 3);
+        z[i] = 0.002 * (i + 4);
+    }}
+    barrier();
+    q = 0.5; r = 0.25; tt = 0.125;
+    for (rep = 0; rep < reps; rep = rep + 1) {{
+        for (i = t; i < n; i = i + nt) {{
+            e = u[i + 6] + q * (u[i + 5] + q * u[i + 4]);
+            x[i] = u[i] + r * (z[i] + r * y[i])
+                 + tt * (u[i + 3] + r * (u[i + 2] + r * u[i + 1]) + tt * e);
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + x[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll7_mirror(nthreads):
+    n = _LL7_N
+    u = [0.0005 * (i + 1) for i in range(n + 8)]
+    y = [0.001 * (i + 3) for i in range(n)]
+    z = [0.002 * (i + 4) for i in range(n)]
+    q, r, tt = 0.5, 0.25, 0.125
+    x = []
+    for i in range(n):
+        e = u[i + 6] + q * (u[i + 5] + q * u[i + 4])
+        x.append(u[i] + r * (z[i] + r * y[i])
+                 + tt * (u[i + 3] + r * (u[i + 2] + r * u[i + 1]) + tt * e))
+    return _parallel_sum(x, n, nthreads)
+
+
+LL7 = Workload("LL7", 1, _LL7_SOURCE, _ll7_mirror)
+
+# ---------------------------------------------------------------- LL12
+
+_LL12_N = 160
+_LL12_REPS = 3
+
+_LL12_SOURCE = f"""
+// Livermore loop 12: first difference.
+int n = {_LL12_N};
+int reps = {_LL12_REPS};
+float x[{_LL12_N}];
+float y[{_LL12_N + 1}];
+float partial[8];
+float checksum;
+
+void main() {{
+    int t; int nt; int i; int rep;
+    float ps;
+    t = tid(); nt = nthreads();
+    for (i = t; i < n + 1; i = i + nt) {{
+        y[i] = 0.003 * (i + 1) * (i + 1);
+    }}
+    barrier();
+    for (rep = 0; rep < reps; rep = rep + 1) {{
+        for (i = t; i < n; i = i + nt) {{
+            x[i] = y[i + 1] - y[i];
+        }}
+        barrier();
+    }}
+    ps = 0.0;
+    for (i = t; i < n; i = i + nt) {{ ps = ps + x[i]; }}
+    partial[t] = ps;
+    barrier();
+    if (t == 0) {{
+        float acc;
+        acc = 0.0;
+        for (i = 0; i < nt; i = i + 1) {{ acc = acc + partial[i]; }}
+        checksum = acc;
+    }}
+    barrier();
+}}
+"""
+
+
+def _ll12_mirror(nthreads):
+    n = _LL12_N
+    y = [0.003 * float(i + 1) * (i + 1) for i in range(n + 1)]
+    x = [y[i + 1] - y[i] for i in range(n)]
+    return _parallel_sum(x, n, nthreads)
+
+
+LL12 = Workload("LL12", 1, _LL12_SOURCE, _ll12_mirror)
+
+#: Group I in the paper's order.
+GROUP_I = [LL1, LL2, LL3, LL5, LL7, LL12]

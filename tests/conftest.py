@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+
+
+@pytest.fixture
+def quick_config():
+    """A default machine config with a small cycle guard."""
+    return MachineConfig(max_cycles=2_000_000)
+
+
+def run_both(source, nthreads=1, config=None):
+    """Assemble and run on both simulators; returns (funcsim, pipelinesim).
+
+    The pipeline's architectural end state is asserted equal to the
+    functional simulator's for every thread.
+    """
+    program = assemble(source)
+    ref = FunctionalSim(program, nthreads=nthreads)
+    ref.run()
+    config = config or MachineConfig(nthreads=nthreads, max_cycles=2_000_000)
+    if config.nthreads != nthreads:
+        config = config.replace(nthreads=nthreads)
+    sim = PipelineSim(program, config)
+    sim.run()
+    for tid in range(nthreads):
+        assert sim.regs.snapshot(tid) == ref.regs.snapshot(tid), \
+            f"register mismatch for thread {tid}"
+    return ref, sim
+
+
+def run_pipeline(source, nthreads=1, **config_kwargs):
+    """Assemble and run on the pipeline only; returns the simulator."""
+    program = assemble(source)
+    config_kwargs.setdefault("max_cycles", 2_000_000)
+    sim = PipelineSim(program, MachineConfig(nthreads=nthreads, **config_kwargs))
+    sim.run()
+    return sim

@@ -1,0 +1,196 @@
+"""Assembler tests: syntax, directives, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.asm.program import DATA_BASE
+from repro.funcsim import FunctionalSim
+from repro.isa import Op
+
+
+def run(source, nthreads=1):
+    sim = FunctionalSim(assemble(source), nthreads=nthreads)
+    sim.run()
+    return sim
+
+
+class TestDirectives:
+    def test_word_and_float_data(self):
+        prog = assemble("""
+            .data
+        a:  .word 1, 2, -3
+        b:  .float 1.5, -2.5
+            .text
+            halt
+        """)
+        assert prog.data == [1, 2, -3, 1.5, -2.5]
+        assert prog.symbol("a") == DATA_BASE
+        assert prog.symbol("b") == DATA_BASE + 3
+
+    def test_space_zero_fills(self):
+        prog = assemble(".data\nbuf: .space 5\n.text\nhalt\n")
+        assert prog.data == [0] * 5
+
+    def test_align_pads_to_boundary(self):
+        prog = assemble("""
+            .data
+        a:  .word 1, 2, 3
+            .align 8
+        b:  .word 9
+            .text
+            halt
+        """)
+        assert prog.symbol("b") == 8
+        assert prog.data[8] == 9
+
+    def test_entry_sets_start_pc(self):
+        prog = assemble("""
+            .entry start
+            .text
+        other: halt
+        start: halt
+        """)
+        assert prog.entry == prog.symbol("start") == 1
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n.bogus 1\n.text\nhalt")
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nx: nop\nx: halt")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nj nowhere\nhalt")
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble(".text\nfoo: halt\n")
+        assert prog.symbol("foo") == 0
+
+    def test_multiple_labels_same_address(self):
+        prog = assemble(".text\na: b: halt\n")
+        assert prog.symbol("a") == prog.symbol("b") == 0
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_one_instruction(self):
+        prog = assemble(".text\nli r4, 100\nhalt")
+        assert len(prog) == 2
+        assert prog.instructions[0].op is Op.ADDI
+
+    def test_li_large_expands_to_lui_addi(self):
+        sim = run(".text\nli r4, 100000\nhalt")
+        assert sim.reg(0, 4) == 100000
+
+    def test_li_negative_large(self):
+        sim = run(".text\nli r4, -100000\nhalt")
+        assert sim.reg(0, 4) == -100000
+
+    def test_la_resolves_data_address(self):
+        sim = run("""
+            .data
+        x:  .word 42
+            .text
+            la r4, x
+            lw r5, 0(r4)
+            halt
+        """)
+        assert sim.reg(0, 5) == 42
+
+    def test_mov_not_neg(self):
+        sim = run("""
+            .text
+            li r4, 5
+            mov r5, r4
+            not r6, r4
+            neg r7, r4
+            halt
+        """)
+        assert sim.reg(0, 5) == 5
+        assert sim.reg(0, 6) == ~5
+        assert sim.reg(0, 7) == -5
+
+    def test_branch_pseudos(self):
+        sim = run("""
+            .text
+            li r4, 5
+            li r5, 3
+            li r6, 0
+            bgt r4, r5, took       # 5 > 3: taken
+            li r6, 99
+        took:
+            li r7, 0
+            ble r4, r5, nottaken   # 5 <= 3: not taken
+            li r7, 1
+        nottaken:
+            halt
+        """)
+        assert sim.reg(0, 6) == 0
+        assert sim.reg(0, 7) == 1
+
+    def test_beqz_bnez(self):
+        sim = run("""
+            .text
+            li r4, 0
+            li r5, 1
+            beqz r4, a
+            li r6, 99
+        a:  bnez r5, b
+            li r7, 99
+        b:  halt
+        """)
+        assert sim.reg(0, 6) == 0
+        assert sim.reg(0, 7) == 0
+
+    def test_call_ret(self):
+        sim = run("""
+            .text
+            li r4, 10
+            call double
+            mov r6, r4
+            halt
+        double:
+            add r4, r4, r4
+            ret
+        """)
+        assert sim.reg(0, 6) == 20
+
+
+class TestErrors:
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nadd r200, r0, r0\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nadd r1, r2\nhalt")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble(".text\naddi r1, r0, 100000\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nlw r1, r2\nhalt")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AsmError):
+            assemble(".data\nadd r1, r2, r3\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble(".text\nnop\nbogus r1\nhalt")
+
+
+class TestComments:
+    def test_hash_and_semicolon_comments(self):
+        prog = assemble("""
+            .text
+            nop       # comment
+            nop       ; other comment
+            halt
+        """)
+        assert len(prog) == 3

@@ -1,0 +1,136 @@
+"""Branch-predictor unit tests."""
+
+import pytest
+
+from repro.core import BranchPredictor
+
+
+def test_initial_state_weakly_taken():
+    bp = BranchPredictor(bits=2, entries=16)
+    assert bp.predict(0) is True
+
+
+def test_two_not_taken_flip_prediction():
+    bp = BranchPredictor(bits=2, entries=16)
+    bp.update(0, taken=False)
+    bp.update(0, taken=False)
+    assert bp.predict(0) is False
+
+
+def test_saturation():
+    bp = BranchPredictor(bits=2, entries=16)
+    for _ in range(10):
+        bp.update(0, taken=True)
+    bp.update(0, taken=False)
+    assert bp.predict(0) is True  # one not-taken cannot flip a saturated counter
+
+
+def test_hysteresis_after_saturation():
+    bp = BranchPredictor(bits=2, entries=16)
+    for _ in range(4):
+        bp.update(0, taken=False)
+    bp.update(0, taken=True)
+    assert bp.predict(0) is False
+    bp.update(0, taken=True)
+    assert bp.predict(0) is True
+
+
+def test_one_bit_predictor():
+    bp = BranchPredictor(bits=1, entries=16)
+    bp.update(0, taken=False)
+    assert bp.predict(0) is False
+    bp.update(0, taken=True)
+    assert bp.predict(0) is True
+
+
+def test_indexing_aliases_modulo_entries():
+    bp = BranchPredictor(bits=2, entries=16)
+    bp.update(0, taken=False)
+    bp.update(16, taken=False)  # same counter
+    assert bp.predict(0) is False
+
+
+def test_shared_table_across_threads():
+    bp = BranchPredictor(bits=2, entries=16, nthreads=4, shared=True)
+    bp.update(3, taken=False, tid=0)
+    bp.update(3, taken=False, tid=1)
+    assert bp.predict(3, tid=2) is False
+
+
+def test_per_thread_tables_isolated():
+    bp = BranchPredictor(bits=2, entries=16, nthreads=2, shared=False)
+    bp.update(3, taken=False, tid=0)
+    bp.update(3, taken=False, tid=0)
+    assert bp.predict(3, tid=0) is False
+    assert bp.predict(3, tid=1) is True
+
+
+def test_btb_lookup_and_update():
+    bp = BranchPredictor(btb_entries=8)
+    assert bp.btb_lookup(5) is None
+    bp.btb_update(5, 123)
+    assert bp.btb_lookup(5) == 123
+    assert bp.btb_lookup(13) == 123  # aliases modulo 8
+
+
+def test_accuracy_statistic():
+    bp = BranchPredictor()
+    bp.record_outcome(True, True)
+    bp.record_outcome(True, False)
+    assert bp.accuracy == 0.5
+    assert BranchPredictor().accuracy == 1.0
+
+
+def test_rejects_zero_bits():
+    with pytest.raises(ValueError):
+        BranchPredictor(bits=0)
+
+
+class TestGshare:
+    def test_gshare_uses_history(self):
+        from repro.core import BranchPredictor
+        bp = BranchPredictor(bits=2, entries=16, kind="gshare")
+        # Train an alternating pattern at one PC: bimodal cannot learn
+        # it, gshare (history-indexed) can.
+        for _ in range(40):
+            bp.update(3, taken=True)
+            bp.update(3, taken=False)
+        # After training, prediction should follow the alternation.
+        hits = 0
+        for i in range(20):
+            taken = i % 2 == 0
+            if bp.predict(3) == taken:
+                hits += 1
+            bp.update(3, taken)
+        assert hits >= 15
+
+    def test_bimodal_cannot_learn_alternation(self):
+        from repro.core import BranchPredictor
+        bp = BranchPredictor(bits=2, entries=16, kind="bimodal")
+        hits = 0
+        for i in range(40):
+            taken = i % 2 == 0
+            if bp.predict(3) == taken:
+                hits += 1
+            bp.update(3, taken)
+        assert hits <= 25
+
+    def test_unknown_kind_rejected(self):
+        import pytest
+        from repro.core import BranchPredictor
+        with pytest.raises(ValueError):
+            BranchPredictor(kind="nonsense")
+
+    def test_pipeline_runs_with_gshare(self):
+        from repro.core import MachineConfig
+        from tests.conftest import run_both
+        config = MachineConfig(nthreads=2, predictor_kind="gshare",
+                               max_cycles=500_000)
+        run_both("""
+            .text
+            li r4, 0
+            li r5, 30
+        lp: addi r4, r4, 1
+            blt r4, r5, lp
+            halt
+        """, nthreads=2, config=config)

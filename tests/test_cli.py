@@ -1,0 +1,97 @@
+"""CLI tests (in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+        .data
+    out: .word 0
+        .text
+        li r4, 21
+        add r4, r4, r4
+        la r5, out
+        sw r4, 0(r5)
+        halt
+    """)
+    return str(path)
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("""
+    int out;
+    void main() { out = 6 * 7; }
+    """)
+    return str(path)
+
+
+def test_asm_listing(asm_file, capsys):
+    assert main(["asm", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "addi r4, r0, 21" in out
+    assert "halt" in out
+
+
+def test_cc_prints_assembly(minic_file, capsys):
+    assert main(["cc", minic_file]) == 0
+    out = capsys.readouterr().out
+    assert "f_main:" in out
+    assert "g_out" in out
+
+
+def test_run_assembly_pipeline(asm_file, capsys):
+    assert main(["run", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "IPC" in out
+
+
+def test_run_minic_multithreaded(minic_file, capsys):
+    assert main(["run", minic_file, "--threads", "2",
+                 "--policy", "masked_rr"]) == 0
+    out = capsys.readouterr().out
+    assert "per-thread retired" in out
+
+
+def test_run_functional(asm_file, capsys):
+    assert main(["run", asm_file, "--functional"]) == 0
+    out = capsys.readouterr().out
+    assert "functional run complete" in out
+
+
+def test_bench_verifies(capsys):
+    assert main(["bench", "LL3", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+
+
+def test_bench_unknown_name(capsys):
+    assert main(["bench", "Nope"]) == 2
+
+
+def test_workloads_lists_all(capsys):
+    assert main(["workloads"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 13  # the paper's 11 + 2 extras
+    assert sum(1 for line in lines if "extra" in line) == 2
+
+
+def test_run_with_config_flags(asm_file, capsys):
+    assert main(["run", asm_file, "--su", "32", "--cache-assoc", "1",
+                 "--cache-kb", "1", "--enhanced-fus", "--commit",
+                 "lowest_only"]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_run_with_alignment(asm_file, capsys):
+    assert main(["run", asm_file, "--align"]) == 0
+
+
+def test_bench_extra_workload(capsys):
+    assert main(["bench", "LL11", "--threads", "2"]) == 0
+    assert "verified" in capsys.readouterr().out

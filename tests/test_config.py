@@ -1,0 +1,67 @@
+"""Machine-configuration tests."""
+
+import pytest
+
+from repro.core import CommitPolicy, FetchPolicy, MachineConfig
+from repro.core.config import FU_DEFAULT, FU_ENHANCED, FU_LATENCY
+from repro.isa.opcodes import FuClass
+
+
+def test_defaults_match_paper_table_2():
+    config = MachineConfig()
+    assert config.nthreads == 4
+    assert config.fetch_policy is FetchPolicy.TRUE_RR
+    assert config.commit_policy is CommitPolicy.FLEXIBLE
+    assert config.commit_blocks == 4
+    assert config.su_entries == 64
+    assert config.issue_width == 8
+    assert config.writeback_width == 8
+    assert config.store_buffer_depth == 8
+    assert config.bypassing and config.renaming
+    assert config.predictor_bits == 2
+
+
+def test_enhanced_fus_superset_of_default():
+    for cls, count in FU_DEFAULT.items():
+        assert FU_ENHANCED[cls] >= count
+    assert FU_ENHANCED[FuClass.IALU] == FU_DEFAULT[FuClass.IALU] + 2
+
+
+def test_every_class_has_latency():
+    assert set(FU_LATENCY) == set(FU_DEFAULT)
+    assert all(lat >= 1 for lat in FU_LATENCY.values())
+
+
+def test_lowest_only_forces_single_commit_block():
+    config = MachineConfig(commit_policy=CommitPolicy.LOWEST_ONLY,
+                           commit_blocks=4)
+    assert config.commit_blocks == 1
+
+
+def test_string_policies_accepted():
+    config = MachineConfig(fetch_policy="masked_rr", commit_policy="flexible")
+    assert config.fetch_policy is FetchPolicy.MASKED_RR
+
+
+def test_su_entries_must_be_block_multiple():
+    with pytest.raises(ValueError):
+        MachineConfig(su_entries=30)
+
+
+def test_store_buffer_must_fit_a_block():
+    with pytest.raises(ValueError):
+        MachineConfig(store_buffer_depth=2)
+
+
+def test_replace_overrides_and_preserves():
+    base = MachineConfig(nthreads=2, su_entries=128)
+    derived = base.replace(nthreads=6)
+    assert derived.nthreads == 6
+    assert derived.su_entries == 128
+    assert base.nthreads == 2
+
+
+def test_describe_mentions_key_fields():
+    text = MachineConfig().describe()
+    assert "threads=4" in text
+    assert "SU=64" in text

@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "multithreading speedup" in out
+    assert "Cycle-accurate simulation" in out
+
+
+def test_compiler_tour():
+    out = run_example("compiler_tour.py")
+    assert "Encoded text segment" in out
+    assert "f_main" in out
+
+
+def test_configs():
+    out = run_example("configs.py")
+    assert "Table 1" in out
+    assert "int_alu" in out
+
+
+@pytest.mark.slow
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "dot product" in out
+
+
+@pytest.mark.slow
+def test_fetch_policy_study():
+    out = run_example("fetch_policy_study.py")
+    assert "TrueRR" in out
+
+
+def test_pipeline_trace_example():
+    out = run_example("pipeline_trace.py")
+    assert "cycles" in out and "D=decode" in out
+
+
+@pytest.mark.slow
+def test_workload_mix_example():
+    out = run_example("workload_mix.py")
+    assert "Instruction mix" in out and "Water" in out

@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import importlib.util
+import pathlib
+
+_SPEC = importlib.util.spec_from_file_location(
+    "generate_experiments",
+    pathlib.Path(__file__).resolve().parent.parent / "tools"
+    / "generate_experiments.py")
+genexp = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(genexp)
+
+GROUP1 = genexp.GROUP1
+GROUP2 = genexp.GROUP2
+
+
+def _fake_results():
+    names = GROUP1 + GROUP2
+    series = lambda v: {n: v for n in names}
+    sweep = {str(t): series(1000 + t) for t in range(1, 7)}
+    return {
+        "fig3": {k: {n: 100 for n in GROUP1}
+                 for k in ("TrueRR", "MaskedRR", "CSwitch", "BaseCase")},
+        "fig5": {str(t): {n: 1000 - t for n in GROUP1}
+                 for t in range(1, 7)},
+        "speedup_summary": {n: {"peak": 0.25, "best_threads": 3}
+                            for n in names},
+        "ablation_commit_depth": {"1": 400, "2": 390, "4": 380, "8": 379},
+    }
+
+
+def test_build_with_partial_results():
+    text = genexp.build(_fake_results())
+    assert "# EXPERIMENTS" in text
+    assert "Figure 3" in text
+    assert "Figure 5" in text
+    assert "peak improvement" in text
+    assert "Commit-window depth" in text
+    # Missing experiments degrade gracefully.
+    assert "not in results.json" in text
+
+
+def test_markdown_tables_well_formed():
+    text = genexp.build(_fake_results())
+    for line in text.splitlines():
+        if line.startswith("|"):
+            assert line.endswith("|")
+
+
+def test_helpers():
+    assert genexp.fmt(1234) == "1,234"
+    assert genexp.pct(0.256) == "+25.6%"
+    table = genexp.table(["a", "b"], [[1, 2]])
+    assert table.count("\n") == 2

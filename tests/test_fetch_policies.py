@@ -1,0 +1,155 @@
+"""Fetch-unit tests: block formation and the three fetch policies."""
+
+from repro.asm import assemble
+from repro.core import BranchPredictor, MachineConfig, FetchPolicy
+from repro.core.fetch import FetchUnit, ThreadContext
+from repro.isa.opcodes import Op
+
+
+def make_unit(source, policy=FetchPolicy.TRUE_RR, nthreads=2, **cfg):
+    program = assemble(source)
+    config = MachineConfig(nthreads=nthreads, fetch_policy=policy, **cfg)
+    predictor = BranchPredictor(nthreads=nthreads)
+    threads = [ThreadContext(tid, program.entry) for tid in range(nthreads)]
+    return FetchUnit(config, program, predictor, threads), threads
+
+
+STRAIGHT = ".text\n" + "nop\n" * 16 + "halt\n"
+
+
+class TestBlockFetch:
+    def test_aligned_block_of_four(self):
+        unit, threads = make_unit(STRAIGHT)
+        block = unit.fetch_block(threads[0])
+        assert [item.pc for item in block] == [0, 1, 2, 3]
+        assert threads[0].pc == 4
+
+    def test_misaligned_fetch_truncated_at_boundary(self):
+        unit, threads = make_unit(STRAIGHT)
+        threads[0].pc = 2
+        block = unit.fetch_block(threads[0])
+        assert [item.pc for item in block] == [2, 3]
+
+    def test_block_ends_after_direct_jump(self):
+        unit, threads = make_unit(".text\nnop\nj target\nnop\nnop\ntarget: halt\n")
+        block = unit.fetch_block(threads[0])
+        assert [item.pc for item in block] == [0, 1]
+        assert threads[0].pc == 4  # jump target
+
+    def test_predicted_taken_branch_ends_block(self):
+        # 2-bit predictor boots weakly-taken.
+        unit, threads = make_unit(
+            ".text\nbeq r0, r0, target\nnop\nnop\nnop\ntarget: halt\n")
+        block = unit.fetch_block(threads[0])
+        assert len(block) == 1
+        assert block[0].predicted_taken
+        assert threads[0].pc == 4
+
+    def test_predicted_not_taken_branch_continues_block(self):
+        unit, threads = make_unit(
+            ".text\nbeq r0, r0, 3\nnop\nnop\nnop\nhalt\n")
+        unit.predictor.update(0, taken=False)
+        unit.predictor.update(0, taken=False)
+        block = unit.fetch_block(threads[0])
+        assert [item.pc for item in block] == [0, 1, 2, 3]
+
+    def test_halt_stops_fetching(self):
+        unit, threads = make_unit(".text\nnop\nhalt\nnop\nnop\n")
+        block = unit.fetch_block(threads[0])
+        assert [item.instr.op for item in block] == [Op.ADD, Op.HALT]
+        assert threads[0].fetch_halted
+
+    def test_jalr_without_btb_stalls_thread(self):
+        unit, threads = make_unit(".text\njalr r0, r4\nhalt\n")
+        block = unit.fetch_block(threads[0])
+        assert block[-1].instr.op is Op.JALR
+        assert threads[0].jalr_wait is not None
+        assert not threads[0].fetchable()
+
+    def test_jalr_with_btb_prediction_continues(self):
+        unit, threads = make_unit(".text\njalr r0, r4\nhalt\n")
+        unit.predictor.btb_update(0, 1)
+        unit.fetch_block(threads[0])
+        assert threads[0].jalr_wait is None
+        assert threads[0].pc == 1
+
+    def test_running_off_the_end_halts_fetch(self):
+        unit, threads = make_unit(".text\nnop\nnop\n")
+        threads[0].pc = 2
+        assert unit.fetch_block(threads[0]) == []
+        assert threads[0].fetch_halted
+
+
+class TestTrueRoundRobin:
+    def test_cycles_through_threads(self):
+        unit, threads = make_unit(STRAIGHT, nthreads=2)
+        picked = [unit.select_thread(cycle).tid for cycle in range(4)]
+        assert picked == [0, 1, 0, 1]
+
+    def test_unfetchable_thread_wastes_slot(self):
+        unit, threads = make_unit(STRAIGHT, nthreads=2)
+        threads[0].fetch_halted = True
+        results = [unit.select_thread(cycle) for cycle in range(4)]
+        assert [r.tid if r else None for r in results] == [None, 1, None, 1]
+
+
+class TestMaskedRoundRobin:
+    def test_masked_thread_skipped(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.MASKED_RR,
+                                  nthreads=3)
+        unit.set_mask(1, True)
+        picked = [unit.select_thread(c).tid for c in range(4)]
+        assert picked == [0, 2, 0, 2]
+
+    def test_unmasking_restores_thread(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.MASKED_RR,
+                                  nthreads=2)
+        unit.set_mask(0, True)
+        assert unit.select_thread(0).tid == 1
+        unit.set_mask(0, False)
+        assert unit.select_thread(1).tid == 0
+
+    def test_all_masked_yields_none(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.MASKED_RR,
+                                  nthreads=2)
+        unit.set_mask(0, True)
+        unit.set_mask(1, True)
+        assert unit.select_thread(0) is None
+
+
+class TestConditionalSwitch:
+    def test_sticks_to_current_thread(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.COND_SWITCH,
+                                  nthreads=3)
+        picked = [unit.select_thread(c).tid for c in range(3)]
+        assert picked == [0, 0, 0]
+
+    def test_trigger_rotates_thread(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.COND_SWITCH,
+                                  nthreads=3)
+        assert unit.select_thread(0).tid == 0
+        unit.note_switch_trigger()
+        assert unit.select_thread(1).tid == 1
+        assert unit.select_thread(2).tid == 1
+
+    def test_unfetchable_current_advances(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.COND_SWITCH,
+                                  nthreads=2)
+        threads[0].fetch_halted = True
+        assert unit.select_thread(0).tid == 1
+
+    def test_trigger_ignored_by_other_policies(self):
+        unit, threads = make_unit(STRAIGHT, policy=FetchPolicy.TRUE_RR,
+                                  nthreads=2)
+        unit.note_switch_trigger()
+        assert not unit._switch_pending
+
+
+class TestRedirect:
+    def test_redirect_clears_stall_state(self):
+        thread = ThreadContext(0, 0)
+        thread.fetch_halted = True
+        thread.jalr_wait = 7
+        thread.redirect(42)
+        assert thread.pc == 42
+        assert thread.fetchable()

@@ -1,0 +1,206 @@
+"""Functional-simulator tests: per-instruction semantics and threading."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.funcsim import FunctionalSim, SimFault
+
+
+def run(source, nthreads=1):
+    sim = FunctionalSim(assemble(source), nthreads=nthreads)
+    sim.run()
+    return sim
+
+
+class TestControlFlow:
+    def test_backward_loop(self):
+        sim = run("""
+            .text
+            li r4, 0
+            li r5, 10
+        loop:
+            addi r4, r4, 1
+            blt r4, r5, loop
+            halt
+        """)
+        assert sim.reg(0, 4) == 10
+
+    def test_jal_links_and_jalr_returns(self):
+        sim = run("""
+            .text
+            jal r1, func
+            mov r6, r4
+            halt
+        func:
+            li r4, 77
+            jalr r0, r1
+        """)
+        assert sim.reg(0, 6) == 77
+
+    def test_j_is_unconditional(self):
+        sim = run("""
+            .text
+            li r4, 1
+            j skip
+            li r4, 99
+        skip:
+            halt
+        """)
+        assert sim.reg(0, 4) == 1
+
+    def test_pc_out_of_range_faults(self):
+        program = assemble(".text\nnop\n")  # falls off the end
+        sim = FunctionalSim(program)
+        with pytest.raises(SimFault):
+            sim.run()
+
+
+class TestMemoryOps:
+    def test_store_load(self):
+        sim = run("""
+            .data
+        buf: .space 4
+            .text
+            la r4, buf
+            li r5, 123
+            sw r5, 2(r4)
+            lw r6, 2(r4)
+            halt
+        """)
+        assert sim.reg(0, 6) == 123
+
+    def test_float_memory(self):
+        sim = run("""
+            .data
+        f:  .float 2.5
+            .text
+            la r4, f
+            flw r5, 0(r4)
+            fadd r5, r5, r5
+            fsw r5, 0(r4)
+            halt
+        """)
+        assert sim.mem(sim.program.symbol("f")) == 5.0
+
+    def test_tas_reads_old_value_and_sets(self):
+        sim = run("""
+            .data
+        l:  .word 0
+            .text
+            la r4, l
+            tas r5, 0(r4)
+            tas r6, 0(r4)
+            halt
+        """)
+        assert sim.reg(0, 5) == 0
+        assert sim.reg(0, 6) == 1
+        assert sim.mem(sim.program.symbol("l")) == 1
+
+
+class TestMultithreading:
+    def test_threads_have_private_registers(self):
+        sim = run("""
+            .text
+            mftid r4
+            addi r4, r4, 100
+            halt
+        """, nthreads=4)
+        for tid in range(4):
+            assert sim.reg(tid, 4) == tid + 100
+
+    def test_mfnth(self):
+        sim = run(".text\nmfnth r4\nhalt\n", nthreads=3)
+        assert all(sim.reg(t, 4) == 3 for t in range(3))
+
+    def test_threads_share_memory(self):
+        sim = run("""
+            .data
+        arr: .space 8
+            .text
+            la r4, arr
+            mftid r5
+            add r4, r4, r5
+            addi r6, r5, 50
+            sw r6, 0(r4)
+            halt
+        """, nthreads=4)
+        base = sim.program.symbol("arr")
+        assert sim.mem(base, 4) == [50, 51, 52, 53]
+
+    def test_spin_lock_mutual_exclusion(self):
+        # Every thread increments a shared counter 10 times under a lock.
+        sim = run("""
+            .data
+        lock: .word 0
+        count: .word 0
+            .text
+            li r10, 0
+            li r11, 10
+            la r4, lock
+            la r5, count
+        again:
+            tas r6, 0(r4)
+            bnez r6, again
+            lw r7, 0(r5)
+            addi r7, r7, 1
+            sw r7, 0(r5)
+            sw r0, 0(r4)
+            addi r10, r10, 1
+            blt r10, r11, again
+            halt
+        """, nthreads=4)
+        assert sim.mem(sim.program.symbol("count")) == 40
+
+    def test_run_reports_total_steps(self):
+        sim = run(".text\nnop\nnop\nhalt\n", nthreads=2)
+        assert sim.steps == 6
+
+    def test_max_steps_guard(self):
+        program = assemble(".text\nspin: j spin\n")
+        sim = FunctionalSim(program)
+        with pytest.raises(SimFault):
+            sim.run(max_steps=100)
+
+
+class TestProgramLoading:
+    def test_data_image_loaded(self):
+        sim = FunctionalSim(assemble(".data\nx: .word 9, 8\n.text\nhalt\n"))
+        assert sim.mem(0, 2) == [9, 8]
+
+    def test_entry_point_honoured(self):
+        sim = run("""
+            .entry start
+            .text
+        dead:
+            li r4, 99
+            halt
+        start:
+            li r4, 1
+            halt
+        """)
+        assert sim.reg(0, 4) == 1
+
+
+class TestInstrumentation:
+    def test_opcode_counts(self):
+        sim = run(".text\nli r4, 1\nadd r5, r4, r4\nadd r6, r4, r4\nhalt\n")
+        assert sim.opcode_counts["ADD"] == 2
+        assert sim.opcode_counts["ADDI"] == 1
+        assert sim.opcode_counts["HALT"] == 1
+
+    def test_instruction_mix_fractions(self):
+        sim = run("""
+            .data
+        b: .space 4
+            .text
+            la r4, b
+            lw r5, 0(r4)
+            sw r5, 1(r4)
+            fadd r6, r5, r5
+            mul r7, r5, r5
+            halt
+        """)
+        mix = sim.instruction_mix()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+        assert mix["load"] > 0 and mix["store"] > 0
+        assert mix["fp"] > 0 and mix["mul_div"] > 0

@@ -1,0 +1,72 @@
+"""Instruction-cache modeling tests (the paper assumes a perfect
+I-cache; we make that assumption a measurable option)."""
+
+from repro.asm import assemble
+from repro.core import MachineConfig, PipelineSim
+from repro.mem.cache import CacheConfig
+
+LOOP = """
+    .text
+    li r4, 0
+    li r5, 40
+lp: addi r4, r4, 1
+    blt r4, r5, lp
+    halt
+"""
+
+
+def run(source, icache=None, nthreads=1):
+    program = assemble(source)
+    config = MachineConfig(nthreads=nthreads, icache=icache,
+                           max_cycles=1_000_000)
+    sim = PipelineSim(program, config)
+    stats = sim.run()
+    return sim, stats
+
+
+def test_perfect_icache_by_default():
+    sim, stats = run(LOOP)
+    assert sim.icache is None
+    assert stats.icache_hit_rate == 1.0
+
+
+def test_real_icache_architecturally_identical():
+    base_sim, _ = run(LOOP)
+    icache_sim, _ = run(LOOP, icache=CacheConfig(size_bytes=512))
+    assert base_sim.regs.snapshot(0) == icache_sim.regs.snapshot(0)
+
+
+def test_icache_misses_cost_cycles():
+    __, perfect = run(LOOP)
+    __, real = run(LOOP, icache=CacheConfig(size_bytes=512))
+    assert real.cycles > perfect.cycles
+    assert real.icache_accesses > 0
+    assert real.icache_hit_rate < 1.0
+
+
+def test_loop_body_hits_after_first_miss():
+    __, stats = run(LOOP, icache=CacheConfig(size_bytes=512))
+    # A tight loop fits in one or two lines: hit rate must be high.
+    assert stats.icache_hit_rate > 0.8
+
+
+def test_tiny_icache_thrashes_large_code():
+    # Straight-line code much bigger than a 2-line cache: every block
+    # fetch misses.
+    source = ".text\n" + "nop\n" * 256 + "halt\n"
+    __, stats = run(source, icache=CacheConfig(size_bytes=64, assoc=1,
+                                               line_words=8))
+    assert stats.icache_hit_rate < 0.8
+
+
+def test_multithreaded_with_icache_completes():
+    source = """
+        .text
+        mftid r4
+        li r5, 10
+    lp: addi r5, r5, -1
+        bnez r5, lp
+        halt
+    """
+    sim, stats = run(source, icache=CacheConfig(size_bytes=512), nthreads=4)
+    assert all(t.done for t in sim.threads)

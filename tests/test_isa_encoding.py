@@ -1,0 +1,95 @@
+"""Encoding/decoding tests, including exhaustive and property-based roundtrips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Op, OPCODE_INFO, decode, encode
+from repro.isa.encoding import EncodingError, IMM12_MAX, IMM12_MIN, IMM19_MAX, IMM19_MIN
+from repro.isa.opcodes import Format
+
+_regs = st.integers(min_value=0, max_value=127)
+_imm12 = st.integers(min_value=IMM12_MIN, max_value=IMM12_MAX)
+_imm19 = st.integers(min_value=IMM19_MIN, max_value=IMM19_MAX)
+
+
+def _random_instruction(draw):
+    op = draw(st.sampled_from(sorted(Op)))
+    info = OPCODE_INFO[op]
+    fmt = info.fmt
+    if fmt is Format.R:
+        return Instruction(op, rd=draw(_regs), rs1=draw(_regs), rs2=draw(_regs))
+    if fmt in (Format.I, Format.L):
+        return Instruction(op, rd=draw(_regs), rs1=draw(_regs), imm=draw(_imm12))
+    if fmt is Format.S:
+        return Instruction(op, rs2=draw(_regs), rs1=draw(_regs), imm=draw(_imm12))
+    if fmt is Format.B:
+        return Instruction(op, rs1=draw(_regs), rs2=draw(_regs), imm=draw(_imm12))
+    if fmt is Format.J:
+        rd = draw(_regs) if op is Op.JAL else 0
+        return Instruction(op, rd=rd, imm=draw(_imm19))
+    if fmt is Format.JR:
+        return Instruction(op, rd=draw(_regs), rs1=draw(_regs))
+    if fmt is Format.X:
+        return Instruction(op, rd=draw(_regs))
+    return Instruction(op)
+
+
+@given(st.data())
+def test_roundtrip_random(data):
+    instr = _random_instruction(data.draw)
+    assert decode(encode(instr)) == instr
+
+
+def test_roundtrip_every_opcode():
+    for op in Op:
+        info = OPCODE_INFO[op]
+        fmt = info.fmt
+        if fmt is Format.R:
+            instr = Instruction(op, rd=5, rs1=6, rs2=7)
+        elif fmt in (Format.I, Format.L):
+            instr = Instruction(op, rd=5, rs1=6, imm=-7)
+        elif fmt is Format.S:
+            instr = Instruction(op, rs2=5, rs1=6, imm=-7)
+        elif fmt is Format.B:
+            instr = Instruction(op, rs1=5, rs2=6, imm=-7)
+        elif fmt is Format.J:
+            instr = Instruction(op, rd=5 if op is Op.JAL else 0, imm=1234)
+        elif fmt is Format.JR:
+            instr = Instruction(op, rd=5, rs1=6)
+        elif fmt is Format.X:
+            instr = Instruction(op, rd=5)
+        else:
+            instr = Instruction(op)
+        assert decode(encode(instr)) == instr
+
+
+def test_encode_rejects_out_of_range_register():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADD, rd=128, rs1=0, rs2=0))
+
+
+def test_encode_rejects_out_of_range_immediate():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=1, rs1=0, imm=5000))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=1, rs1=0, imm=-3000))
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(EncodingError):
+        decode(63 << 26)
+
+
+def test_negative_immediates_sign_extend():
+    word = encode(Instruction(Op.ADDI, rd=1, rs1=2, imm=-1))
+    assert decode(word).imm == -1
+    word = encode(Instruction(Op.J, imm=-4))
+    assert decode(word).imm == -4
+
+
+def test_instructions_are_32_bit():
+    for op in Op:
+        fmt = OPCODE_INFO[op].fmt
+        instr = Instruction(op) if fmt is Format.N else Instruction(
+            op, rd=1 if fmt is not Format.S else 0, rs1=1)
+        assert 0 <= encode(instr) < (1 << 32)

@@ -1,0 +1,93 @@
+"""Opcode-table metadata invariants."""
+
+from repro.isa import Op, OPCODE_INFO
+from repro.isa.instruction import Instruction, nop
+from repro.isa.opcodes import Format, FuClass, MNEMONIC_INFO
+
+
+def test_every_opcode_has_info():
+    assert set(OPCODE_INFO) == set(Op)
+
+
+def test_mnemonics_unique_and_lowercase():
+    assert len(MNEMONIC_INFO) == len(OPCODE_INFO)
+    for mnemonic in MNEMONIC_INFO:
+        assert mnemonic == mnemonic.lower()
+
+
+def test_switch_triggers_match_paper():
+    """Integer divide, FP multiply/divide, and the sync primitive."""
+    triggers = {op for op, info in OPCODE_INFO.items() if info.switch_trigger}
+    assert triggers == {Op.DIV, Op.REM, Op.FMUL, Op.FDIV, Op.TAS}
+
+
+def test_tas_is_sync_load_and_store():
+    info = OPCODE_INFO[Op.TAS]
+    assert info.is_sync and info.is_load and info.is_store and info.is_mem
+
+
+def test_control_classification():
+    for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        assert OPCODE_INFO[op].is_branch
+        assert OPCODE_INFO[op].is_control
+    for op in (Op.J, Op.JAL, Op.JALR):
+        assert OPCODE_INFO[op].is_jump
+        assert OPCODE_INFO[op].is_control
+    assert OPCODE_INFO[Op.HALT].is_control
+    assert not OPCODE_INFO[Op.ADD].is_control
+
+
+def test_memory_ops_use_memory_units():
+    for op, info in OPCODE_INFO.items():
+        if info.is_load:
+            assert info.fu is FuClass.LOAD
+        elif info.is_store:
+            assert info.fu is FuClass.STORE
+
+
+def test_control_ops_use_ct_unit():
+    for op, info in OPCODE_INFO.items():
+        if info.is_control:
+            assert info.fu is FuClass.CT
+
+
+def test_sources_and_dest_consistent_with_format():
+    cases = {
+        Format.R: (Instruction(Op.ADD, rd=1, rs1=2, rs2=3), (2, 3), 1),
+        Format.I: (Instruction(Op.ADDI, rd=1, rs1=2, imm=5), (2,), 1),
+        Format.L: (Instruction(Op.LW, rd=1, rs1=2, imm=0), (2,), 1),
+        Format.S: (Instruction(Op.SW, rs2=3, rs1=2, imm=0), (2, 3), None),
+        Format.B: (Instruction(Op.BEQ, rs1=2, rs2=3, imm=0), (2, 3), None),
+        Format.JR: (Instruction(Op.JALR, rd=1, rs1=2), (2,), 1),
+        Format.X: (Instruction(Op.MFTID, rd=1), (), 1),
+        Format.N: (Instruction(Op.HALT), (), None),
+    }
+    for fmt, (instr, sources, dest) in cases.items():
+        assert instr.info.fmt is fmt
+        assert instr.sources() == sources
+        assert instr.dest() == dest
+
+
+def test_unary_fp_ops_read_one_source():
+    for op in (Op.CVTIF, Op.CVTFI, Op.FNEG):
+        instr = Instruction(op, rd=1, rs1=2)
+        assert instr.sources() == (2,)
+
+
+def test_jal_writes_link_j_does_not():
+    assert Instruction(Op.JAL, rd=1, imm=0).dest() == 1
+    assert Instruction(Op.J, imm=0).dest() is None
+
+
+def test_nop_is_add_zero():
+    instr = nop()
+    assert instr.op is Op.ADD
+    assert instr.dest() == 0
+
+
+def test_instruction_text_roundtrips_equality():
+    a = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+    b = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+    c = Instruction(Op.ADD, rd=1, rs1=2, rs2=4)
+    assert a == b and hash(a) == hash(b)
+    assert a != c

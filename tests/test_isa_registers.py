@@ -1,0 +1,64 @@
+"""Register-file partitioning tests."""
+
+import pytest
+
+from repro.isa import NUM_PHYSICAL_REGS, RegisterFile, regs_per_thread
+
+
+def test_partition_sizes():
+    assert regs_per_thread(1) == 128
+    assert regs_per_thread(2) == 64
+    assert regs_per_thread(4) == 32
+    assert regs_per_thread(6) == 21
+
+
+def test_partition_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        regs_per_thread(0)
+    with pytest.raises(ValueError):
+        regs_per_thread(NUM_PHYSICAL_REGS + 1)
+
+
+def test_threads_have_disjoint_registers():
+    rf = RegisterFile(4)
+    for tid in range(4):
+        rf.write(tid, 5, tid * 100 + 5)
+    for tid in range(4):
+        assert rf.read(tid, 5) == tid * 100 + 5
+
+
+def test_physical_mapping_is_tid_times_k():
+    rf = RegisterFile(4)
+    assert rf.k == 32
+    assert rf.physical(0, 0) == 0
+    assert rf.physical(1, 0) == 32
+    assert rf.physical(3, 31) == 127
+
+
+def test_r0_is_hardwired_zero():
+    rf = RegisterFile(2)
+    rf.write(0, 0, 99)
+    assert rf.read(0, 0) == 0
+    assert rf.snapshot(0)[0] == 0
+
+
+def test_int_writes_wrap_to_32_bits():
+    rf = RegisterFile(1)
+    rf.write(0, 1, 1 << 31)
+    assert rf.read(0, 1) == -(1 << 31)
+    rf.write(0, 1, -1)
+    assert rf.read(0, 1) == -1
+
+
+def test_float_values_stored_unchanged():
+    rf = RegisterFile(1)
+    rf.write(0, 1, 3.25)
+    assert rf.read(0, 1) == 3.25
+
+
+def test_out_of_partition_access_rejected():
+    rf = RegisterFile(4)
+    with pytest.raises(IndexError):
+        rf.read(0, 32)
+    with pytest.raises(IndexError):
+        rf.read(4, 0)

@@ -1,0 +1,106 @@
+"""Tests of the shared operation semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.registers import to_int32
+from repro.isa.semantics import branch_taken, compute
+
+_int32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps(self):
+        assert compute(Op.ADD, (1 << 31) - 1, 1) == -(1 << 31)
+
+    def test_sub(self):
+        assert compute(Op.SUB, 3, 10) == -7
+
+    def test_mul_wraps(self):
+        assert compute(Op.MUL, 1 << 16, 1 << 16) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert compute(Op.DIV, 7, 2) == 3
+        assert compute(Op.DIV, -7, 2) == -3
+        assert compute(Op.DIV, 7, -2) == -3
+        assert compute(Op.DIV, -7, -2) == 3
+
+    def test_rem_sign_follows_dividend(self):
+        assert compute(Op.REM, 7, 2) == 1
+        assert compute(Op.REM, -7, 2) == -1
+        assert compute(Op.REM, 7, -2) == 1
+
+    def test_division_by_zero_is_defined(self):
+        assert compute(Op.DIV, 5, 0) == 0
+        assert compute(Op.REM, 5, 0) == 5
+
+    @given(_int32, _int32)
+    def test_div_rem_identity(self, a, b):
+        q = compute(Op.DIV, a, b)
+        r = compute(Op.REM, a, b)
+        if b != 0:
+            assert to_int32(q * b + r) == a
+
+    def test_shifts_mask_amount(self):
+        assert compute(Op.SLL, 1, 33) == 2
+        assert compute(Op.SRL, -1, 28) == 0xF
+
+    def test_srl_is_logical(self):
+        assert compute(Op.SRL, -1, 1) == 0x7FFFFFFF
+
+    def test_sra_is_arithmetic(self):
+        assert compute(Op.SRA, -8, 1) == -4
+
+    def test_slt_signed_sltu_unsigned(self):
+        assert compute(Op.SLT, -1, 0) == 1
+        assert compute(Op.SLTU, -1, 0) == 0  # -1 is 0xFFFFFFFF unsigned
+
+    def test_lui_shifts_imm(self):
+        assert compute(Op.LUI, imm=1) == 4096
+        assert compute(Op.LUI, imm=-1) == -4096
+
+    def test_mftid_mfnth(self):
+        assert compute(Op.MFTID, tid=3, nthreads=6) == 3
+        assert compute(Op.MFNTH, tid=3, nthreads=6) == 6
+
+
+class TestFloatArithmetic:
+    def test_basic_float_ops(self):
+        assert compute(Op.FADD, 1.5, 2.25) == 3.75
+        assert compute(Op.FSUB, 1.5, 2.25) == -0.75
+        assert compute(Op.FMUL, 1.5, 2.0) == 3.0
+        assert compute(Op.FDIV, 3.0, 2.0) == 1.5
+
+    def test_fdiv_by_zero_is_defined(self):
+        assert compute(Op.FDIV, 3.0, 0.0) == 0.0
+
+    def test_float_compares(self):
+        assert compute(Op.FEQ, 1.0, 1.0) == 1
+        assert compute(Op.FLT, 1.0, 2.0) == 1
+        assert compute(Op.FLE, 2.0, 2.0) == 1
+        assert compute(Op.FLT, 2.0, 1.0) == 0
+
+    def test_conversions(self):
+        assert compute(Op.CVTIF, 3) == 3.0
+        assert compute(Op.CVTFI, 3.9) == 3
+        assert compute(Op.CVTFI, -3.9) == -3
+
+    def test_fneg(self):
+        assert compute(Op.FNEG, 2.5) == -2.5
+
+
+class TestBranches:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Op.BEQ, 1, 1, True), (Op.BEQ, 1, 2, False),
+        (Op.BNE, 1, 2, True), (Op.BNE, 2, 2, False),
+        (Op.BLT, -1, 0, True), (Op.BLT, 0, 0, False),
+        (Op.BGE, 0, 0, True), (Op.BGE, -1, 0, False),
+    ])
+    def test_direction(self, op, a, b, expected):
+        assert branch_taken(op, a, b) is expected
+
+
+def test_compute_rejects_control_ops():
+    with pytest.raises(ValueError):
+        compute(Op.BEQ, 1, 2)

@@ -1,0 +1,276 @@
+"""Code-generator tests: compile MiniC and execute on the functional
+simulator, including a property test over random expressions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.funcsim import FunctionalSim
+from repro.isa.registers import to_int32
+from repro.lang import CompileError, compile_source
+
+
+def run(source, nthreads=1, regs=None):
+    program = compile_source(source, nthreads=nthreads, regs=regs)
+    sim = FunctionalSim(program, nthreads=nthreads)
+    sim.run(max_steps=5_000_000)
+    return sim
+
+
+def result_of(body, prelude="int out;", nthreads=1, regs=None):
+    sim = run(prelude + " void main() { " + body + " }",
+              nthreads=nthreads, regs=regs)
+    return sim.mem(sim.program.symbol("g_out"))
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert result_of("out = 2 + 3 * 4 - 1;") == 13
+
+    def test_division_and_modulo(self):
+        assert result_of("out = 17 / 5 * 10 + 17 % 5;") == 32
+
+    def test_unary(self):
+        assert result_of("out = -(3 + 4) + !0 + !7;") == -6
+
+    def test_comparisons(self):
+        assert result_of("out = (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)"
+                         " + (1 == 1) + (1 != 1);") == 4
+
+    def test_float_arithmetic(self):
+        assert result_of("out = 0.5 * 4.0 + 1.0 / 4.0;",
+                         prelude="float out;") == 2.25
+
+    def test_float_comparisons(self):
+        assert result_of("out = (1.5 < 2.0) + (2.0 <= 1.5) + (1.5 == 1.5)"
+                         " + (1.5 != 1.5) + (2.0 > 1.5) + (1.0 >= 2.0);") == 3
+
+    def test_mixed_int_float_promotion(self):
+        assert result_of("out = 1 + 0.5;", prelude="float out;") == 1.5
+
+    def test_float_to_int_truncates(self):
+        assert result_of("out = 7.9;") == 7
+        assert result_of("out = 0.0 - 7.9;") == -7
+
+    def test_short_circuit_and(self):
+        # The right side would divide by zero into g_trap if evaluated.
+        source = """
+            int out; int trap;
+            int boom() { trap = 1; return 1; }
+            void main() { out = 0 && boom(); }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 0
+        assert sim.mem(sim.program.symbol("g_trap")) == 0
+
+    def test_short_circuit_or(self):
+        source = """
+            int out; int trap;
+            int boom() { trap = 1; return 0; }
+            void main() { out = 1 || boom(); }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 1
+        assert sim.mem(sim.program.symbol("g_trap")) == 0
+
+    def test_logical_results_are_01(self):
+        assert result_of("out = (5 && -3) + (0 || 9);") == 2
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        body = """
+            int x; x = 7;
+            if (x < 5) { out = 1; }
+            else if (x < 10) { out = 2; }
+            else { out = 3; }
+        """
+        assert result_of(body) == 2
+
+    def test_while_loop(self):
+        assert result_of("int i; i = 0; out = 0;"
+                         "while (i < 5) { out = out + i; i = i + 1; }") == 10
+
+    def test_for_loop(self):
+        assert result_of("int i; out = 0;"
+                         "for (i = 1; i <= 10; i = i + 1) { out = out + i; }") == 55
+
+    def test_nested_loops(self):
+        body = """
+            int i; int j; out = 0;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    if (i != j) { out = out + 1; }
+                }
+            }
+        """
+        assert result_of(body) == 12
+
+    def test_early_return(self):
+        source = """
+            int out;
+            int f(int x) {
+                if (x > 10) { return 1; }
+                return 0;
+            }
+            void main() { out = f(11) * 10 + f(9); }
+        """
+        assert run(source).mem(run(source).program.symbol("g_out")) == 10
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+            int out;
+            int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            void main() { out = fact(6); }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 720
+
+    def test_four_arguments(self):
+        source = """
+            int out;
+            int comb(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+            void main() { out = comb(1, 2, 3, 4); }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 1234
+
+    def test_float_params_and_return(self):
+        source = """
+            float out;
+            float scale(float x, float k) { return x * k; }
+            void main() { out = scale(1.5, 4.0); }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 6.0
+
+    def test_call_preserves_caller_temps(self):
+        source = """
+            int out;
+            int one() { return 1; }
+            void main() { out = 100 + one() + 10; }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 111
+
+    def test_calls_preserve_register_locals(self):
+        source = """
+            int out;
+            int id(int x) { return x; }
+            void main() {
+                int a; int b;
+                a = 5; b = 7;
+                id(0);
+                out = a * 10 + b;
+            }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 57
+
+
+class TestGlobalsAndArrays:
+    def test_global_initializers(self):
+        source = """
+            int a = 5; float f = 2.5; int v[3] = {7, 8, 9};
+            int out;
+            void main() { out = a + v[0] + v[2]; }
+        """
+        sim = run(source)
+        assert sim.mem(sim.program.symbol("g_out")) == 21
+        assert sim.mem(sim.program.symbol("g_f")) == 2.5
+
+    def test_array_read_write(self):
+        body = """
+            int i;
+            for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+            out = a[7] - a[2];
+        """
+        assert result_of(body, prelude="int a[8]; int out;") == 45
+
+    def test_float_array(self):
+        body = "f[0] = 1.5; f[1] = f[0] + 1.0; out = f[1];"
+        assert result_of(body, prelude="float f[2]; float out;") == 2.5
+
+
+class TestRegisterPressure:
+    def test_small_partition_still_compiles(self):
+        # 21 registers is the 6-thread partition.
+        body = """
+            int a; int b; int c; int d; int e; int f; int g; int h;
+            a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; g = 7; h = 8;
+            out = a + b + c + d + e + f + g + h;
+        """
+        assert result_of(body, regs=21) == 36
+
+    def test_too_few_registers_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { }", regs=8)
+
+    def test_deep_expression_overflow_reported(self):
+        deep = "1"
+        for _ in range(30):
+            deep = f"(1 + {deep} * 2)"
+        with pytest.raises(CompileError, match="too complex"):
+            compile_source(f"int out; void main() {{ out = {deep}; }}",
+                           regs=16)
+
+
+class TestThreadIntrinsics:
+    def test_tid_nthreads(self):
+        source = """
+            int out[4];
+            void main() { out[tid()] = tid() * 10 + nthreads(); }
+        """
+        sim = run(source, nthreads=4)
+        base = sim.program.symbol("g_out")
+        assert sim.mem(base, 4) == [4, 14, 24, 34]
+
+    def test_lock_protected_counter(self):
+        source = """
+            int l; int count;
+            void main() {
+                int i;
+                for (i = 0; i < 5; i = i + 1) {
+                    lock(l);
+                    count = count + 1;
+                    unlock(l);
+                }
+            }
+        """
+        sim = run(source, nthreads=4)
+        assert sim.mem(sim.program.symbol("g_count")) == 20
+
+    def test_barrier_orders_phases(self):
+        source = """
+            int a[4]; int out;
+            void main() {
+                int i; int s;
+                a[tid()] = tid() + 1;
+                barrier();
+                s = 0;
+                for (i = 0; i < nthreads(); i = i + 1) { s = s + a[i]; }
+                out = s;
+            }
+        """
+        sim = run(source, nthreads=4)
+        assert sim.mem(sim.program.symbol("g_out")) == 10
+
+
+_expr = st.recursive(
+    st.integers(min_value=-50, max_value=50).map(str),
+    lambda children: st.builds(
+        lambda op, a, b: f"({a} {op} {b})",
+        st.sampled_from(["+", "-", "*"]),
+        children, children),
+    max_leaves=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_expr)
+def test_random_integer_expressions_match_python(expr):
+    got = result_of(f"out = {expr};")
+    assert got == to_int32(eval(expr))

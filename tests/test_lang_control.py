@@ -1,0 +1,132 @@
+"""break / continue / compound-assignment tests across all three
+execution paths (interpreter, functional sim, pipeline)."""
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.lang import CompileError, compile_source
+from repro.lang.interp import interpret
+
+
+def run_all_engines(source, globals_of_interest):
+    """Interpret, funcsim, and pipeline the program; assert agreement."""
+    expected = interpret(source)
+    program = compile_source(source)
+    ref = FunctionalSim(program)
+    ref.run(max_steps=5_000_000)
+    sim = PipelineSim(program, MachineConfig(nthreads=1, max_cycles=2_000_000))
+    sim.run()
+    out = {}
+    for name in globals_of_interest:
+        value = expected[name]
+        assert ref.mem(program.symbol(f"g_{name}")) == value, name
+        assert sim.mem(program.symbol(f"g_{name}")) == value, name
+        out[name] = value
+    return out
+
+
+def test_break_exits_loop():
+    got = run_all_engines("""
+        int out;
+        void main() {
+            int i;
+            for (i = 0; i < 100; i += 1) {
+                if (i == 7) { break; }
+            }
+            out = i;
+        }
+    """, ["out"])
+    assert got["out"] == 7
+
+
+def test_continue_skips_update_runs():
+    got = run_all_engines("""
+        int out;
+        void main() {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 10; i += 1) {
+                if (i % 2 == 0) { continue; }
+                s += i;
+            }
+            out = s;
+        }
+    """, ["out"])
+    assert got["out"] == 1 + 3 + 5 + 7 + 9
+
+
+def test_break_in_while():
+    got = run_all_engines("""
+        int out;
+        void main() {
+            int i;
+            i = 0;
+            while (1) {
+                i += 3;
+                if (i > 20) { break; }
+            }
+            out = i;
+        }
+    """, ["out"])
+    assert got["out"] == 21
+
+
+def test_continue_in_while_still_terminates():
+    got = run_all_engines("""
+        int out;
+        void main() {
+            int i; int s;
+            i = 0; s = 0;
+            while (i < 10) {
+                i += 1;
+                if (i == 5) { continue; }
+                s += i;
+            }
+            out = s;
+        }
+    """, ["out"])
+    assert got["out"] == sum(range(1, 11)) - 5
+
+
+def test_nested_break_only_inner():
+    got = run_all_engines("""
+        int out;
+        void main() {
+            int i; int j; int c;
+            c = 0;
+            for (i = 0; i < 4; i += 1) {
+                for (j = 0; j < 10; j += 1) {
+                    if (j == 2) { break; }
+                    c += 1;
+                }
+            }
+            out = c;
+        }
+    """, ["out"])
+    assert got["out"] == 8
+
+
+def test_compound_assignments():
+    got = run_all_engines("""
+        int a; int b; float f;
+        int v[4];
+        void main() {
+            a = 10; a += 5; a -= 2; a *= 3; a /= 2; a %= 11;
+            f = 2.0; f *= 1.5; f += 0.25;
+            v[1] = 4; v[1] += 6;
+            b = v[1];
+        }
+    """, ["a", "b"])
+    assert got["a"] == (((10 + 5 - 2) * 3) // 2) % 11
+    assert got["b"] == 10
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError, match="break"):
+        compile_source("void main() { break; }")
+
+
+def test_continue_outside_loop_rejected():
+    with pytest.raises(CompileError, match="continue"):
+        compile_source("void main() { continue; }")

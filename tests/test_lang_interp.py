@@ -1,0 +1,165 @@
+"""Interpreter tests plus interpreter-vs-compiler differential fuzzing.
+
+The AST interpreter shares nothing with the code generator, assembler,
+or simulators except the ISA value semantics, so agreement between
+``interpret(src)`` and running the compiled binary is strong evidence
+both are right.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.lang import compile_source
+from repro.lang.interp import interpret
+
+
+class TestInterpreterBasics:
+    def test_globals_initialized(self):
+        result = interpret("int a = 3; float f = 1.5; int v[3] = {7};"
+                           "void main() { }")
+        assert result["a"] == 3
+        assert result["f"] == 1.5
+        assert result["v"] == [7, 0, 0]
+
+    def test_int_semantics_wrap(self):
+        result = interpret("int x; void main() { x = 2000000000 + 2000000000; }")
+        assert result["x"] == -294967296
+
+    def test_division_semantics(self):
+        result = interpret("""
+            int a; int b; int c;
+            void main() { a = -7 / 2; b = -7 % 2; c = 7 / 0; }
+        """)
+        assert result["a"] == -3
+        assert result["b"] == -1
+        assert result["c"] == 0
+
+    def test_float_int_conversion(self):
+        result = interpret("int x; void main() { x = 7.9; }")
+        assert result["x"] == 7
+
+    def test_threads_and_barrier(self):
+        result = interpret("""
+            int a[4]; int total;
+            void main() {
+                int i; int s;
+                a[tid()] = tid() + 1;
+                barrier();
+                if (tid() == 0) {
+                    s = 0;
+                    for (i = 0; i < nthreads(); i = i + 1) { s = s + a[i]; }
+                    total = s;
+                }
+            }
+        """, nthreads=4)
+        assert result["total"] == 10
+
+    def test_recursion(self):
+        result = interpret("""
+            int out;
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            void main() { out = fib(10); }
+        """)
+        assert result["out"] == 55
+
+
+# ----------------------------------------------------------- fuzzing
+
+_INT_BINOPS = ["+", "-", "*", "/", "%"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class _Gen:
+    """Random structured MiniC generator (race-free across threads)."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.locals = ["v0", "v1", "v2", "v3"]
+        self.depth = 0
+
+    def expr(self, depth=0):
+        rng = self.rng
+        if depth > 3 or rng.random() < 0.35:
+            if rng.random() < 0.55:
+                return rng.choice(self.locals)
+            return str(rng.randint(-40, 40))
+        kind = rng.random()
+        if kind < 0.6:
+            return (f"({self.expr(depth + 1)} "
+                    f"{rng.choice(_INT_BINOPS)} {self.expr(depth + 1)})")
+        if kind < 0.8:
+            return (f"({self.expr(depth + 1)} "
+                    f"{rng.choice(_CMP_OPS)} {self.expr(depth + 1)})")
+        if kind < 0.9:
+            return f"(-{self.expr(depth + 1)})"
+        return f"(!{self.expr(depth + 1)})"
+
+    def statement(self, depth=0):
+        rng = self.rng
+        kind = rng.random()
+        target = rng.choice(self.locals)
+        if depth >= 2 or kind < 0.55:
+            return f"{target} = {self.expr()};"
+        if kind < 0.75:
+            return (f"if ({self.expr()}) {{ {self.statements(depth + 1)} }} "
+                    f"else {{ {self.statements(depth + 1)} }}")
+        # Bounded loop: a fresh counter guarantees termination.
+        counter = f"c{depth}_{rng.randint(0, 9999)}"
+        self.extra_decls.append(counter)
+        bound = rng.randint(1, 6)
+        return (f"for ({counter} = 0; {counter} < {bound}; "
+                f"{counter} = {counter} + 1) {{ {self.statements(depth + 1)} }}")
+
+    def statements(self, depth):
+        count = self.rng.randint(1, 3)
+        return " ".join(self.statement(depth) for _ in range(count))
+
+    def program(self):
+        self.extra_decls = []
+        body = " ".join(self.statement() for _ in range(self.rng.randint(4, 10)))
+        decls = " ".join(f"int {name};" for name in self.locals)
+        extra = " ".join(f"int {name};" for name in set(self.extra_decls))
+        inits = " ".join(f"{name} = {self.rng.randint(-20, 20)};"
+                         for name in self.locals)
+        finale = " ".join(
+            f"out[tid() * 4 + {i}] = {name};"
+            for i, name in enumerate(self.locals))
+        return (f"int out[32];\n"
+                f"void main() {{ {decls} {extra} {inits} {body} "
+                f"{finale} barrier(); }}")
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzz_compiler_vs_interpreter(seed):
+    rng = random.Random(0x1A7 + seed)
+    source = _Gen(rng).program()
+    nthreads = rng.choice([1, 1, 2, 4])
+
+    expected = interpret(source, nthreads=nthreads)["out"]
+
+    program = compile_source(source, nthreads=nthreads)
+    ref = FunctionalSim(program, nthreads=nthreads)
+    ref.run(max_steps=5_000_000)
+    got = ref.mem(program.symbol("g_out"), 32)
+    assert got == expected, f"funcsim diverges from interpreter (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_pipeline_matches_interpreter(seed):
+    rng = random.Random(0xBEEF + seed)
+    source = _Gen(rng).program()
+    nthreads = rng.choice([1, 2, 4])
+
+    expected = interpret(source, nthreads=nthreads)["out"]
+
+    program = compile_source(source, nthreads=nthreads)
+    sim = PipelineSim(program, MachineConfig(nthreads=nthreads,
+                                             max_cycles=2_000_000))
+    sim.run()
+    assert sim.mem(program.symbol("g_out"), 32) == expected

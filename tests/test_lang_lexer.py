@@ -1,0 +1,50 @@
+"""MiniC lexer tests."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("int intx") == [("kw", "int"), ("ident", "intx")]
+
+
+def test_integer_literals():
+    assert kinds("42 0x1f") == [("int", 42), ("int", 31)]
+
+
+def test_float_literals():
+    assert kinds("1.5 .25 2. 1e3") == [
+        ("float", 1.5), ("float", 0.25), ("float", 2.0), ("float", 1000.0)]
+
+
+def test_two_char_operators():
+    assert [v for _, v in kinds("<= >= == != && ||")] == [
+        "<=", ">=", "==", "!=", "&&", "||"]
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment\n b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* x\n y */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_eof_token_appended():
+    assert tokenize("")[-1].kind == "eof"
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(CompileError):
+        tokenize("a @ b")

@@ -1,0 +1,113 @@
+"""MiniC parser tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+
+
+def parse_main(body):
+    return parse("void main() { %s }" % body).functions[0].body.statements
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        tree = parse("""
+            int n = 4;
+            float a[8];
+            int f(int x) { return x; }
+            void main() { }
+        """)
+        assert [g.name for g in tree.globals] == ["n", "a"]
+        assert [f.name for f in tree.functions] == ["f", "main"]
+
+    def test_array_initializer(self):
+        tree = parse("int a[4] = {1, 2, -3}; void main() { }")
+        assert tree.globals[0].init == [1, 2, -3]
+
+    def test_comma_separated_globals(self):
+        tree = parse("int a, b = 2, c; void main() { }")
+        assert [g.name for g in tree.globals] == ["a", "b", "c"]
+        assert tree.globals[1].init == 2
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void x; void main() { }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt, = parse_main("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt, = parse_main("if (1) if (2) { } else { }")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_for_with_empty_parts(self):
+        stmt, = parse_main("for (;;) { }")
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_for_full(self):
+        stmt, = parse_main("for (i = 0; i < 4; i = i + 1) { }")
+        assert isinstance(stmt.init, ast.Assign)
+        assert isinstance(stmt.cond, ast.Binary)
+
+    def test_return_with_and_without_value(self):
+        tree = parse("int f() { return 1; } void main() { return; }")
+        assert tree.functions[0].body.statements[0].value is not None
+        assert tree.functions[1].body.statements[0].value is None
+
+    def test_assignment_targets(self):
+        a, b = parse_main("x = 1; a[2] = 3;")
+        assert isinstance(a.target, ast.Name)
+        assert isinstance(b.target, ast.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(CompileError):
+            parse_main("1 = 2;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("void main() { if (1) {")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        stmt, = parse_main("x = 1 + 2 * 3;")
+        expr = stmt.value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        stmt, = parse_main("x = 10 - 4 - 3;")
+        assert stmt.value.left.op == "-"
+
+    def test_parentheses_override(self):
+        stmt, = parse_main("x = (1 + 2) * 3;")
+        assert stmt.value.op == "*"
+
+    def test_comparison_below_logical(self):
+        stmt, = parse_main("x = a < b && c > d;")
+        assert stmt.value.op == "&&"
+
+    def test_unary_minus_and_not(self):
+        stmt, = parse_main("x = -a + !b;")
+        assert stmt.value.left.op == "-"
+        assert stmt.value.right.op == "!"
+
+    def test_call_with_args(self):
+        stmt, = parse_main("x = f(1, a + 2);")
+        assert isinstance(stmt.value, ast.Call)
+        assert len(stmt.value.args) == 2
+
+    def test_index_expression(self):
+        stmt, = parse_main("x = a[i + 1];")
+        assert isinstance(stmt.value, ast.Index)
+
+    def test_unary_plus_is_noop(self):
+        stmt, = parse_main("x = +5;")
+        assert isinstance(stmt.value, ast.IntLit)

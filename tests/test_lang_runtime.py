@@ -1,0 +1,114 @@
+"""Runtime-library tests: startup, stacks, locks, and barriers."""
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.lang import compile_source
+from repro.lang.runtime import DEFAULT_STACK_TOP, STACK_WORDS, runtime_asm
+
+
+def run_func(source, nthreads):
+    program = compile_source(source, nthreads=nthreads)
+    sim = FunctionalSim(program, nthreads=nthreads)
+    sim.run(max_steps=20_000_000)
+    return sim
+
+
+def test_runtime_asm_mentions_primitives():
+    text = runtime_asm()
+    for symbol in ("__start", "__lock", "__unlock", "__barrier"):
+        assert symbol in text
+
+
+def test_stack_stride_not_cache_aliased():
+    # The stride must not be a multiple of any plausible set stride
+    # (sets * line = up to 512 words for an 8KB direct-mapped cache).
+    assert STACK_WORDS % 512 != 0
+    assert STACK_WORDS % 128 != 0
+
+
+def test_threads_get_disjoint_stacks():
+    source = """
+    int sp_out[8];
+    int depth(int d) {
+        if (d == 0) { return tid(); }
+        return depth(d - 1);
+    }
+    void main() {
+        sp_out[tid()] = depth(6);
+    }
+    """
+    sim = run_func(source, nthreads=4)
+    base = sim.program.symbol("g_sp_out")
+    assert sim.mem(base, 4) == [0, 1, 2, 3]
+
+
+def test_stack_pointers_spaced_by_stack_words():
+    program = compile_source("void main() { }", nthreads=4)
+    sim = FunctionalSim(program, nthreads=4)
+    # Step each thread through the startup sequence (6 instructions).
+    for _ in range(6):
+        for thread in sim.threads:
+            if not thread.halted:
+                sim.step(thread)
+    sps = [sim.reg(t, 2) for t in range(4)]
+    assert sps[0] - sps[1] == STACK_WORDS
+    assert sps[0] <= DEFAULT_STACK_TOP
+
+
+def test_many_barrier_generations():
+    # The sense-reversing barrier must survive many rounds.
+    source = """
+    int rounds = 25;
+    int trace[8];
+    void main() {
+        int r;
+        for (r = 0; r < rounds; r = r + 1) {
+            trace[tid()] = trace[tid()] + 1;
+            barrier();
+        }
+    }
+    """
+    for nthreads in (2, 5):
+        sim = run_func(source, nthreads)
+        base = sim.program.symbol("g_trace")
+        assert sim.mem(base, nthreads) == [25] * nthreads
+
+
+def test_barrier_generations_on_pipeline():
+    source = """
+    int rounds = 10;
+    int total; int l;
+    void main() {
+        int r;
+        for (r = 0; r < rounds; r = r + 1) {
+            lock(l);
+            total = total + 1;
+            unlock(l);
+            barrier();
+        }
+    }
+    """
+    program = compile_source(source, nthreads=3)
+    sim = PipelineSim(program, MachineConfig(nthreads=3, max_cycles=3_000_000))
+    sim.run()
+    assert sim.mem(program.symbol("g_total")) == 30
+
+
+def test_lock_is_not_reentrant_but_is_exclusive():
+    # Two threads ping-pong a token under a lock; order is arbitrary
+    # but the token counter must be exact.
+    source = """
+    int l; int token;
+    void main() {
+        int i;
+        for (i = 0; i < 12; i = i + 1) {
+            lock(l);
+            token = token + 2;
+            unlock(l);
+        }
+    }
+    """
+    sim = run_func(source, nthreads=2)
+    assert sim.mem(sim.program.symbol("g_token")) == 48

@@ -1,0 +1,135 @@
+"""MiniC semantic-analysis tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    tree = parse(source)
+    analyze(tree)
+    return tree
+
+
+def main_with(body, prelude=""):
+    return check(prelude + " void main() { " + body + " }")
+
+
+class TestPrograms:
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="main"):
+            check("int f() { return 1; }")
+
+    def test_main_signature_enforced(self):
+        with pytest.raises(CompileError):
+            check("int main() { return 1; }")
+        with pytest.raises(CompileError):
+            check("void main(int x) { }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(CompileError):
+            check("void f() { } void f() { } void main() { }")
+
+    def test_intrinsic_name_collision_rejected(self):
+        with pytest.raises(CompileError):
+            check("int tid() { return 0; } void main() { }")
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(CompileError):
+            check("int x; float x; void main() { }")
+
+    def test_too_many_parameters(self):
+        with pytest.raises(CompileError):
+            check("void f(int a, int b, int c, int d, int e) { } void main() { }")
+
+
+class TestTypes:
+    def test_mixed_arithmetic_promotes_to_float(self):
+        tree = main_with("float f; f = 1 + 2.5;")
+        assign = tree.functions[0].body.statements[1]
+        assert assign.value.type == ast.FLOAT
+
+    def test_comparison_yields_int(self):
+        tree = main_with("int b; b = 1.5 < 2.5;")
+        assign = tree.functions[0].body.statements[1]
+        assert assign.value.type == ast.INT
+        assert assign.value.operand_type == ast.FLOAT
+
+    def test_modulo_on_floats_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("float f; f = 1.5 % 2.0;")
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(CompileError):
+            main_with("int x; x = a[1.5];", prelude="int a[4];")
+
+    def test_indexing_non_array_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("int x; x = n[0];", prelude="int n;")
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("a = 1;", prelude="int a[4];")
+
+
+class TestScopes:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("x = 1;")
+
+    def test_local_shadows_global(self):
+        tree = main_with("int n; n = 5;", prelude="int n;")
+        assign = tree.functions[0].body.statements[1]
+        assert hasattr(assign.target.symbol, "slot")
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("int x; int x;")
+
+    def test_locals_get_distinct_slots(self):
+        tree = main_with("int a; int b; a = 1; b = 2;")
+        func = tree.functions[0]
+        slots = {s.slot for s in func.local_table.values()}
+        assert len(slots) == 2
+        assert func.frame_slots == 3  # ra + two locals
+
+
+class TestCallsAndReturns:
+    def test_arity_checked(self):
+        with pytest.raises(CompileError):
+            check("int f(int x) { return x; } void main() { f(); }")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError):
+            main_with("g();")
+
+    def test_void_function_cannot_return_value(self):
+        with pytest.raises(CompileError):
+            check("void f() { return 3; } void main() { }")
+
+    def test_value_function_must_return_value(self):
+        with pytest.raises(CompileError):
+            check("int f() { return; } void main() { }")
+
+
+class TestIntrinsics:
+    def test_tid_and_nthreads_are_int(self):
+        tree = main_with("int x; x = tid() + nthreads();")
+        assign = tree.functions[0].body.statements[1]
+        assert assign.value.type == ast.INT
+
+    def test_lock_requires_global_int_scalar(self):
+        main_with("lock(l); unlock(l);", prelude="int l;")
+        with pytest.raises(CompileError):
+            main_with("lock(f);", prelude="float f;")
+        with pytest.raises(CompileError):
+            main_with("lock(a);", prelude="int a[4];")
+        with pytest.raises(CompileError):
+            main_with("int l; lock(l);")  # local not allowed
+
+    def test_barrier_takes_no_args(self):
+        with pytest.raises(CompileError):
+            main_with("barrier(1);")

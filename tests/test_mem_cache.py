@@ -1,0 +1,169 @@
+"""Data-cache model tests: geometry, LRU, refill port, and a property
+test against a reference LRU model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import CacheConfig, DataCache
+
+
+def make_cache(size=256 * 4, line_words=8, assoc=2, miss_penalty=8):
+    return DataCache(CacheConfig(size_bytes=size, line_words=line_words,
+                                 assoc=assoc, miss_penalty=miss_penalty))
+
+
+class TestGeometry:
+    def test_default_matches_scaled_paper_config(self):
+        config = CacheConfig()
+        assert config.line_words == 8
+        assert config.assoc == 4
+        assert config.num_sets == config.size_bytes // (8 * 4) // 4
+
+    def test_direct_mapped(self):
+        config = CacheConfig(size_bytes=1024, assoc=1)
+        assert config.num_sets == 32
+
+    def test_rejects_impossible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=32, line_words=8, assoc=4)
+
+    def test_describe_mentions_kind(self):
+        assert "direct-mapped" in CacheConfig(assoc=1).describe()
+        assert "4-way" in CacheConfig(assoc=4).describe()
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        ready = cache.access(0, now=0)
+        assert ready == 8  # miss penalty
+        assert cache.access(0, now=20) == 20  # hit
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_hits(self):
+        cache = make_cache(line_words=8)
+        cache.access(0, now=0)
+        assert cache.access(7, now=20) == 20  # same 8-word line
+        assert cache.access(8, now=40) > 40  # next line misses
+
+    def test_lru_eviction_in_set(self):
+        # 2-way: fill a set with two lines, touch the first, add a third;
+        # the second (least recently used) must be evicted.
+        cache = make_cache(size=2 * 8 * 4, line_words=8, assoc=2)  # 1 set
+        cache.access(0, now=0)     # line 0
+        cache.access(8, now=100)   # line 1
+        cache.access(0, now=200)   # touch line 0
+        cache.access(16, now=300)  # line 2 evicts line 1
+        assert cache.contains(0)
+        assert not cache.contains(8)
+        assert cache.contains(16)
+
+    def test_direct_mapped_conflict(self):
+        cache = make_cache(size=4 * 8 * 4, assoc=1)  # 4 sets
+        cache.access(0, now=0)
+        cache.access(4 * 8, now=100)  # maps to set 0, evicts
+        assert not cache.contains(0)
+
+    def test_hit_rate_statistic(self):
+        cache = make_cache()
+        cache.access(0, now=0)
+        for i in range(9):
+            cache.access(i % 8, now=100 + i)
+        assert cache.stats.hit_rate == pytest.approx(9 / 10)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.access(0, now=0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.contains(0)
+
+
+class TestRefillPort:
+    """One outstanding refill; a second miss blocks data service."""
+
+    def test_hit_during_single_refill_is_free(self):
+        cache = make_cache(miss_penalty=10)
+        cache.access(0, now=0)          # miss, refill until 10
+        cache.access(0, now=2)          # hit under one refill: allowed
+        assert cache.stats.hits == 1
+        assert cache.stats.blocked_cycles == 0
+
+    def test_second_miss_queues_behind_first(self):
+        cache = make_cache(miss_penalty=10)
+        assert cache.access(0, now=0) == 10
+        assert cache.access(64, now=2) == 20  # waits for first refill
+
+    def test_hit_blocked_while_second_miss_pending(self):
+        cache = make_cache(miss_penalty=10)
+        cache.access(0, now=0)     # refill done at 10
+        cache.access(64, now=1)    # queued miss, done at 20
+        ready = cache.access(0, now=3)  # hit, but cache is saturated
+        assert ready == 10  # served when the first refill completes
+
+    def test_port_frees_after_refills_complete(self):
+        cache = make_cache(miss_penalty=10)
+        cache.access(0, now=0)
+        cache.access(64, now=1)
+        assert cache.access(128, now=50) == 60  # everything drained
+
+
+class _ReferenceLru:
+    """Dict-of-ordered-lists LRU model used as the property-test oracle."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sets = {}
+
+    def access(self, addr):
+        line = addr // self.config.line_words
+        index = line % self.config.num_sets
+        ways = self.sets.setdefault(index, [])
+        hit = line in ways
+        if hit:
+            ways.remove(line)
+        elif len(ways) >= self.config.assoc:
+            ways.pop(0)
+        ways.append(line)
+        return hit
+
+
+@settings(max_examples=200)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=2047), min_size=1,
+                   max_size=200),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_lru_matches_reference_model(addrs, assoc):
+    config = CacheConfig(size_bytes=1024, line_words=8, assoc=assoc)
+    cache = DataCache(config)
+    reference = _ReferenceLru(config)
+    now = 0
+    for addr in addrs:
+        now += 100  # far apart: refill port never interferes
+        before_hits = cache.stats.hits
+        cache.access(addr, now)
+        got_hit = cache.stats.hits > before_hits
+        assert got_hit == reference.access(addr)
+
+
+class TestPorts:
+    def test_ports_limit_per_cycle(self):
+        cache = make_cache()
+        cache.config.ports = 2
+        assert cache.can_access(5)
+        cache.access(0, now=5)
+        assert cache.can_access(5)
+        cache.access(8, now=5)
+        assert not cache.can_access(5)
+        assert cache.can_access(6)  # new cycle, ports free
+
+    def test_single_ported(self):
+        cache = DataCache(CacheConfig(ports=1))
+        cache.access(0, now=3)
+        assert not cache.can_access(3)
+
+    def test_ports_validated(self):
+        with pytest.raises(ValueError):
+            CacheConfig(ports=0)

@@ -1,0 +1,43 @@
+"""Main-memory tests."""
+
+import pytest
+
+from repro.mem import MainMemory, MemoryFault
+
+
+def test_read_write_roundtrip():
+    mem = MainMemory(64)
+    mem.write(5, 42)
+    mem.write(6, 2.5)
+    assert mem.read(5) == 42
+    assert mem.read(6) == 2.5
+
+
+def test_initial_contents_zero():
+    mem = MainMemory(8)
+    assert all(mem.read(i) == 0 for i in range(8))
+
+
+def test_load_image():
+    mem = MainMemory(16)
+    mem.load_image([1, 2.5, 3])
+    assert mem.read_block(0, 3) == [1, 2.5, 3]
+
+
+def test_load_image_at_base():
+    mem = MainMemory(16)
+    mem.load_image([7, 8], base=4)
+    assert mem.read(4) == 7
+    assert mem.read(5) == 8
+
+
+def test_out_of_range_faults():
+    mem = MainMemory(8)
+    with pytest.raises(MemoryFault):
+        mem.read(8)
+    with pytest.raises(MemoryFault):
+        mem.write(-1, 0)
+    with pytest.raises(MemoryFault):
+        mem.read_block(6, 4)
+    with pytest.raises(MemoryFault):
+        mem.load_image([0] * 9)

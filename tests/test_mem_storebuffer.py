@@ -1,0 +1,82 @@
+"""Store-buffer tests."""
+
+import pytest
+
+from repro.mem import CacheConfig, DataCache, MainMemory, StoreBuffer
+
+
+@pytest.fixture
+def parts():
+    return StoreBuffer(depth=4), DataCache(CacheConfig()), MainMemory(1024)
+
+
+def test_allocate_until_full(parts):
+    sb, _, _ = parts
+    for i in range(4):
+        sb.allocate(tag=i, tid=0, addr=i, value=i * 10)
+    assert sb.full
+    with pytest.raises(RuntimeError):
+        sb.allocate(tag=9, tid=0, addr=9, value=0)
+
+
+def test_only_committed_head_drains(parts):
+    sb, cache, mem = parts
+    sb.allocate(tag=1, tid=0, addr=5, value=50)
+    sb.allocate(tag=2, tid=0, addr=6, value=60)
+    assert not sb.drain_one(cache, mem, now=0)  # head speculative
+    sb.commit(2)
+    assert not sb.drain_one(cache, mem, now=1)  # head still speculative
+    sb.commit(1)
+    assert sb.drain_one(cache, mem, now=2)
+    assert mem.read(5) == 50
+    # The first drain missed in the cache, occupying the drain port for
+    # the refill; the next drain must wait for it.
+    assert not sb.drain_one(cache, mem, now=3)
+    assert sb.drain_one(cache, mem, now=50)
+    assert mem.read(6) == 60
+    assert not sb.entries
+
+
+def test_fifo_order_preserved(parts):
+    sb, cache, mem = parts
+    sb.allocate(tag=1, tid=0, addr=7, value=1)
+    sb.allocate(tag=2, tid=0, addr=7, value=2)
+    sb.commit(1)
+    sb.commit(2)
+    assert sb.drain_one(cache, mem, now=0)
+    assert mem.read(7) == 1
+    assert sb.drain_one(cache, mem, now=50)
+    assert mem.read(7) == 2
+
+
+def test_forward_returns_youngest_match(parts):
+    sb, _, _ = parts
+    sb.allocate(tag=1, tid=0, addr=3, value=30)
+    sb.allocate(tag=2, tid=1, addr=3, value=31)
+    assert sb.forward(3) == 31
+    assert sb.forward(4) is None
+    assert sb.has_match(3)
+    assert not sb.has_match(4)
+
+
+def test_squash_removes_only_speculative(parts):
+    sb, _, _ = parts
+    sb.allocate(tag=1, tid=0, addr=1, value=10)
+    sb.allocate(tag=2, tid=0, addr=2, value=20)
+    sb.commit(1)
+    sb.squash({1, 2})
+    assert [e.tag for e in sb.entries] == [1]
+
+
+def test_commit_unknown_tag_raises(parts):
+    sb, _, _ = parts
+    with pytest.raises(KeyError):
+        sb.commit(99)
+
+
+def test_drain_counts(parts):
+    sb, cache, mem = parts
+    sb.allocate(tag=1, tid=0, addr=0, value=5)
+    sb.commit(1)
+    sb.drain_one(cache, mem, now=0)
+    assert sb.drained == 1

@@ -1,0 +1,142 @@
+"""Synchronization-heavy pipeline tests: tas atomicity, lock fairness
+under every fetch policy, barriers, and cross-thread visibility."""
+
+import pytest
+
+from repro.core import FetchPolicy, MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.lang import compile_source
+
+_COUNTER_SOURCE = """
+int l; int count;
+void main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        lock(l);
+        count = count + 1;
+        unlock(l);
+    }
+}
+"""
+
+_BARRIER_PHASES_SOURCE = """
+int a[8]; int out; int bad;
+void main() {
+    int i; int s;
+    a[tid()] = tid() + 1;
+    barrier();
+    s = 0;
+    for (i = 0; i < nthreads(); i = i + 1) { s = s + a[i]; }
+    if (s != nthreads() * (nthreads() + 1) / 2) { bad = 1; }
+    barrier();
+    a[tid()] = 0 - (tid() + 1);
+    barrier();
+    s = 0;
+    for (i = 0; i < nthreads(); i = i + 1) { s = s + a[i]; }
+    barrier();
+    if (tid() == 0) { out = s; }
+    barrier();
+}
+"""
+
+
+def run_pipeline(source, nthreads, **cfg):
+    program = compile_source(source, nthreads=nthreads)
+    cfg.setdefault("max_cycles", 5_000_000)
+    sim = PipelineSim(program, MachineConfig(nthreads=nthreads, **cfg))
+    sim.run()
+    return sim
+
+
+@pytest.mark.parametrize("policy", list(FetchPolicy))
+@pytest.mark.parametrize("nthreads", [2, 4, 6])
+def test_lock_counter_every_policy(policy, nthreads):
+    sim = run_pipeline(_COUNTER_SOURCE, nthreads, fetch_policy=policy)
+    assert sim.mem(sim.program.symbol("g_count")) == 8 * nthreads
+
+
+@pytest.mark.parametrize("policy", list(FetchPolicy))
+@pytest.mark.parametrize("nthreads", [2, 4])
+def test_barrier_phases_every_policy(policy, nthreads):
+    sim = run_pipeline(_BARRIER_PHASES_SOURCE, nthreads, fetch_policy=policy)
+    assert sim.mem(sim.program.symbol("g_bad")) == 0
+    expected = -sum(range(1, nthreads + 1))
+    assert sim.mem(sim.program.symbol("g_out")) == expected
+
+
+def test_funcsim_agrees_on_lock_counter():
+    program = compile_source(_COUNTER_SOURCE, nthreads=4)
+    ref = FunctionalSim(program, nthreads=4)
+    ref.run()
+    assert ref.mem(program.symbol("g_count")) == 32
+
+
+def test_tas_is_atomic_under_contention():
+    # Without locks, 4 threads each do 16 tas acquisitions of a free
+    # lock; exactly one winner per release round. We verify by using
+    # the tas result to guard a non-atomic increment.
+    source = """
+    int l; int shared;
+    void main() {
+        int i; int got;
+        for (i = 0; i < 16; i = i + 1) {
+            got = 0;
+            while (got == 0) {
+                lock(l);
+                got = 1;
+            }
+            shared = shared + 1;
+            unlock(l);
+        }
+    }
+    """
+    sim = run_pipeline(source, 4)
+    assert sim.mem(sim.program.symbol("g_shared")) == 64
+
+
+def test_release_ordering_publishes_data():
+    # Producer writes data then sets a flag; consumers spin on the flag
+    # (with a lock so Conditional Switch can rotate) and must observe
+    # the data value, not a stale zero.
+    source = """
+    int flag; int data; int sl; int bad;
+    void main() {
+        int seen; int ok;
+        if (tid() == 0) {
+            data = 1234;
+            flag = 1;
+        } else {
+            ok = 0;
+            while (ok == 0) {
+                lock(sl);
+                if (flag == 1) { ok = 1; }
+                unlock(sl);
+            }
+            seen = data;
+            if (seen != 1234) { bad = 1; }
+        }
+        barrier();
+    }
+    """
+    for nthreads in (2, 4):
+        sim = run_pipeline(source, nthreads)
+        assert sim.mem(sim.program.symbol("g_bad")) == 0
+
+
+def test_spinning_threads_do_not_starve_workers():
+    # One thread does real work; the rest wait at the barrier. The
+    # worker must finish in a sane number of cycles even with 5 waiters.
+    source = """
+    int out;
+    void main() {
+        int i; int s;
+        if (tid() == 0) {
+            s = 0;
+            for (i = 0; i < 200; i = i + 1) { s = s + i; }
+            out = s;
+        }
+        barrier();
+    }
+    """
+    sim = run_pipeline(source, 6)
+    assert sim.mem(sim.program.symbol("g_out")) == sum(range(200))

@@ -1,0 +1,211 @@
+"""Scheduling-unit tests: FIFO blocks, operand lookup, flexible commit,
+selective squash, and the memory-ordering predicates."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import MachineConfig
+from repro.core.scheduler import DONE, SchedulingUnit, SUEntry, WAITING
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def make_su(su_entries=16, nthreads=4):
+    return SchedulingUnit(MachineConfig(nthreads=nthreads,
+                                        su_entries=su_entries))
+
+
+def add_entry(su, block, tag, tid, instr, state=WAITING, addr=None):
+    entry = SUEntry(tag, tid, pc=tag, instr=instr)
+    entry.state = state
+    entry.addr = addr
+    su.add(block, entry)
+    return entry
+
+
+def alu(rd=1, rs1=2, rs2=3):
+    return Instruction(Op.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def store(rs1=2, rs2=3, imm=0):
+    return Instruction(Op.SW, rs2=rs2, rs1=rs1, imm=imm)
+
+
+def load(rd=1, rs1=2, imm=0):
+    return Instruction(Op.LW, rd=rd, rs1=rs1, imm=imm)
+
+
+class TestCapacity:
+    def test_full_at_capacity_blocks(self):
+        su = make_su(su_entries=8)  # 2 blocks
+        su.new_block(0)
+        su.new_block(0)
+        assert su.full
+        with pytest.raises(RuntimeError):
+            su.new_block(0)
+
+    def test_occupancy_counts_entries(self):
+        su = make_su()
+        block = su.new_block(0)
+        add_entry(su, block, 0, 0, alu())
+        add_entry(su, block, 1, 0, alu())
+        assert su.occupancy() == 2
+
+
+class TestOperandLookup:
+    def test_most_recent_writer_wins(self):
+        su = make_su()
+        b1 = su.new_block(0)
+        first = add_entry(su, b1, 0, 0, alu(rd=5))
+        b2 = su.new_block(0)
+        second = add_entry(su, b2, 1, 0, alu(rd=5))
+        assert su.lookup_operand(0, 5) is second
+        assert first is not second
+
+    def test_lookup_is_tid_qualified(self):
+        su = make_su()
+        b1 = su.new_block(0)
+        add_entry(su, b1, 0, 0, alu(rd=5))
+        assert su.lookup_operand(1, 5) is None
+
+    def test_lookup_miss_returns_none(self):
+        su = make_su()
+        assert su.lookup_operand(0, 5) is None
+
+
+class TestFlexibleCommit:
+    def _two_thread_su(self, bottom_state, top_state):
+        su = make_su()
+        b0 = su.new_block(0)
+        add_entry(su, b0, 0, 0, alu(), state=bottom_state)
+        b1 = su.new_block(1)
+        add_entry(su, b1, 1, 1, alu(), state=top_state)
+        return su
+
+    def test_bottom_block_preferred(self):
+        su = self._two_thread_su(DONE, DONE)
+        assert su.choose_commit_block(4) == 0
+
+    def test_other_thread_commits_past_stalled_bottom(self):
+        su = self._two_thread_su(WAITING, DONE)
+        assert su.choose_commit_block(4) == 1
+
+    def test_same_thread_cannot_bypass_stalled_bottom(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        add_entry(su, b0, 0, 0, alu(), state=WAITING)
+        b1 = su.new_block(0)
+        add_entry(su, b1, 1, 0, alu(), state=DONE)
+        assert su.choose_commit_block(4) is None
+
+    def test_lowest_only_policy_never_bypasses(self):
+        su = self._two_thread_su(WAITING, DONE)
+        assert su.choose_commit_block(1) is None
+
+    def test_commit_window_limited(self):
+        su = make_su(su_entries=32)
+        for i in range(5):
+            block = su.new_block(0 if i < 4 else 1)
+            add_entry(su, block, i, block.tid, alu(),
+                      state=WAITING if i < 4 else DONE)
+        # The ready block of thread 1 is fifth from the bottom: outside
+        # the 4-block flexible-commit window.
+        assert su.choose_commit_block(4) is None
+        assert su.choose_commit_block(8) == 4
+
+    def test_third_block_must_differ_from_all_lower(self):
+        su = make_su()
+        for tid, state in ((0, WAITING), (1, WAITING), (2, DONE)):
+            block = su.new_block(tid)
+            add_entry(su, block, tid, tid, alu(), state=state)
+        assert su.choose_commit_block(4) == 2
+
+    def test_pop_block_removes_tags(self):
+        su = make_su()
+        block = su.new_block(0)
+        entry = add_entry(su, block, 7, 0, alu(), state=DONE)
+        su.pop_block(0)
+        assert entry.tag not in su.by_tag
+        assert not su.blocks
+
+
+class TestSquash:
+    def test_squash_removes_same_thread_younger_only(self):
+        su = make_su(su_entries=32, nthreads=2)
+        b0 = su.new_block(0)
+        branch = add_entry(su, b0, 0, 0, Instruction(Op.BEQ, rs1=1, rs2=2, imm=3))
+        victim_same_block = add_entry(su, b0, 1, 0, alu())
+        b1 = su.new_block(1)
+        other_thread = add_entry(su, b1, 2, 1, alu())
+        b2 = su.new_block(0)
+        victim_later = add_entry(su, b2, 3, 0, alu())
+        squashed = su.squash_younger(branch)
+        assert set(squashed) == {victim_same_block, victim_later}
+        assert all(e.squashed for e in squashed)
+        assert not other_thread.squashed
+        assert branch in su.blocks[0].entries
+
+    def test_emptied_younger_blocks_reclaimed(self):
+        su = make_su(nthreads=2)
+        b0 = su.new_block(0)
+        branch = add_entry(su, b0, 0, 0, Instruction(Op.BEQ, rs1=1, rs2=2, imm=3))
+        b1 = su.new_block(0)
+        add_entry(su, b1, 1, 0, alu())
+        su.squash_younger(branch)
+        assert len(su.blocks) == 1
+
+    def test_squashed_tags_removed_from_map(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        branch = add_entry(su, b0, 0, 0, Instruction(Op.BEQ, rs1=1, rs2=2, imm=3))
+        victim = add_entry(su, b0, 1, 0, alu())
+        su.squash_younger(branch)
+        assert victim.tag not in su.by_tag
+
+
+class TestMemoryOrdering:
+    def test_unresolved_older_store_blocks_load(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        add_entry(su, b0, 0, 0, store(), state=WAITING, addr=None)
+        ld = add_entry(su, b0, 1, 0, load())
+        ld.addr = 100
+        assert su.older_store_conflict(ld)
+
+    def test_resolved_nonmatching_store_clears_load(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        st = add_entry(su, b0, 0, 0, store(), state=WAITING, addr=50)
+        ld = add_entry(su, b0, 1, 0, load())
+        ld.addr = 100
+        assert not su.older_store_conflict(ld)
+        st.addr = 100
+        assert su.older_store_conflict(ld)
+        st.state = DONE
+        assert not su.older_store_conflict(ld)  # forwardable now
+
+    def test_other_thread_store_never_blocks(self):
+        su = make_su()
+        b0 = su.new_block(1)
+        add_entry(su, b0, 0, 1, store(), state=WAITING, addr=None)
+        b1 = su.new_block(0)
+        ld = add_entry(su, b1, 1, 0, load())
+        ld.addr = 100
+        assert not su.older_store_conflict(ld)
+
+    def test_younger_store_does_not_block(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        ld = add_entry(su, b0, 0, 0, load())
+        ld.addr = 100
+        add_entry(su, b0, 1, 0, store(), state=WAITING, addr=None)
+        assert not su.older_store_conflict(ld)
+
+    def test_all_older_done(self):
+        su = make_su()
+        b0 = su.new_block(0)
+        older = add_entry(su, b0, 0, 0, alu(), state=WAITING)
+        tas = add_entry(su, b0, 1, 0, Instruction(Op.TAS, rd=1, rs1=2))
+        assert not su.all_older_done(tas)
+        older.state = DONE
+        assert su.all_older_done(tas)

@@ -1,0 +1,79 @@
+"""SimStats unit tests."""
+
+from repro.core import MachineConfig, SimStats
+from repro.core.config import FU_DEFAULT, FU_ENHANCED
+from repro.isa.opcodes import FuClass
+
+
+def make_stats(**cfg):
+    return SimStats(MachineConfig(**cfg))
+
+
+def test_initial_state():
+    stats = make_stats(nthreads=3)
+    assert stats.cycles == 0
+    assert stats.ipc == 0.0
+    assert stats.committed_per_thread == [0, 0, 0]
+    assert stats.cache_hit_rate == 1.0
+    assert stats.avg_su_occupancy == 0.0
+
+
+def test_ipc():
+    stats = make_stats()
+    stats.cycles = 100
+    stats.committed = 250
+    assert stats.ipc == 2.5
+
+
+def test_fu_busy_shape_matches_config():
+    stats = make_stats(fu_counts=FU_ENHANCED)
+    assert len(stats.fu_busy[FuClass.IALU]) == 6
+    assert len(stats.fu_busy[FuClass.LOAD]) == 2
+
+
+def test_fu_utilization():
+    stats = make_stats()
+    stats.cycles = 100
+    stats.fu_busy[FuClass.IALU][0] = 50
+    assert stats.fu_utilization(FuClass.IALU, 0) == 0.5
+    assert stats.fu_utilization(FuClass.IALU, 1) == 0.0
+
+
+def test_extra_fu_usage_vs_baseline():
+    stats = make_stats(fu_counts=FU_ENHANCED)
+    stats.cycles = 100
+    stats.fu_busy[FuClass.IALU][4] = 30  # first extra ALU (beyond 4)
+    stats.fu_busy[FuClass.LOAD][1] = 80  # the extra load unit
+    usage = stats.extra_fu_usage(FU_DEFAULT)
+    assert usage[FuClass.IALU] == [0.3, 0.0]
+    assert usage[FuClass.LOAD] == [0.8]
+    assert FuClass.CT not in usage  # enhanced config adds no CT unit
+
+
+def test_summary_contains_headline_numbers():
+    stats = make_stats()
+    stats.cycles = 10
+    stats.committed = 20
+    text = stats.summary()
+    assert "10" in text
+    assert "IPC 2.000" in text
+
+
+def test_finish_cycles_recorded():
+    from repro.asm import assemble
+    from repro.core import PipelineSim
+
+    program = assemble("""
+        .text
+        mftid r4
+        beqz r4, quick
+        li r5, 60
+    lp: addi r5, r5, -1
+        bnez r5, lp
+    quick:
+        halt
+    """)
+    sim = PipelineSim(program, MachineConfig(nthreads=2, max_cycles=100_000))
+    stats = sim.run()
+    assert stats.finish_cycle[0] >= 0
+    assert stats.finish_cycle[1] > stats.finish_cycle[0]

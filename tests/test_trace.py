@@ -1,0 +1,73 @@
+"""Pipeline tracer tests."""
+
+from repro.asm import assemble
+from repro.core import MachineConfig, PipelineSim
+from repro.core.trace import Tracer
+
+
+def traced_run(source, **cfg):
+    program = assemble(source)
+    sim = PipelineSim(program, MachineConfig(nthreads=1, max_cycles=100_000,
+                                             **cfg))
+    tracer = Tracer.attach(sim, limit=100)
+    sim.run()
+    return tracer
+
+
+def test_lifecycle_stages_ordered():
+    tracer = traced_run("""
+        .text
+        li r4, 5
+        add r5, r4, r4
+        mul r6, r5, r5
+        halt
+    """)
+    for record in tracer.order:
+        if record.committed is None:
+            continue
+        assert record.decoded <= record.issued <= record.completed \
+            <= record.committed
+
+
+def test_dependent_instruction_issues_after_producer_completes_or_bypasses():
+    tracer = traced_run(".text\nli r4, 5\nmul r5, r4, r4\nhalt\n")
+    by_text = {r.text: r for r in tracer.order}
+    producer = by_text["addi r4, r0, 5"]
+    consumer = by_text["mul r5, r4, r4"]
+    assert consumer.issued >= producer.issued
+
+
+def test_squashed_instructions_marked():
+    tracer = traced_run("""
+        .text
+        li r4, 1
+        beqz r4, over      # predicted taken at cold start, actually not
+        li r5, 2
+        li r6, 3
+    over:
+        halt
+    """)
+    # Some wrong-path instruction must have been squashed at least once
+    # across the run (the branch mispredicts in one direction or the
+    # other on first encounter).
+    squashed = [r for r in tracer.order if r.squashed is not None]
+    committed = [r for r in tracer.order if r.committed is not None]
+    assert committed
+    for record in squashed:
+        assert record.committed is None
+
+
+def test_render_contains_stage_letters():
+    tracer = traced_run(".text\nli r4, 1\nhalt\n")
+    text = tracer.render()
+    assert "D" in text and "C" in text
+    assert "cycles" in text
+
+
+def test_limit_respected():
+    program_text = ".text\n" + "nop\n" * 300 + "halt\n"
+    program = assemble(program_text)
+    sim = PipelineSim(program, MachineConfig(nthreads=1))
+    tracer = Tracer.attach(sim, limit=50)
+    sim.run()
+    assert len(tracer.order) == 50

@@ -1,0 +1,97 @@
+"""Workload correctness: every benchmark's simulated checksum must match
+its independent Python mirror, on both simulators."""
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim
+from repro.funcsim import FunctionalSim
+from repro.workloads import ALL_WORKLOADS, BY_NAME, GROUP_I, GROUP_II
+
+
+def test_eleven_benchmarks_in_paper_groups():
+    assert len(ALL_WORKLOADS) == 11
+    assert len(GROUP_I) == 6
+    assert len(GROUP_II) == 5
+    assert {w.name for w in GROUP_I} == {"LL1", "LL2", "LL3", "LL5", "LL7",
+                                         "LL12"}
+    assert {w.name for w in GROUP_II} == {"Laplace", "MPD", "Matrix",
+                                          "Sieve", "Water"}
+
+
+def test_registry_lookup():
+    assert BY_NAME["Water"].group == 2
+    assert BY_NAME["LL5"].group == 1
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+@pytest.mark.parametrize("nthreads", [1, 2, 4])
+def test_workload_on_functional_sim(workload, nthreads):
+    program = workload.program(nthreads)
+    sim = FunctionalSim(program, nthreads=nthreads)
+    sim.run(max_steps=20_000_000)
+    checksum = sim.mem(workload.checksum_address(nthreads))
+    assert workload.verify(checksum, nthreads), \
+        f"{checksum!r} != {workload.expected(nthreads)!r}"
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_workload_on_pipeline_4_threads(workload):
+    program = workload.program(4)
+    sim = PipelineSim(program, MachineConfig(nthreads=4, max_cycles=3_000_000))
+    sim.run()
+    checksum = sim.mem(workload.checksum_address(4))
+    assert workload.verify(checksum, 4)
+
+
+def test_programs_cached_per_thread_count():
+    workload = BY_NAME["LL1"]
+    assert workload.program(2) is workload.program(2)
+    assert workload.program(2) is not workload.program(4)
+
+
+def test_mirrors_thread_count_sensitivity():
+    # Parallel FP reductions reorder additions, so mirrors must be
+    # thread-count aware; the values stay within float noise of each
+    # other but are not necessarily identical.
+    workload = BY_NAME["LL3"]
+    values = {n: workload.expected(n) for n in (1, 2, 4)}
+    spread = max(values.values()) - min(values.values())
+    assert spread < 1e-6
+
+
+def test_sieve_counts_primes_exactly():
+    sieve = BY_NAME["Sieve"]
+    assert sieve.expected(1) == sieve.expected(4)  # integer, exact
+    assert sieve.tolerance == 0
+
+
+class TestExtraWorkloads:
+    @pytest.mark.parametrize("nthreads", [1, 2, 4])
+    def test_extras_verify_on_funcsim(self, nthreads):
+        from repro.workloads import EXTRA_WORKLOADS
+        for workload in EXTRA_WORKLOADS:
+            sim = FunctionalSim(workload.program(nthreads),
+                                nthreads=nthreads)
+            sim.run(max_steps=20_000_000)
+            checksum = sim.mem(workload.checksum_address(nthreads))
+            assert workload.verify(checksum, nthreads), workload.name
+
+    def test_extras_in_registry_not_in_groups(self):
+        from repro.workloads import ALL_WORKLOADS, BY_NAME
+        assert "LL4" in BY_NAME and "LL11" in BY_NAME
+        assert len(ALL_WORKLOADS) == 11  # the paper's set is unchanged
+
+    def test_ll11_recurrence_loses_from_multithreading(self):
+        """LL11 corroborates the LL5 finding on a second kernel."""
+        from repro.workloads import BY_NAME
+        workload = BY_NAME["LL11"]
+        cycles = {}
+        for nthreads in (1, 4):
+            sim = PipelineSim(workload.program(nthreads),
+                              MachineConfig(nthreads=nthreads,
+                                            max_cycles=3_000_000))
+            sim.run()
+            assert workload.verify(
+                sim.mem(workload.checksum_address(nthreads)), nthreads)
+            cycles[nthreads] = sim.cycle
+        assert cycles[4] > cycles[1]
