@@ -4,24 +4,38 @@ All benchmark modules share one memoizing Runner, so configurations
 common to several figures (e.g. the default 4-thread machine) are
 simulated once. Results accumulate in ``benchmarks/results.json`` for
 EXPERIMENTS.md.
+
+The Runner is additionally backed by a persistent disk cache
+(``benchmarks/.result_cache.json``), so a repeated session replays
+finished simulations from JSON — set ``REPRO_NO_DISK_CACHE=1`` to
+force everything to re-simulate. Entries key on the engine version,
+workload program content, and full configuration, so simulator or
+kernel changes invalidate them automatically.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
-from repro.harness import Runner
+from repro.harness import DiskResultCache, Runner
 from repro.workloads import GROUP_I, GROUP_II
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+CACHE_PATH = pathlib.Path(__file__).parent / ".result_cache.json"
 
 _results = {}
+_disk_cache = None
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner()
+    global _disk_cache
+    if os.environ.get("REPRO_NO_DISK_CACHE") == "1":
+        return Runner()
+    _disk_cache = DiskResultCache(CACHE_PATH, autosave=False)
+    return Runner(disk_cache=_disk_cache)
 
 
 @pytest.fixture(scope="session")
@@ -53,9 +67,16 @@ def geomean_speedup(cycles_a, cycles_b, names):
     return sum(speedups) / len(speedups)
 
 
+def pytest_terminal_summary(terminalreporter):
+    if _disk_cache is not None:
+        terminalreporter.write_line(_disk_cache.stats_line())
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _write_results():
     yield
+    if _disk_cache is not None:
+        _disk_cache.save()
     if _results:
         existing = {}
         if RESULTS_PATH.exists():

@@ -82,6 +82,15 @@ FU_LATENCY = {
 BLOCK = 4
 
 
+def _cache_spec(cache):
+    """Plain-data form of a :class:`CacheConfig` (or ``None``)."""
+    if cache is None:
+        return None
+    return dict(size_bytes=cache.size_bytes, line_words=cache.line_words,
+                assoc=cache.assoc, miss_penalty=cache.miss_penalty,
+                ports=cache.ports)
+
+
 class MachineConfig:
     """Full hardware configuration (the paper's Table 2).
 
@@ -111,7 +120,8 @@ class MachineConfig:
                  shared_predictor=True,
                  predictor_kind="bimodal",
                  mem_words=1 << 20,
-                 max_cycles=50_000_000):
+                 max_cycles=50_000_000,
+                 fast_forward=True):
         self.nthreads = nthreads
         self.fetch_policy = (FetchPolicy(fetch_policy)
                              if not isinstance(fetch_policy, FetchPolicy)
@@ -151,6 +161,10 @@ class MachineConfig:
         self.predictor_kind = predictor_kind
         self.mem_words = mem_words
         self.max_cycles = max_cycles
+        #: Skip provably-idle cycles in one jump. Never changes any
+        #: simulated statistic (see docs/PERFORMANCE.md); exposed as a
+        #: knob so differential tests can pin the slow path.
+        self.fast_forward = fast_forward
 
     def replace(self, **overrides):
         """A copy of this configuration with some fields overridden."""
@@ -177,9 +191,59 @@ class MachineConfig:
             predictor_kind=self.predictor_kind,
             mem_words=self.mem_words,
             max_cycles=self.max_cycles,
+            fast_forward=self.fast_forward,
         )
         fields.update(overrides)
         return MachineConfig(**fields)
+
+    def to_spec(self):
+        """Plain-data dict that :meth:`from_spec` reconstructs exactly.
+
+        Used to ship configurations across process boundaries (the
+        parallel harness pickles only plain data) and to feed the disk
+        cache's key hash.
+        """
+        return dict(
+            nthreads=self.nthreads,
+            fetch_policy=self.fetch_policy.value,
+            masked_criterion=self.masked_criterion,
+            commit_policy=self.commit_policy.value,
+            commit_blocks=self.commit_blocks,
+            su_entries=self.su_entries,
+            issue_width=self.issue_width,
+            writeback_width=self.writeback_width,
+            store_buffer_depth=self.store_buffer_depth,
+            fu_counts={cls.value: n for cls, n in self.fu_counts.items()},
+            fu_latency={cls.value: n for cls, n in self.fu_latency.items()},
+            cache=_cache_spec(self.cache),
+            icache=_cache_spec(self.icache),
+            bypassing=self.bypassing,
+            renaming=self.renaming,
+            predictor_bits=self.predictor_bits,
+            predictor_entries=self.predictor_entries,
+            btb_entries=self.btb_entries,
+            shared_predictor=self.shared_predictor,
+            predictor_kind=self.predictor_kind,
+            mem_words=self.mem_words,
+            max_cycles=self.max_cycles,
+            fast_forward=self.fast_forward,
+        )
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Inverse of :meth:`to_spec`."""
+        fields = dict(spec)
+        fields["fetch_policy"] = FetchPolicy(fields["fetch_policy"])
+        fields["commit_policy"] = CommitPolicy(fields["commit_policy"])
+        fields["fu_counts"] = {FuClass(name): n
+                               for name, n in fields["fu_counts"].items()}
+        fields["fu_latency"] = {FuClass(name): n
+                                for name, n in fields["fu_latency"].items()}
+        if fields["cache"] is not None:
+            fields["cache"] = CacheConfig(**fields["cache"])
+        if fields["icache"] is not None:
+            fields["icache"] = CacheConfig(**fields["icache"])
+        return cls(**fields)
 
     def describe(self):
         """Multi-line summary of the configuration."""

@@ -31,10 +31,17 @@ class FuPool:
         self._latency = [config.fu_latency[cls] for cls in FU_CLASSES]
         self._occupancy = [config.fu_latency[cls] if cls in UNPIPELINED
                            else 1 for cls in FU_CLASSES]
-        self._free_at = [[0] * config.fu_counts.get(cls, 0)
-                         for cls in FU_CLASSES]
-        self._busy = [[0] * config.fu_counts.get(cls, 0)
-                      for cls in FU_CLASSES]
+        self._counts = [config.fu_counts.get(cls, 0) for cls in FU_CLASSES]
+        self._free_at = [[0] * count for count in self._counts]
+        self._busy = [[0] * count for count in self._counts]
+        # Pipelined classes (occupancy 1) are fully described by how
+        # many acquires happened in the current cycle — a counter reset
+        # on cycle change replaces the per-instance free-time scan.
+        # Instances still fill lowest-index-first, so per-instance busy
+        # statistics are unchanged.
+        n = len(FU_CLASSES)
+        self._used_cycle = [-1] * n
+        self._used = [0] * n
 
     def latency_of(self, fu_index):
         """Result latency of the unit class."""
@@ -47,6 +54,16 @@ class FuPool:
         """
         if occupancy is None:
             occupancy = self._occupancy[fu_index]
+        if occupancy == 1:
+            if self._used_cycle[fu_index] != now:
+                self._used_cycle[fu_index] = now
+                self._used[fu_index] = 0
+            index = self._used[fu_index]
+            if index >= self._counts[fu_index]:
+                return None
+            self._used[fu_index] = index + 1
+            self._busy[fu_index][index] += 1
+            return index
         units = self._free_at[fu_index]
         for index, free_at in enumerate(units):
             if free_at <= now:
@@ -57,6 +74,9 @@ class FuPool:
 
     def available(self, fu_index, now):
         """True if some unit of the class is free this cycle."""
+        if self._occupancy[fu_index] == 1:
+            return (self._used_cycle[fu_index] != now
+                    or self._used[fu_index] < self._counts[fu_index])
         for free_at in self._free_at[fu_index]:
             if free_at <= now:
                 return True

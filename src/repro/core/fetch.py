@@ -17,7 +17,6 @@ The instruction cache is perfect (100% hits), as in the paper.
 """
 
 from repro.core.config import BLOCK, FetchPolicy
-from repro.isa.opcodes import Op
 
 
 class ThreadContext:
@@ -77,6 +76,11 @@ class FetchUnit:
         #: Callable tid -> in-flight instruction count, set by the
         #: pipeline; used by the ICOUNT policy.
         self.occupancy_of = None
+        # Reusable FetchedInstr objects: the fetch buffer lives exactly
+        # one cycle (filled by fetch, drained by decode or discarded on
+        # a squash before the next fetch), so the items can be pooled
+        # instead of allocated per instruction.
+        self._item_pool = [FetchedInstr(0, None) for _ in range(BLOCK)]
 
     # ------------------------------------------------------ thread choice
 
@@ -132,6 +136,23 @@ class FetchUnit:
                 self._current = candidate
                 return
 
+    def note_idle_cycles(self, cycles):
+        """Replay ``cycles`` consecutive idle :meth:`select_thread` calls.
+
+        The idle-cycle fast-forward skips cycles where no thread is
+        fetchable, but some policies mutate state even on a wasted slot:
+        True RR advances its modulo counter once per call, and
+        Conditional Switch consumes a pending switch (rotating with the
+        ``fetchable(None)`` relaxation) the first time. Masked RR and
+        ICOUNT only move their pointers when a thread is actually
+        selected, so an idle run leaves them untouched.
+        """
+        if self.policy is FetchPolicy.TRUE_RR:
+            self._rr_counter += cycles
+        elif self.policy is FetchPolicy.COND_SWITCH and self._switch_pending:
+            self._switch_pending = False
+            self._advance_current()
+
     def note_switch_trigger(self):
         """Decoder saw a switch-trigger instruction (Conditional Switch)."""
         if self.policy is FetchPolicy.COND_SWITCH:
@@ -152,19 +173,26 @@ class FetchUnit:
         resolves).
         """
         instructions = self.program.instructions
+        limit = len(instructions)
         pc = thread.pc
         room = BLOCK - pc % BLOCK
-        fetched = []
+        pool = self._item_pool
+        count = 0
         for _ in range(room):
-            if not 0 <= pc < len(instructions):
+            if not 0 <= pc < limit:
                 thread.fetch_halted = True
                 break
             instr = instructions[pc]
-            op = instr.op
-            info = instr.info
-            item = FetchedInstr(pc, instr)
-            fetched.append(item)
-            if info.is_branch:
+            item = pool[count]
+            count += 1
+            item.pc = pc
+            item.instr = instr
+            kind = instr.info.ctl_kind
+            if kind == 0:
+                item.predicted_taken = False
+                item.predicted_target = None
+                pc += 1
+            elif kind == 1:  # conditional branch
                 taken = self.predictor.predict(pc, thread.tid)
                 item.predicted_taken = taken
                 item.predicted_target = pc + 1 + instr.imm if taken else pc + 1
@@ -172,12 +200,12 @@ class FetchUnit:
                     pc = item.predicted_target
                     break
                 pc += 1
-            elif op in (Op.J, Op.JAL):
+            elif kind == 2:  # j / jal
                 item.predicted_taken = True
                 item.predicted_target = instr.imm
                 pc = instr.imm
                 break
-            elif op is Op.JALR:
+            elif kind == 3:  # jalr
                 target = self.predictor.btb_lookup(pc, thread.tid)
                 item.predicted_taken = True
                 item.predicted_target = target
@@ -186,12 +214,12 @@ class FetchUnit:
                 else:
                     pc = target
                 break
-            elif op is Op.HALT:
+            else:  # halt
+                item.predicted_taken = False
+                item.predicted_target = None
                 thread.fetch_halted = True
                 pc += 1
                 break
-            else:
-                pc += 1
         if thread.jalr_wait is None:
             thread.pc = pc
-        return fetched
+        return pool[:count]

@@ -23,8 +23,38 @@ store-heavy code. Loads forward from older same-thread stores still in
 the SU and from committed store-buffer entries; ``tas`` additionally
 waits until it is non-speculative and the buffer holds no write to its
 address, then performs an atomic read-modify-write on memory.
+
+Fast-path engine
+----------------
+The simulator is performance-critical (every figure of the evaluation
+re-simulates a workload grid), so the hot path avoids work that cannot
+change the outcome:
+
+* Stage calls are guarded: writeback only runs when the earliest
+  pending result is due, issue only when the SU has an issuable entry,
+  decode and fetch only when the fetch buffer is in the right state.
+* Completion is a calendar queue — per-ready-cycle buckets plus a heap
+  of distinct cycles — instead of a heap of individual results, and
+  ALU/FP results come from per-instruction execution closures
+  (:func:`repro.isa.semantics.build_exec`).
+* Ordering and occupancy questions are answered by the scheduling
+  unit's incremental indexes instead of per-query scans (see
+  :mod:`repro.core.scheduler`).
+* ``run()`` fast-forwards across provably idle cycles: when nothing can
+  issue, write back, commit, decode, fetch, or drain, the clock jumps
+  straight to the next event (earliest pending result, store-buffer
+  drain slot, or a thread's instruction-cache refill) and the skipped cycles
+  are charged to the same stall counters the per-cycle loop would have
+  incremented. ``MachineConfig(fast_forward=False)`` disables the jump;
+  both modes produce bit-identical statistics (enforced by
+  ``tests/test_golden_cycles.py`` and the differential suite).
+
+Bump :data:`ENGINE_VERSION` whenever a change alters any simulated
+cycle count; the persistent result cache (``repro.harness.diskcache``)
+keys on it.
 """
 
+import gc
 import heapq
 
 from repro.asm.program import Program
@@ -34,14 +64,23 @@ from repro.core.execute import FuPool
 from repro.core.fetch import FetchUnit, ThreadContext
 from repro.core.scheduler import DONE, ISSUED, SchedulingUnit, SUEntry, WAITING
 from repro.core.stats import SimStats
-from repro.isa.opcodes import FuClass, Op
+from repro.isa.opcodes import FU_CLASSES, FuClass, Op
 from repro.isa.registers import RegisterFile
-from repro.isa.semantics import branch_taken, compute
+from repro.isa.semantics import branch_taken, build_exec
 from repro.mem.cache import DataCache
 from repro.mem.memory import MainMemory
 from repro.mem.storebuffer import StoreBuffer
 
+#: Simulator timing-model version. Bump on ANY change that can alter a
+#: simulated cycle count; persisted results keyed on an older version
+#: are then ignored rather than silently reused.
+ENGINE_VERSION = 2
+
 _NO_FORWARD = object()
+
+_DIV_CLASSES = (FuClass.IDIV, FuClass.FPDIV)
+
+_LOAD_FU_BIT = 1 << FU_CLASSES.index(FuClass.LOAD)
 
 
 class DeadlockError(RuntimeError):
@@ -84,9 +123,21 @@ class PipelineSim:
         self.fetch_buffer = None  # (ThreadContext, [FetchedInstr])
         self.cycle = 0
         self._next_tag = 0
-        self._pending = []  # heap of (ready_cycle, seq, entry)
-        self._heap_seq = 0
-        self._waiters = {}  # producer tag -> [(waiting entry, operand index)]
+        # Completion calendar: ready cycle -> entries in schedule order,
+        # plus a min-heap of the distinct ready cycles.
+        self._wb_buckets = {}
+        self._wb_cycles = []
+        self._halted = 0  # threads whose HALT has committed
+        # Hot-loop copies of configuration fields (attribute chains cost).
+        self._issue_width = cfg.issue_width
+        self._writeback_width = cfg.writeback_width
+        self._bypassing = cfg.bypassing
+        self._commit_blocks = cfg.commit_blocks
+        self._renaming = cfg.renaming
+        self._masked = cfg.fetch_policy is FetchPolicy.MASKED_RR
+        self._fast_forward = cfg.fast_forward
+        self._nthreads = cfg.nthreads
+        self._latency = self.fu_pool._latency  # fu_index -> result latency
 
     # ------------------------------------------------------------ driver
 
@@ -97,12 +148,26 @@ class PipelineSim:
     def run(self):
         """Run to completion and return the populated :class:`SimStats`."""
         max_cycles = self.config.max_cycles
-        while not self.done:
-            if self.cycle >= max_cycles:
-                raise DeadlockError(
-                    f"no completion after {max_cycles} cycles; "
-                    f"threads: {self.threads}")
-            self.step()
+        nthreads = self.config.nthreads
+        fast_forward = self._fast_forward
+        step = self.step
+        # The run loop allocates at a high, steady rate with almost no
+        # garbage surviving a cycle; collector passes only add overhead.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while self._halted < nthreads:
+                if self.cycle >= max_cycles:
+                    raise DeadlockError(
+                        f"no completion after {max_cycles} cycles; "
+                        f"threads: {self.threads}")
+                if fast_forward:
+                    self._skip_idle_cycles()
+                step()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         # Drain remaining (all committed) stores so memory is final.
         now = self.cycle
         while self.store_buffer.entries:
@@ -114,18 +179,102 @@ class PipelineSim:
     def step(self):
         """Advance the machine by one cycle."""
         now = self.cycle
+        su = self.su
         self._commit(now)
-        if self.config.bypassing:
-            self._writeback(now)
-            self._issue(now)
+        cycles = self._wb_cycles
+        if self._bypassing:
+            if cycles and cycles[0] <= now:
+                self._writeback(now)
+            if su.issuable:
+                self._issue(now)
         else:
-            self._issue(now)
-            self._writeback(now)
-        self._decode(now)
-        self._fetch(now)
-        self.store_buffer.drain_one(self.cache, self.memory, now)
-        self.stats.su_occupancy_sum += self.su.occupancy()
-        self.cycle += 1
+            if su.issuable:
+                self._issue(now)
+            if cycles and cycles[0] <= now:
+                self._writeback(now)
+        if self.fetch_buffer is not None:
+            self._decode(now)
+        if self.fetch_buffer is None:
+            self._fetch(now)
+        store_buffer = self.store_buffer
+        if store_buffer.entries:
+            store_buffer.drain_one(self.cache, self.memory, now)
+        self.stats.su_occupancy_sum += su._entry_count
+        self.cycle = now + 1
+
+    def _skip_idle_cycles(self):
+        """Jump the clock over cycles in which nothing can happen.
+
+        A cycle is provably idle when the issue stage has no candidate,
+        the earliest pending result is not due, the store buffer cannot
+        drain, no block can commit, and the front end is stalled (fetch
+        buffer blocked on a full SU / scoreboard hazard, or no thread
+        fetchable). Machine state can then only change at the next
+        event: the earliest pending result, the store buffer's drain
+        slot, or a thread's instruction-cache refill completing. The
+        skipped cycles are charged to exactly the stall counters the
+        per-cycle loop would have incremented, so statistics are
+        bit-identical either way (``MachineConfig(fast_forward=False)``
+        runs the slow path).
+        """
+        su = self.su
+        if su.issuable:
+            return
+        now = self.cycle
+        pending = self._wb_cycles
+        if pending and pending[0] <= now:
+            return
+        store_buffer = self.store_buffer
+        draining = bool(store_buffer.entries)
+        if draining and store_buffer.next_drain_cycle(now) <= now:
+            return
+        fetch_idle = self.fetch_buffer is None
+        if fetch_idle:
+            for thread in self.threads:
+                if thread.fetchable(now):
+                    return
+        elif not self._decode_blocked():
+            return
+        index = su.choose_commit_block(self._commit_blocks)
+        if index is not None:
+            block = su.blocks[index]
+            free = store_buffer.depth - len(store_buffer.entries)
+            if block.store_count <= free:
+                return  # a block will commit this cycle
+        # Nothing can happen before the next event.
+        target = pending[0] if pending else None
+        if draining:
+            drain_at = store_buffer.next_drain_cycle(now)
+            if target is None or drain_at < target:
+                target = drain_at
+        if fetch_idle:
+            for thread in self.threads:
+                stall = thread.stall_until
+                if stall > now and not thread.done and (
+                        target is None or stall < target):
+                    target = stall
+        if target is None or target <= now:
+            return
+        skipped = target - now
+        stats = self.stats
+        if fetch_idle:
+            stats.fetch_idle_cycles += skipped
+            self.fetch_unit.note_idle_cycles(skipped)
+        else:
+            stats.decode_stall_cycles += skipped
+        if su.full:
+            stats.su_stall_cycles += skipped
+        stats.su_occupancy_sum += su._entry_count * skipped
+        self.cycle = target
+
+    def _decode_blocked(self):
+        """Would :meth:`_decode` stall this cycle (no state change)?"""
+        if self.su.full:
+            return True
+        if self._renaming:
+            return False
+        thread, items = self.fetch_buffer
+        return self._scoreboard_hazard(thread.tid, items)
 
     def _finalize_stats(self):
         stats = self.stats
@@ -141,51 +290,53 @@ class PipelineSim:
 
     # ------------------------------------------------------------ commit
 
-    def _block_stores(self, block):
-        return [e for e in block.entries
-                if e.info.is_store and not e.info.is_load]
-
     def _commit(self, now):
         su = self.su
-        cfg = self.config
-        index = su.choose_commit_block(cfg.commit_blocks)
+        index = su.choose_commit_block(self._commit_blocks)
         if index is not None:
             block = su.blocks[index]
             # A block additionally needs store-buffer room for its stores.
-            stores = self._block_stores(block)
-            free_slots = self.store_buffer.depth - len(self.store_buffer.entries)
-            if len(stores) > free_slots:
+            store_buffer = self.store_buffer
+            if block.store_count > store_buffer.depth - len(store_buffer.entries):
                 index = None
         if index is None:
             if su.full:
                 self.stats.su_stall_cycles += 1
         else:
             self._commit_block(su.pop_block(index))
-        if cfg.fetch_policy is FetchPolicy.MASKED_RR:
+        if self._masked:
             self._update_masks()
 
     def _commit_block(self, block):
         now = self.cycle
         stats = self.stats
+        regs = self.regs
+        predictor = self.predictor
+        per_thread = stats.committed_per_thread
         for entry in block.entries:
             if entry.dest is not None and entry.result is not None:
-                self.regs.write(entry.tid, entry.dest, entry.result)
-            op = entry.instr.op
+                regs.write(entry.tid, entry.dest, entry.result)
             info = entry.info
             if info.is_store and not info.is_load:
                 sbe = self.store_buffer.allocate(entry.tag, entry.tid,
                                                  entry.addr, entry.vals[1])
                 sbe.committed = True
-            if info.is_branch:
-                self.predictor.update(entry.pc, entry.actual_taken, entry.tid)
-            elif op is Op.JALR:
-                self.predictor.btb_update(entry.pc, entry.actual_target,
-                                          entry.tid)
-            elif op is Op.HALT:
-                self.threads[entry.tid].done = True
-                stats.finish_cycle[entry.tid] = now
-            stats.committed += 1
-            stats.committed_per_thread[entry.tid] += 1
+            elif info.is_control:
+                if info.is_branch:
+                    predictor.update(entry.pc, entry.actual_taken, entry.tid)
+                else:
+                    op = entry.instr.op
+                    if op is Op.JALR:
+                        predictor.btb_update(entry.pc, entry.actual_target,
+                                             entry.tid)
+                    elif op is Op.HALT:
+                        thread = self.threads[entry.tid]
+                        if not thread.done:
+                            thread.done = True
+                            self._halted += 1
+                        stats.finish_cycle[entry.tid] = now
+            per_thread[entry.tid] += 1
+        stats.committed += len(block.entries)
         stats.commit_blocks += 1
 
     def _update_masks(self):
@@ -202,35 +353,65 @@ class PipelineSim:
             fetch_unit.set_mask(tid, False)
         blocks = self.su.blocks
         if self.config.masked_criterion == "commit_stall":
-            if blocks and not blocks[0].ready():
+            if blocks and blocks[0].not_done:
                 fetch_unit.set_mask(blocks[0].tid, True)
             return
-        for block in blocks:
-            for entry in block.entries:
-                if (entry.state != DONE
-                        and entry.info.fu in (FuClass.IDIV, FuClass.FPDIV)):
-                    fetch_unit.set_mask(entry.tid, True)
+        for tid in self.su.threads_with_inflight(_DIV_CLASSES):
+            fetch_unit.set_mask(tid, True)
 
     # --------------------------------------------------------- writeback
 
     def _writeback(self, now):
-        budget = self.config.writeback_width
-        heap = self._pending
-        while heap and heap[0][0] <= now and budget > 0:
-            __, __, entry = heapq.heappop(heap)
-            if entry.squashed:
-                continue
-            budget -= 1
-            self._complete(entry, now)
+        budget = self._writeback_width
+        buckets = self._wb_buckets
+        cycles = self._wb_cycles
+        heappop = heapq.heappop
+        while cycles and cycles[0] <= now:
+            cyc = cycles[0]
+            bucket = buckets[cyc]
+            i = 0
+            n = len(bucket)
+            while i < n:
+                entry = bucket[i]
+                i += 1
+                if entry.squashed:
+                    continue  # squashed results vanish; no budget spent
+                budget -= 1
+                self._complete(entry, now)
+                if budget == 0:
+                    break
+            if i >= n:
+                del buckets[cyc]
+                heappop(cycles)
+            else:
+                # Budget exhausted mid-bucket: the rest writes back on a
+                # later cycle, in the same order.
+                buckets[cyc] = bucket[i:]
+            if budget == 0:
+                return
 
     def _complete(self, entry, now):
         entry.state = DONE
-        for waiter, index in self._waiters.pop(entry.tag, ()):
-            if waiter.squashed:
-                continue
-            waiter.vals[index] = entry.result
-            waiter.tags[index] = None
-            waiter.pending -= 1
+        entry.block.not_done -= 1
+        waiters = entry.waiters
+        if waiters:
+            entry.waiters = None
+            su = self.su
+            result = entry.result
+            for waiter, index in waiters:
+                if waiter.squashed:
+                    continue
+                waiter.vals[index] = result
+                pending = waiter.pending - 1
+                waiter.pending = pending
+                if not pending:
+                    # The waiter is necessarily still WAITING: it could
+                    # not have issued with an operand outstanding.
+                    su.issuable += 1
+                    wblock = waiter.block
+                    wblock.ready += 1
+                    if waiter.info.is_load:
+                        wblock.ready_loads += 1
         if entry.info.is_control:
             self._resolve_control(entry, now)
 
@@ -262,52 +443,94 @@ class PipelineSim:
     # -------------------------------------------------------------- issue
 
     def _issue(self, now):
-        budget = self.config.issue_width
+        budget = self._issue_width
+        # Local count of candidates lets the scan stop as soon as every
+        # issuable entry has been visited instead of walking the whole SU.
+        remaining = self.su.issuable
+        pool = self.fu_pool
+        latency = self._latency
+        nthreads = self._nthreads
+        # Per-cycle short-circuit masks. A functional-unit class with no
+        # free unit stays exhausted for the rest of the cycle, and once a
+        # thread's oldest waiting memory op fails to issue, every younger
+        # load of that thread is doomed by the in-order memory rule —
+        # skipping both reproduces exactly what the failed attempts
+        # would have concluded, without paying for them.
+        fu_blocked = 0  # bitmask over fu_index
+        mem_blocked = 0  # bitmask over tid
         for block in self.su.blocks:
-            if not block.waiting:
+            ready = block.ready
+            if not ready:
+                continue
+            # When every candidate in the block is a load and loads of
+            # this thread are already doomed (no load unit free, or an
+            # older memory op failed), the whole block can be skipped.
+            ready_loads = block.ready_loads
+            if ready_loads == ready and (
+                    fu_blocked & _LOAD_FU_BIT
+                    or mem_blocked & (1 << block.tid)):
+                remaining -= ready
+                if remaining == 0:
+                    return
                 continue
             for entry in block.entries:
-                if budget == 0:
-                    return
                 if entry.state != WAITING or entry.pending:
                     continue
-                if self._try_issue(entry, now):
-                    block.waiting -= 1
+                remaining -= 1
+                issued = False
+                info = entry.info
+                fu_index = info.fu_index
+                bit = 1 << fu_index
+                if info.is_load:
+                    tbit = 1 << entry.tid
+                    if mem_blocked & tbit:
+                        pass
+                    elif fu_blocked & bit or not pool.available(fu_index, now):
+                        fu_blocked |= bit
+                        mem_blocked |= tbit
+                    elif self._issue_load(entry, now, latency[fu_index]):
+                        issued = True
+                    else:
+                        mem_blocked |= tbit
+                elif fu_blocked & bit:
+                    if info.is_store:
+                        # An unissued store blocks the thread's younger
+                        # loads (in-order memory issue), not its stores.
+                        mem_blocked |= 1 << entry.tid
+                elif pool.acquire(fu_index, now) is None:
+                    fu_blocked |= bit
+                    if info.is_store:
+                        mem_blocked |= 1 << entry.tid
+                else:
+                    if info.is_store:
+                        entry.addr = int(entry.vals[0]) + entry.instr.imm
+                        entry.result = None
+                    elif info.is_control:
+                        self._prepare_control(entry)
+                    else:
+                        instr = entry.instr
+                        fn = instr._exec
+                        if fn is None:
+                            fn = build_exec(instr)
+                        entry.result = fn(entry.vals, entry.tid, nthreads)
+                    self._schedule(entry, now + latency[fu_index])
+                    issued = True
+                if issued:
                     budget -= 1
-
-    def _try_issue(self, entry, now):
-        info = entry.info
-        fu_index = info.fu_index
-        pool = self.fu_pool
-        latency = pool.latency_of(fu_index)
-        if info.is_load:
-            if not pool.available(fu_index, now):
-                return False
-            return self._issue_load(entry, now, latency)
-        if pool.acquire(fu_index, now) is None:
-            return False
-        if info.is_store:
-            entry.addr = int(entry.vals[0]) + entry.instr.imm
-            entry.result = None
-            self._schedule(entry, now + latency)
-            return True
-        if info.is_control:
-            self._prepare_control(entry)
-            self._schedule(entry, now + latency)
-            return True
-        a, b = entry.operand_values()
-        entry.result = compute(entry.instr.op, a, b, tid=entry.tid,
-                               nthreads=self.config.nthreads,
-                               imm=entry.instr.imm)
-        self._schedule(entry, now + latency)
-        return True
+                    if budget == 0:
+                        return
+                if remaining == 0:
+                    return
+            if remaining == 0:
+                return
 
     def _issue_load(self, entry, now, latency):
         entry.addr = int(entry.vals[0]) + entry.instr.imm
-        if self.su.older_mem_unissued(entry):
+        su = self.su
+        if su.older_mem_unissued(entry):
             return False
         if entry.instr.op is Op.TAS:
-            if not self.su.all_older_done(entry):
+            if not su.all_older_done(entry):
                 return False
             if self.store_buffer.has_match(entry.addr):
                 return False
@@ -319,7 +542,7 @@ class PipelineSim:
             self.memory.write(entry.addr, 1)
             self._schedule(entry, ready)
             return True
-        if self.su.older_store_conflict(entry):
+        if su.older_store_conflict(entry):
             return False
         forwarded = self._forward_value(entry)
         if forwarded is not _NO_FORWARD:
@@ -353,18 +576,13 @@ class PipelineSim:
         memory (signalled by ``_NO_FORWARD``).
         """
         addr = entry.addr
-        tid = entry.tid
+        order = entry.order
         best = None
-        for block in self.su.blocks:
-            if block.seq > entry.block_seq:
-                break
-            if block.tid != tid:
-                continue
-            for candidate in block.entries:
-                if candidate is entry or not candidate.is_older_than(entry):
-                    continue
-                if candidate.info.is_store and candidate.addr == addr:
-                    best = candidate
+        for candidate in self.su.stores_of(entry.tid):
+            if candidate.order >= order:
+                break  # program-ordered: the rest are younger
+            if candidate.addr == addr:
+                best = candidate
         if best is not None:
             # older_store_conflict guarantees the store has executed.
             return best.vals[1]
@@ -391,9 +609,21 @@ class PipelineSim:
 
     def _schedule(self, entry, ready_cycle):
         entry.state = ISSUED
-        entry.issue_cycle = self.cycle
-        self._heap_seq += 1
-        heapq.heappush(self._pending, (ready_cycle, self._heap_seq, entry))
+        su = self.su
+        su.issuable -= 1
+        block = entry.block
+        block.ready -= 1
+        info = entry.info
+        if info.is_mem:
+            su._tid_mem_waiting[entry.tid].remove(entry)
+            if info.is_load:
+                block.ready_loads -= 1
+        bucket = self._wb_buckets.get(ready_cycle)
+        if bucket is None:
+            self._wb_buckets[ready_cycle] = [entry]
+            heapq.heappush(self._wb_cycles, ready_cycle)
+        else:
+            bucket.append(entry)
         self.stats.issued += 1
 
     # ------------------------------------------------------------- decode
@@ -407,21 +637,73 @@ class PipelineSim:
             return
         thread, items = self.fetch_buffer
         tid = thread.tid
-        if not self.config.renaming and self._scoreboard_hazard(tid, items):
+        if not self._renaming and self._scoreboard_hazard(tid, items):
             self.stats.decode_stall_cycles += 1
             return
         block = su.new_block(tid)
+        next_tag = self._next_tag
+        rename = self._rename_operands
+        # ``su.add`` and ``SUEntry.__init__`` are inlined here (the
+        # per-instruction method calls are measurable); keep them in
+        # sync with their scheduler counterparts.
+        new_entry = SUEntry.__new__
+        entries = block.entries
+        by_tag = su.by_tag
+        tid_stores = su._tid_stores[tid]
+        mem_waiting = su._tid_mem_waiting[tid]
+        writers = su._writers[tid]
+        seq8 = block.seq << 3
+        issuable_add = 0
         for item in items:
-            entry = SUEntry(self._next_tag, tid, item.pc, item.instr)
-            self._next_tag += 1
+            instr = item.instr
+            entry = new_entry(SUEntry)
+            entry.tag = next_tag
+            entry.tid = tid
+            entry.pc = item.pc
+            entry.instr = instr
+            entry.info = info = instr.info
+            dest = instr._dest
+            if dest is False:
+                dest = instr.dest()
+            entry.dest = dest
+            entry.state = WAITING
+            entry.waiters = None
+            entry.result = None
+            entry.addr = None
+            entry.actual_taken = None
+            entry.actual_target = None
+            entry.squashed = False
             entry.predicted_taken = item.predicted_taken
             entry.predicted_target = item.predicted_target
-            self._rename_operands(entry)
-            su.add(block, entry)
-            if item.instr.op is Op.JALR and thread.jalr_wait == -1:
-                thread.jalr_wait = entry.tag
-            if entry.info.switch_trigger:
+            next_tag += 1
+            rename(entry)  # sets vals and pending
+            entry.order = seq8 | len(entries)
+            entry.block = block
+            entries.append(entry)
+            by_tag[entry.tag] = entry
+            if info.is_store:
+                tid_stores.append(entry)
+                if not info.is_load:
+                    block.store_count += 1
+            if info.is_mem:
+                mem_waiting.append(entry)
+            if not entry.pending:
+                issuable_add += 1
+                if info.is_load:
+                    block.ready_loads += 1
+            if dest is not None:
+                writers[dest].append(entry)
+            if info.switch_trigger:
                 self.fetch_unit.note_switch_trigger()
+            elif info.ctl_kind == 3 and thread.jalr_wait == -1:  # jalr
+                thread.jalr_wait = entry.tag
+        count = len(entries)
+        block.not_done = count
+        block.ready = issuable_add
+        su.issuable += issuable_add
+        su._entry_count += count
+        su._tid_count[tid] += count
+        self._next_tag = next_tag
         self.fetch_buffer = None
 
     def _scoreboard_hazard(self, tid, items):
@@ -434,24 +716,31 @@ class PipelineSim:
 
     def _rename_operands(self, entry):
         sources = entry.instr.sources()
-        entry.vals = [None] * len(sources)
-        entry.tags = [None] * len(sources)
+        nsources = len(sources)
+        entry.vals = vals = [None] * nsources
         pending = 0
-        su = self.su
-        for index, reg in enumerate(sources):
+        tid = entry.tid
+        writers = self.su._writers[tid]
+        regs = self.regs
+        for index in range(nsources):
+            reg = sources[index]
             if reg == 0:
-                entry.vals[index] = 0
+                vals[index] = 0
                 continue
-            producer = su.lookup_operand(entry.tid, reg)
-            if producer is None:
-                entry.vals[index] = self.regs.read(entry.tid, reg)
-            elif producer.state == DONE:
-                entry.vals[index] = producer.result
+            stack = writers[reg]
+            if not stack:
+                vals[index] = regs.read(tid, reg)
+                continue
+            producer = stack[-1]
+            if producer.state == DONE:
+                vals[index] = producer.result
             else:
-                entry.tags[index] = producer.tag
                 pending += 1
-                self._waiters.setdefault(producer.tag, []).append(
-                    (entry, index))
+                waiters = producer.waiters
+                if waiters is None:
+                    producer.waiters = [(entry, index)]
+                else:
+                    waiters.append((entry, index))
         entry.pending = pending
 
     # -------------------------------------------------------------- fetch
@@ -483,10 +772,7 @@ class PipelineSim:
 
     def _thread_occupancy(self, tid):
         """In-flight instructions of ``tid`` (SU + fetch buffer)."""
-        count = 0
-        for block in self.su.blocks:
-            if block.tid == tid:
-                count += len(block.entries)
+        count = self.su.tid_occupancy(tid)
         if self.fetch_buffer is not None and self.fetch_buffer[0].tid == tid:
             count += len(self.fetch_buffer[1])
         return count

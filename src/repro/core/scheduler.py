@@ -8,9 +8,40 @@ cycle may commit — under Flexible Result Commit the committed block is
 the lowest ready block among the bottom ``commit_blocks`` whose thread
 differs from every lower (uncommitted) block's thread, which preserves
 per-thread in-order commit.
+
+Incremental indexes
+-------------------
+The hardware answers ordering questions (youngest older writer, older
+unresolved store, oldest unfinished entry) with CAM searches over the
+whole unit. Scanning every block per query is the simulator's hot path,
+so the SU maintains the answers incrementally instead — updated on
+``add``, ``note_issued``/``note_done`` (state transitions), ``squash_younger``
+and ``pop_block``:
+
+* ``_writers`` — per-thread, per-register stacks of in-flight writers
+  (rename), indexed ``_writers[tid][reg]``.
+* ``_tid_stores`` — per-thread, program-ordered in-flight stores
+  (restricted load/store check, store-to-load forwarding).
+* ``_tid_mem_waiting`` — per-thread, program-ordered memory ops still
+  WAITING (per-thread in-order memory issue).
+* ``issuable`` — count of WAITING entries with no pending operands, so
+  the issue stage (and the idle-cycle fast-forward) can skip scanning
+  entirely when nothing can possibly issue.
+* ``_tid_count`` — per-thread entry counts (ICOUNT fetch heuristic).
+* Per-block ``ready``/``not_done``/``store_count`` counters for O(1)
+  issue-scan pruning, readiness, and store-buffer-space checks.
+
+Rarely-evaluated predicates (``all_older_done``, used only by ``tas``;
+``threads_with_inflight``, used only by the masked-RR long-latency
+ablation) deliberately stay as scans: maintaining an index on every
+add/complete/squash costs more than the occasional walk.
+
+Every index mirrors exactly the predicate the old full scans evaluated;
+``tests/test_golden_cycles.py`` pins the resulting cycle counts.
 """
 
 from repro.isa.opcodes import Format, Op
+from repro.isa.registers import regs_per_thread
 
 # Entry states.
 WAITING = 0
@@ -24,9 +55,9 @@ class SUEntry:
     """One instruction resident in the scheduling unit."""
 
     __slots__ = ("tag", "tid", "pc", "instr", "info", "dest", "state",
-                 "vals", "tags", "pending", "result", "addr", "block_seq",
-                 "slot", "predicted_taken", "predicted_target",
-                 "actual_taken", "actual_target", "squashed", "issue_cycle")
+                 "vals", "waiters", "pending", "result", "addr", "order",
+                 "block", "predicted_taken", "predicted_target",
+                 "actual_taken", "actual_target", "squashed")
 
     def __init__(self, tag, tid, pc, instr):
         self.tag = tag
@@ -36,19 +67,18 @@ class SUEntry:
         self.info = instr.info
         self.dest = instr.dest()
         self.state = WAITING
-        self.vals = []
-        self.tags = []
+        self.vals = None  # filled by rename
+        self.waiters = None  # [(consumer entry, operand index)] or None
         self.pending = 0
         self.result = None
         self.addr = None
-        self.block_seq = -1
-        self.slot = -1
+        self.order = -1  # dense program-order key: (block.seq << 3) | slot
+        self.block = None
         self.predicted_taken = False
         self.predicted_target = None
         self.actual_taken = None
         self.actual_target = None
         self.squashed = False
-        self.issue_cycle = -1
 
     def operand_values(self):
         """(a, b) operand pair for :func:`repro.isa.semantics.compute`."""
@@ -63,9 +93,7 @@ class SUEntry:
 
     def is_older_than(self, other):
         """Program order comparison (valid within one thread)."""
-        if self.block_seq != other.block_seq:
-            return self.block_seq < other.block_seq
-        return self.slot < other.slot
+        return self.order < other.order
 
     def __repr__(self):
         state = {WAITING: "WAIT", ISSUED: "ISSUED", DONE: "DONE"}[self.state]
@@ -76,21 +104,28 @@ class SUEntry:
 class SUBlock:
     """A block of up to four same-thread entries.
 
-    ``waiting`` counts entries still in the WAITING state so the issue
-    stage can skip fully-issued blocks.
+    ``ready`` counts WAITING entries whose operands are all available,
+    so the issue scan can skip blocks with no candidate; ``not_done``
+    counts entries that have not written back, making :meth:`commit_ready`
+    O(1); ``store_count`` counts pure stores so the commit stage's
+    store-buffer-space check needs no scan.
     """
 
-    __slots__ = ("seq", "tid", "entries", "waiting")
+    __slots__ = ("seq", "tid", "entries", "ready", "ready_loads",
+                 "not_done", "store_count")
 
     def __init__(self, seq, tid):
         self.seq = seq
         self.tid = tid
         self.entries = []
-        self.waiting = 0
+        self.ready = 0
+        self.ready_loads = 0  # the subset of ``ready`` that are loads
+        self.not_done = 0
+        self.store_count = 0
 
-    def ready(self):
+    def commit_ready(self):
         """True when every surviving entry has finished executing."""
-        return all(entry.state == DONE for entry in self.entries)
+        return not self.not_done
 
     def __repr__(self):
         return f"SUBlock(seq={self.seq}, tid={self.tid}, {len(self.entries)} entries)"
@@ -106,8 +141,16 @@ class SchedulingUnit:
         self._next_seq = 0
         self.by_tag = {}
         self._entry_count = 0
-        # (tid, dest reg) -> in-flight writer entries, oldest first.
-        self._writers = {}
+        # _writers[tid][reg] -> in-flight writer entries, oldest first.
+        nthreads = config.nthreads
+        k = regs_per_thread(nthreads)
+        self._writers = [[[] for _ in range(k)] for _ in range(nthreads)]
+        self._tid_count = [0] * nthreads
+        self._tid_stores = [[] for _ in range(nthreads)]
+        self._tid_mem_waiting = [[] for _ in range(nthreads)]
+        #: WAITING entries whose operands are all available. The issue
+        #: stage does nothing while this is zero.
+        self.issuable = 0
 
     @property
     def full(self):
@@ -116,6 +159,14 @@ class SchedulingUnit:
     def occupancy(self):
         """Number of live entries."""
         return self._entry_count
+
+    def tid_occupancy(self, tid):
+        """Number of live entries belonging to thread ``tid``."""
+        return self._tid_count[tid]
+
+    def stores_of(self, tid):
+        """Thread ``tid``'s in-flight stores, oldest first (live view)."""
+        return self._tid_stores[tid]
 
     def new_block(self, tid):
         """Append an empty block at the top; caller fills it via :meth:`add`."""
@@ -127,21 +178,58 @@ class SchedulingUnit:
         return block
 
     def add(self, block, entry):
-        """Place a decoded entry into ``block``."""
-        entry.block_seq = block.seq
-        entry.slot = len(block.entries)
+        """Place a decoded entry into ``block``.
+
+        ``entry.pending`` must already be final (rename runs first) so
+        the issuable counter stays exact.
+        """
+        entry.order = (block.seq << 3) | len(block.entries)
+        entry.block = block
         block.entries.append(entry)
-        block.waiting += 1
+        tid = entry.tid
         self.by_tag[entry.tag] = entry
         self._entry_count += 1
-        if entry.dest is not None:
-            self._writers.setdefault((entry.tid, entry.dest),
-                                     []).append(entry)
+        self._tid_count[tid] += 1
+        info = entry.info
+        if info.is_store:
+            self._tid_stores[tid].append(entry)
+            if not info.is_load:
+                block.store_count += 1
+        # The pipeline always adds freshly-decoded WAITING entries; unit
+        # tests may pre-set a later state, so index by the actual state.
+        state = entry.state
+        if state == WAITING:
+            if info.is_mem:
+                self._tid_mem_waiting[tid].append(entry)
+            if not entry.pending:
+                self.issuable += 1
+                block.ready += 1
+                if info.is_load:
+                    block.ready_loads += 1
+        if state != DONE:
+            block.not_done += 1
+        dest = entry.dest
+        if dest is not None:
+            self._writers[tid][dest].append(entry)
+
+    def note_issued(self, entry):
+        """Bookkeeping for a WAITING -> ISSUED transition."""
+        self.issuable -= 1
+        entry.block.ready -= 1
+        info = entry.info
+        if info.is_mem:
+            self._tid_mem_waiting[entry.tid].remove(entry)
+            if info.is_load:
+                entry.block.ready_loads -= 1
+
+    def note_done(self, entry):
+        """Bookkeeping for an ISSUED -> DONE transition (writeback)."""
+        entry.block.not_done -= 1
 
     def _drop_writer(self, entry):
         if entry.dest is None:
             return
-        stack = self._writers.get((entry.tid, entry.dest))
+        stack = self._writers[entry.tid][entry.dest]
         if stack:
             try:
                 stack.remove(entry)
@@ -157,7 +245,7 @@ class SchedulingUnit:
         per-register writer stack for speed; the hardware does a CAM
         search over the scheduling unit).
         """
-        stack = self._writers.get((tid, reg))
+        stack = self._writers[tid][reg]
         if stack:
             return stack[-1]
         return None
@@ -171,20 +259,13 @@ class SchedulingUnit:
         the load may not issue this cycle.
         """
         addr = load_entry.addr
-        tid = load_entry.tid
-        for block in self.blocks:
-            if block.seq > load_entry.block_seq:
-                break
-            if block.tid != tid:
-                continue
-            for entry in block.entries:
-                if entry is load_entry or not entry.is_older_than(load_entry):
-                    continue
-                if not entry.info.is_store:
-                    continue
-                if entry.state != DONE:
-                    if entry.addr is None or entry.addr == addr:
-                        return True
+        order = load_entry.order
+        for entry in self._tid_stores[load_entry.tid]:
+            if entry.order >= order:
+                break  # program-ordered: the rest are younger
+            if entry.state != DONE and (entry.addr is None
+                                        or entry.addr == addr):
+                return True
         return False
 
     def older_mem_unissued(self, ref):
@@ -196,39 +277,49 @@ class SchedulingUnit:
         a load can be hoisted above an in-flight ``tas`` and read data
         that the lock does not yet protect.
         """
-        tid = ref.tid
-        for block in self.blocks:
-            if block.seq > ref.block_seq:
-                break
-            if block.tid != tid:
-                continue
-            for entry in block.entries:
-                if entry is ref:
-                    continue
-                if (entry.info.is_mem and entry.state == WAITING
-                        and entry.is_older_than(ref)):
-                    return True
-        return False
+        waiting = self._tid_mem_waiting[ref.tid]
+        if not waiting:
+            return False
+        head = waiting[0]
+        return head is not ref and head.order < ref.order
 
     def all_older_done(self, ref):
         """True when every older same-thread entry has executed.
 
         Used to make ``tas`` non-speculative: by the time all older
         same-thread entries (including branches) are DONE, any
-        misprediction would already have squashed ``ref``.
+        misprediction would already have squashed ``ref``. Only ``tas``
+        evaluates this, and only once its operands are ready, so a scan
+        is cheaper than keeping a per-thread not-done index current.
         """
         tid = ref.tid
+        order = ref.order
         for block in self.blocks:
-            if block.seq > ref.block_seq:
-                break
-            if block.tid != tid:
+            if block.tid != tid or not block.not_done:
                 continue
             for entry in block.entries:
-                if entry is ref:
-                    continue
-                if entry.is_older_than(ref) and entry.state != DONE:
+                if entry.order >= order:
+                    # FIFO blocks: every remaining entry is younger.
+                    return True
+                if entry.state != DONE:
                     return False
         return True
+
+    def threads_with_inflight(self, fu_classes):
+        """Thread ids with an unfinished op on one of ``fu_classes``.
+
+        Used only by the masked-RR ``long_latency`` criterion, once per
+        cycle per simulator under that policy — a scan, not an index.
+        """
+        tids = set()
+        for block in self.blocks:
+            if block.tid in tids or not block.not_done:
+                continue
+            for entry in block.entries:
+                if entry.state != DONE and entry.info.fu in fu_classes:
+                    tids.add(block.tid)
+                    break
+        return sorted(tids)
 
     def squash_younger(self, origin):
         """Discard all same-thread entries younger than ``origin``.
@@ -238,24 +329,42 @@ class SchedulingUnit:
         are reclaimed immediately.
         """
         squashed = []
+        tid = origin.tid
+        origin_order = origin.order
+        origin_seq = origin.block.seq
         for block in self.blocks:
-            if block.seq < origin.block_seq or block.tid != origin.tid:
+            if block.seq < origin_seq or block.tid != tid:
                 continue
             survivors = []
             for entry in block.entries:
-                if entry.is_older_than(origin) or entry is origin:
+                if entry.order <= origin_order:
                     survivors.append(entry)
-                else:
-                    entry.squashed = True
-                    if entry.state == WAITING:
-                        block.waiting -= 1
-                    self.by_tag.pop(entry.tag, None)
-                    self._drop_writer(entry)
-                    squashed.append(entry)
+                    continue
+                entry.squashed = True
+                state = entry.state
+                if state == WAITING and not entry.pending:
+                    self.issuable -= 1
+                    block.ready -= 1
+                    if entry.info.is_load:
+                        block.ready_loads -= 1
+                if state != DONE:
+                    block.not_done -= 1
+                info = entry.info
+                if info.is_store and not info.is_load:
+                    block.store_count -= 1
+                self.by_tag.pop(entry.tag, None)
+                self._drop_writer(entry)
+                squashed.append(entry)
             block.entries = survivors
-        self._entry_count -= len(squashed)
-        self.blocks = [b for b in self.blocks
-                       if b.entries or b.seq <= origin.block_seq]
+        if squashed:
+            self._entry_count -= len(squashed)
+            self._tid_count[tid] -= len(squashed)
+            self._tid_stores[tid] = [
+                e for e in self._tid_stores[tid] if not e.squashed]
+            self._tid_mem_waiting[tid] = [
+                e for e in self._tid_mem_waiting[tid] if not e.squashed]
+            self.blocks = [b for b in self.blocks
+                           if b.entries or b.seq <= origin_seq]
         return squashed
 
     def choose_commit_block(self, commit_blocks):
@@ -267,20 +376,45 @@ class SchedulingUnit:
         may commit. ``commit_blocks=1`` degenerates to the classic
         lowest-only reorder-buffer policy.
         """
-        blocked_tids = set()
-        limit = min(commit_blocks, len(self.blocks))
+        blocks = self.blocks
+        limit = len(blocks)
+        if commit_blocks < limit:
+            limit = commit_blocks
+        blocked = 0  # bitmask of thread ids seen in lower blocks
         for index in range(limit):
-            block = self.blocks[index]
-            if block.ready() and block.tid not in blocked_tids:
+            block = blocks[index]
+            bit = 1 << block.tid
+            if not block.not_done and not blocked & bit:
                 return index
-            blocked_tids.add(block.tid)
+            blocked |= bit
         return None
 
     def pop_block(self, index):
-        """Remove and return a committed block."""
+        """Remove and return a committed block (all entries DONE)."""
         block = self.blocks.pop(index)
+        tid = block.tid
+        by_tag = self.by_tag
+        stores = self._tid_stores[tid]
+        writers = self._writers[tid]
         for entry in block.entries:
-            self.by_tag.pop(entry.tag, None)
-            self._drop_writer(entry)
-        self._entry_count -= len(block.entries)
+            by_tag.pop(entry.tag, None)
+            dest = entry.dest
+            if dest is not None:
+                stack = writers[dest]
+                if stack:
+                    # Per-thread in-order commit: the committed entry is
+                    # the oldest surviving writer, i.e. the stack head.
+                    if stack[0] is entry:
+                        del stack[0]
+                    else:
+                        try:
+                            stack.remove(entry)
+                        except ValueError:
+                            pass
+            if entry.info.is_store:
+                stores.remove(entry)
+            entry.block = None  # break the entry<->block reference cycle
+        count = len(block.entries)
+        self._entry_count -= count
+        self._tid_count[tid] -= count
         return block

@@ -76,6 +76,51 @@ class SimStats:
                 usage[cls] = extra
         return usage
 
+    def to_dict(self):
+        """Plain-data snapshot of every counter (JSON-serializable).
+
+        ``config`` is deliberately excluded — the consumer (disk cache,
+        parallel harness) already knows which configuration produced the
+        run and supplies it again to :meth:`from_dict`.
+        """
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "committed_per_thread": list(self.committed_per_thread),
+            "finish_cycle": list(self.finish_cycle),
+            "fetched_blocks": self.fetched_blocks,
+            "fetched_instructions": self.fetched_instructions,
+            "fetch_idle_cycles": self.fetch_idle_cycles,
+            "decode_stall_cycles": self.decode_stall_cycles,
+            "su_stall_cycles": self.su_stall_cycles,
+            "commit_blocks": self.commit_blocks,
+            "squashed": self.squashed,
+            "mispredicts": self.mispredicts,
+            "branches": self.branches,
+            "su_occupancy_sum": self.su_occupancy_sum,
+            "fu_busy": {cls.value: list(busy)
+                        for cls, busy in self.fu_busy.items()},
+            "issued": self.issued,
+            "cache_accesses": self.cache_accesses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "icache_accesses": self.icache_accesses,
+            "icache_hit_rate": self.icache_hit_rate,
+            "predictor_accuracy": self.predictor_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, config, data):
+        """Rebuild a :class:`SimStats` recorded under ``config``."""
+        stats = cls(config)
+        for name, value in data.items():
+            if name == "fu_busy":
+                stats.fu_busy = {FuClass(key): list(busy)
+                                 for key, busy in value.items()}
+            else:
+                setattr(stats, name, value)
+        return stats
+
     def summary(self):
         """Human-readable multi-line run summary."""
         lines = [

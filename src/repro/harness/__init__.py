@@ -9,6 +9,8 @@ results.
 """
 
 from repro.harness.runner import Runner, RunResult
+from repro.harness.diskcache import DiskResultCache
+from repro.harness.parallel import cross, run_grid
 from repro.harness.experiments import (
     cache_study,
     commit_study,
@@ -22,14 +24,17 @@ from repro.harness.experiments import (
 from repro.harness.tables import format_table, series_table
 
 __all__ = [
+    "DiskResultCache",
     "RunResult",
     "Runner",
     "cache_study",
     "commit_study",
+    "cross",
     "fetch_policy_study",
     "format_table",
     "fu_study",
     "fu_usage_study",
+    "run_grid",
     "series_table",
     "speedup_summary",
     "su_depth_study",

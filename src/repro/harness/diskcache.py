@@ -1,0 +1,131 @@
+"""Persistent on-disk result cache for simulation runs.
+
+Re-running an experiment grid is dominated by re-simulating
+configurations whose outcome cannot have changed. This cache persists
+every run's statistics as JSON so a second invocation — a repeated
+``pytest benchmarks/`` session, a re-generated figure, a parallel sweep
+— replays from disk in milliseconds.
+
+Keying
+------
+A cached entry is valid only if *nothing that can affect a simulated
+cycle count* changed, so the key hashes together:
+
+* :data:`repro.core.pipeline.ENGINE_VERSION` — bumped manually whenever
+  a simulator change alters any cycle count; stale entries are then
+  ignored (never silently reused) and rewritten on the next run.
+* the workload's *program content* (disassembled text, initial data
+  image, and entry point), so editing a kernel invalidates its entries
+  without touching anything else;
+* the full architectural configuration via the runner's
+  ``_config_key`` (which deliberately excludes ``fast_forward`` — both
+  modes are bit-identical by construction — and ``max_cycles``).
+
+The default location is ``~/.cache/repro-sdsp/results.json``; override
+with the ``REPRO_CACHE`` environment variable or an explicit ``path``.
+
+Writes are atomic (temp file + ``os.replace``) and *merge-on-save*: the
+file is re-read and merged immediately before writing, so concurrent
+processes appending different keys do not clobber each other's entries
+(last writer wins only for identical keys, which hold identical data).
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+#: Environment variable overriding the cache file location.
+ENV_PATH = "REPRO_CACHE"
+
+_DEFAULT_PATH = "~/.cache/repro-sdsp/results.json"
+
+
+def default_path():
+    """Cache file location honouring the ``REPRO_CACHE`` override."""
+    return pathlib.Path(
+        os.environ.get(ENV_PATH, _DEFAULT_PATH)).expanduser()
+
+
+def hash_key(*parts):
+    """Stable hex digest of arbitrarily nested plain data."""
+    text = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class DiskResultCache:
+    """JSON-file-backed mapping from run keys to result payloads.
+
+    Parameters
+    ----------
+    path:
+        Cache file; created (with parents) on first save. Defaults to
+        :func:`default_path`.
+    autosave:
+        Persist after every :meth:`put` (default). Disable for bulk
+        insertion and call :meth:`save` once at the end.
+    """
+
+    def __init__(self, path=None, autosave=True):
+        self.path = pathlib.Path(path) if path is not None else default_path()
+        self.autosave = autosave
+        self.hits = 0
+        self.misses = 0
+        self._entries = self._load()
+        self._dirty = False
+
+    def _load(self):
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """Payload stored under ``key``, or ``None`` (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key, payload):
+        """Store ``payload`` (plain data) under ``key``."""
+        self._entries[key] = payload
+        self._dirty = True
+        if self.autosave:
+            self.save()
+
+    def save(self):
+        """Atomically persist, merging with concurrent writers first."""
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        merged = self._load()
+        merged.update(self._entries)
+        self._entries = merged
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(merged, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    def stats_line(self):
+        """One-line hit/miss summary for end-of-session reporting."""
+        total = self.hits + self.misses
+        return (f"disk result cache: {self.hits}/{total} hits, "
+                f"{self.misses} misses, {len(self._entries)} entries "
+                f"({self.path})")

@@ -1,0 +1,122 @@
+"""Parallel experiment fan-out over a (workload, configuration) grid.
+
+Every figure in the evaluation is an embarrassingly parallel grid of
+independent simulations, but the simulator itself is single-threaded
+Python. :func:`run_grid` fans a job list out over a
+``ProcessPoolExecutor`` and merges the results back in input order.
+
+Workload objects carry unpicklable mirror closures, and configurations
+carry enum members, so jobs cross the process boundary as plain data:
+the workload travels by *name* (resolved in the worker via
+:func:`repro.workloads.by_name`) and the configuration as its
+:meth:`~repro.core.config.MachineConfig.to_spec` dict.
+
+When a :class:`~repro.harness.diskcache.DiskResultCache` is supplied,
+already-cached jobs never reach the pool, and fresh results are
+persisted by the parent process only — workers never touch the cache
+file, so there is no write contention.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.config import MachineConfig
+from repro.harness.runner import Runner, _config_key, program_hash
+from repro.workloads import by_name
+
+
+def _job_key(workload, config, aligned, program):
+    return Runner._disk_key(
+        (workload.name, aligned, _config_key(config)), program)
+
+
+def _run_job(job):
+    """Worker entry point: simulate one (workload, config) pair."""
+    wname, spec, aligned, verify = job
+    workload = by_name(wname)
+    config = MachineConfig.from_spec(spec)
+    runner = Runner(verify=verify)
+    result = runner.run(workload, config, aligned=aligned)
+    return Runner._to_payload(result)
+
+
+def default_workers():
+    """Worker count: all cores minus one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_grid(jobs, workers=None, verify=True, disk_cache=None,
+             aligned=False):
+    """Simulate every ``(workload, config)`` job, in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Iterable of ``(workload, config)`` pairs; the workload may be a
+        workload object or its name.
+    workers:
+        Process count (default :func:`default_workers`). ``1`` runs
+        inline without spawning a pool — useful under profilers and in
+        tests.
+    verify:
+        Check every run's checksum against the workload mirror.
+    disk_cache:
+        Optional :class:`~repro.harness.diskcache.DiskResultCache` (or
+        path-like). Cached jobs are answered without simulation; new
+        results are persisted.
+
+    Returns
+    -------
+    list of :class:`~repro.harness.runner.RunResult`, in job order.
+    """
+    from repro.harness.diskcache import DiskResultCache
+
+    if disk_cache is not None and not isinstance(disk_cache,
+                                                 DiskResultCache):
+        disk_cache = DiskResultCache(disk_cache)
+    resolved = []
+    for workload, config in jobs:
+        if isinstance(workload, str):
+            workload = by_name(workload)
+        resolved.append((workload, config))
+
+    rebuilder = Runner(verify=verify)
+    results = [None] * len(resolved)
+    pending = []  # (index, disk key or None)
+    for index, (workload, config) in enumerate(resolved):
+        if disk_cache is None:
+            pending.append((index, None))
+            continue
+        program = workload.program(config.nthreads, aligned=aligned)
+        key = _job_key(workload, config, aligned, program)
+        payload = disk_cache.get(key)
+        if payload is None:
+            pending.append((index, key))
+        else:
+            results[index] = rebuilder._from_payload(
+                workload, config, payload)
+    if not pending:
+        return results
+
+    job_args = [(resolved[i][0].name, resolved[i][1].to_spec(),
+                 aligned, verify) for i, _ in pending]
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(pending) == 1:
+        payloads = map(_run_job, job_args)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        with pool:
+            payloads = list(pool.map(_run_job, job_args))
+    for (index, key), payload in zip(pending, payloads):
+        workload, config = resolved[index]
+        results[index] = rebuilder._from_payload(workload, config, payload)
+        if disk_cache is not None:
+            disk_cache.put(key, payload)
+    return results
+
+
+def cross(workloads, configs):
+    """All ``(workload, config)`` pairs, workloads major — a grid for
+    :func:`run_grid`."""
+    return [(w, c) for w in workloads for c in configs]

@@ -1,6 +1,21 @@
-"""Memoizing simulation runner used by every experiment."""
+"""Memoizing simulation runner used by every experiment.
+
+The runner caches at two levels:
+
+* an in-memory dict, so experiments sharing a configuration within one
+  process (e.g. the single-threaded base case) simulate it once; and
+* optionally a :class:`~repro.harness.diskcache.DiskResultCache`, so
+  repeated *processes* (a second ``pytest benchmarks/`` session, figure
+  regeneration, parallel workers) replay finished runs from JSON
+  instead of re-simulating.
+"""
+
+import hashlib
 
 from repro.core import MachineConfig, PipelineSim
+from repro.core.pipeline import ENGINE_VERSION
+from repro.core.stats import SimStats
+from repro.harness.diskcache import DiskResultCache
 
 
 class RunResult:
@@ -40,7 +55,25 @@ def _config_key(config):
             cache.size_bytes, cache.line_words, cache.assoc, cache.ports,
             cache.miss_penalty, ickey, config.bypassing, config.renaming,
             config.predictor_bits, config.predictor_entries,
-            config.shared_predictor, config.predictor_kind)
+            config.shared_predictor, config.predictor_kind,
+            config.mem_words)
+
+
+def program_hash(program):
+    """Content digest of an assembled program.
+
+    Hashes the disassembled text, the initial data image, and the entry
+    point — everything that determines the simulation outcome. Editing a
+    workload kernel therefore invalidates exactly its disk-cache
+    entries.
+    """
+    digest = hashlib.sha256()
+    for instr in program.instructions:
+        digest.update(instr.text().encode())
+        digest.update(b"\n")
+    digest.update(repr(program.data).encode())
+    digest.update(str(program.entry).encode())
+    return digest.hexdigest()
 
 
 class Runner:
@@ -54,11 +87,21 @@ class Runner:
         a performance number from a wrong computation is worthless.
     quiet:
         Suppress the per-run progress line.
+    disk_cache:
+        ``None`` (default) for in-memory memoization only; a
+        :class:`~repro.harness.diskcache.DiskResultCache` instance; or a
+        path-like, which constructs one. Entries are keyed on the
+        engine version, the program content, and the full configuration
+        (see :mod:`repro.harness.diskcache`).
     """
 
-    def __init__(self, verify=True, quiet=True):
+    def __init__(self, verify=True, quiet=True, disk_cache=None):
         self.verify = verify
         self.quiet = quiet
+        if disk_cache is not None and not isinstance(disk_cache,
+                                                     DiskResultCache):
+            disk_cache = DiskResultCache(disk_cache)
+        self.disk_cache = disk_cache
         self._cache = {}
 
     def run(self, workload, config=None, aligned=False, **overrides):
@@ -78,6 +121,15 @@ class Runner:
             return self._cache[key]
         nthreads = config.nthreads
         program = workload.program(nthreads, aligned=aligned)
+        disk = self.disk_cache
+        disk_key = None
+        if disk is not None:
+            disk_key = self._disk_key(key, program)
+            payload = disk.get(disk_key)
+            if payload is not None:
+                result = self._from_payload(workload, config, payload)
+                self._cache[key] = result
+                return result
         sim = PipelineSim(program, config)
         stats = sim.run()
         checksum = sim.mem(workload.checksum_address(nthreads))
@@ -88,7 +140,33 @@ class Runner:
                 f"{checksum!r}, expected {workload.expected(nthreads)!r}")
         result = RunResult(workload, nthreads, stats, checksum, verified)
         self._cache[key] = result
+        if disk is not None:
+            disk.put(disk_key, self._to_payload(result))
         if not self.quiet:
             print(f"  {workload.name:8s} threads={nthreads} "
                   f"cycles={stats.cycles:8d} ipc={stats.ipc:.2f}")
         return result
+
+    @staticmethod
+    def _disk_key(key, program):
+        from repro.harness.diskcache import hash_key
+        return hash_key(ENGINE_VERSION, key, program_hash(program))
+
+    @staticmethod
+    def _to_payload(result):
+        return {
+            "nthreads": result.nthreads,
+            "stats": result.stats.to_dict(),
+            "checksum": result.checksum,
+            "verified": result.verified,
+        }
+
+    def _from_payload(self, workload, config, payload):
+        stats = SimStats.from_dict(config, payload["stats"])
+        verified = payload["verified"]
+        if self.verify and not verified:
+            raise AssertionError(
+                f"{workload.name}: cached run recorded a checksum "
+                f"mismatch ({payload['checksum']!r})")
+        return RunResult(workload, payload["nthreads"], stats,
+                         payload["checksum"], verified)

@@ -26,7 +26,7 @@ class Instruction:
     """
 
     __slots__ = ("op", "rd", "rs1", "rs2", "imm", "info",
-                 "_sources", "_dest")
+                 "_sources", "_dest", "_exec")
 
     def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0):
         self.op = op
@@ -37,6 +37,7 @@ class Instruction:
         self.info = OPCODE_INFO[op]
         self._sources = None
         self._dest = False  # sentinel: not yet computed (None is valid)
+        self._exec = None  # lazily built by repro.isa.semantics.build_exec
 
     def sources(self):
         """Architectural registers this instruction reads, in order.

@@ -119,7 +119,7 @@ class OpInfo:
 
     __slots__ = ("op", "mnemonic", "fmt", "fu", "fu_index", "is_branch",
                  "is_jump", "is_load", "is_store", "switch_trigger",
-                 "is_sync")
+                 "is_sync", "is_control", "is_mem", "ctl_kind")
 
     def __init__(self, op, mnemonic, fmt, fu, *, is_branch=False,
                  is_jump=False, is_load=False, is_store=False,
@@ -135,16 +135,25 @@ class OpInfo:
         self.is_store = is_store
         self.switch_trigger = switch_trigger
         self.is_sync = is_sync
-
-    @property
-    def is_control(self):
-        """True for any control-transfer operation."""
-        return self.is_branch or self.is_jump or self.op is Op.HALT
-
-    @property
-    def is_mem(self):
-        """True for loads and stores (including ``tas``)."""
-        return self.is_load or self.is_store
+        # Derived flags, precomputed: OpInfo instances are per-opcode
+        # singletons read millions of times on the simulator hot path.
+        #: True for any control-transfer operation.
+        self.is_control = is_branch or is_jump or op is Op.HALT
+        #: True for loads and stores (including ``tas``).
+        self.is_mem = is_load or is_store
+        #: Fetch-side dispatch: 0 plain, 1 branch, 2 direct jump (j/jal),
+        #: 3 jalr, 4 halt. One integer compare replaces a chain of
+        #: flag/op tests in the fetch unit's inner loop.
+        if is_branch:
+            self.ctl_kind = 1
+        elif op in (Op.J, Op.JAL):
+            self.ctl_kind = 2
+        elif op is Op.JALR:
+            self.ctl_kind = 3
+        elif op is Op.HALT:
+            self.ctl_kind = 4
+        else:
+            self.ctl_kind = 0
 
     def __repr__(self):
         return f"OpInfo({self.mnemonic})"

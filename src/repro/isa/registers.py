@@ -70,10 +70,11 @@ class RegisterFile:
 
     def read(self, tid, reg):
         """Read architectural register ``reg`` of thread ``tid``."""
-        physical = self.physical(tid, reg)
-        if reg == REG_ZERO:
-            return 0
-        return self._regs[physical]
+        if 0 <= reg < self.k and 0 <= tid < self.nthreads:
+            if reg == REG_ZERO:
+                return 0
+            return self._regs[tid * self.k + reg]
+        return self._regs[self.physical(tid, reg)]  # raises IndexError
 
     def write(self, tid, reg, value):
         """Write architectural register ``reg`` of thread ``tid``.
@@ -83,9 +84,12 @@ class RegisterFile:
         """
         if reg == REG_ZERO:
             return
-        if isinstance(value, int):
-            value = to_int32(value)
-        self._regs[self.physical(tid, reg)] = value
+        if 0 <= reg < self.k and 0 <= tid < self.nthreads:
+            if isinstance(value, int):
+                value = to_int32(value)
+            self._regs[tid * self.k + reg] = value
+            return
+        self.physical(tid, reg)  # raises the canonical IndexError
 
     def snapshot(self, tid):
         """Return thread ``tid``'s architectural registers as a list."""

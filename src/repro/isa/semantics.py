@@ -125,3 +125,46 @@ def compute(op, a=0, b=0, *, tid=0, nthreads=1, imm=0):
 def branch_taken(op, a, b):
     """Evaluate a conditional branch's direction."""
     return _BRANCH_CONDS[op](a, b)
+
+
+def build_exec(instr):
+    """Build, cache, and return ``instr``'s execution closure.
+
+    The closure has signature ``fn(vals, tid, nthreads) -> result``,
+    folding operand selection (register/register, register/immediate,
+    unary) and the opcode dispatch of :func:`compute` into a single
+    call — the pipeline's issue stage executes every ALU/FP instruction
+    through it. Instructions are immutable and shared, so the closure is
+    cached on ``instr._exec``; it must therefore close over nothing
+    configuration-dependent (``tid``/``nthreads`` are arguments).
+    """
+    from repro.isa.opcodes import Format
+    op = instr.op
+    fmt = instr.info.fmt
+    fn = _BINOP_LIST[op]
+    if fn is not None:
+        if fmt is Format.I:
+            def exec_fn(vals, tid, nthreads, _fn=fn, _imm=instr.imm):
+                return _fn(vals[0], _imm)
+        else:
+            def exec_fn(vals, tid, nthreads, _fn=fn):
+                return _fn(vals[0], vals[1])
+    else:
+        ufn = _UNOP_LIST[op]
+        if ufn is not None:
+            def exec_fn(vals, tid, nthreads, _fn=ufn):
+                return _fn(vals[0])
+        elif op is Op.LUI:
+            constant = to_int32(instr.imm << 12)
+            def exec_fn(vals, tid, nthreads, _c=constant):
+                return _c
+        elif op is Op.MFTID:
+            def exec_fn(vals, tid, nthreads):
+                return tid
+        elif op is Op.MFNTH:
+            def exec_fn(vals, tid, nthreads):
+                return nthreads
+        else:
+            raise ValueError(f"build_exec() does not handle {op.name}")
+    instr._exec = exec_fn
+    return exec_fn

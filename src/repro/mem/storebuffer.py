@@ -79,6 +79,16 @@ class StoreBuffer:
         """True if any buffered store targets ``addr``."""
         return any(entry.addr == addr for entry in self.entries)
 
+    def next_drain_cycle(self, now):
+        """Earliest cycle at or after ``now`` when a drain could succeed.
+
+        Only meaningful while the buffer is non-empty; used by the
+        pipeline's idle-cycle fast-forward. The head entry is always
+        committed (stores enter the buffer at commit), so the only wait
+        is for the previous drain's refill to release the port.
+        """
+        return self._busy_until if self._busy_until > now else now
+
     def drain_one(self, cache, memory, now):
         """Write the oldest committed entry to cache+memory.
 

@@ -21,9 +21,24 @@ ALL_WORKLOADS = GROUP_I + GROUP_II
 #: Lookup by name (includes the beyond-paper extras).
 BY_NAME = {w.name: w for w in ALL_WORKLOADS + EXTRA_WORKLOADS}
 
+
+def by_name(name):
+    """The workload called ``name``; raises ``KeyError`` with the roster.
+
+    Parallel-harness workers ship workloads by name (the objects carry
+    unpicklable mirror closures), so this is the canonical resolver.
+    """
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
 __all__ = [
     "ALL_WORKLOADS",
     "BY_NAME",
+    "by_name",
     "EXTRA_WORKLOADS",
     "GROUP_I",
     "GROUP_II",

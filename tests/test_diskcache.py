@@ -1,0 +1,95 @@
+"""Persistent result cache: keying, round-trip, merge semantics."""
+
+import json
+
+from repro.core.config import MachineConfig
+from repro.core.stats import SimStats
+from repro.harness.diskcache import DiskResultCache, hash_key
+from repro.harness.runner import Runner, _config_key, program_hash
+from repro.workloads import by_name
+
+
+def test_hash_key_stable_and_order_sensitive():
+    assert hash_key(1, "a", [2, 3]) == hash_key(1, "a", [2, 3])
+    assert hash_key(1, "a") != hash_key("a", 1)
+
+
+def test_get_put_roundtrip(tmp_path):
+    cache = DiskResultCache(tmp_path / "cache.json")
+    assert cache.get("k") is None
+    cache.put("k", {"cycles": 42})
+    assert cache.get("k") == {"cycles": 42}
+    # A fresh instance reads the persisted file.
+    again = DiskResultCache(tmp_path / "cache.json")
+    assert again.get("k") == {"cycles": 42}
+    assert again.hits == 1 and cache.misses == 1
+
+
+def test_save_merges_concurrent_entries(tmp_path):
+    path = tmp_path / "cache.json"
+    a = DiskResultCache(path, autosave=False)
+    b = DiskResultCache(path, autosave=False)
+    a.put("from-a", 1)
+    b.put("from-b", 2)
+    a.save()
+    b.save()  # must not clobber a's entry
+    merged = json.loads(path.read_text())
+    assert merged == {"from-a": 1, "from-b": 2}
+
+
+def test_corrupt_file_treated_as_empty(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = DiskResultCache(path)
+    assert len(cache) == 0
+    cache.put("k", 1)
+    assert json.loads(path.read_text()) == {"k": 1}
+
+
+def test_runner_disk_cache_skips_simulation(tmp_path, monkeypatch):
+    workload = by_name("LL2")
+    config = MachineConfig(nthreads=2)
+    path = tmp_path / "cache.json"
+
+    first = Runner(disk_cache=path)
+    baseline = first.run(workload, config)
+    assert first.disk_cache.misses == 1
+
+    second = Runner(disk_cache=path)
+    # Prove the replay path never simulates.
+    monkeypatch.setattr(
+        "repro.harness.runner.PipelineSim",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError("simulated")))
+    replayed = second.run(workload, config)
+    assert second.disk_cache.hits == 1
+    assert replayed.cycles == baseline.cycles
+    assert replayed.checksum == baseline.checksum
+    assert replayed.verified
+    assert replayed.stats.to_dict() == baseline.stats.to_dict()
+
+
+def test_config_key_covers_mem_words():
+    base = MachineConfig()
+    assert _config_key(base) != _config_key(base.replace(mem_words=1 << 16))
+
+
+def test_program_hash_tracks_content():
+    workload = by_name("LL2")
+    one = program_hash(workload.program(1))
+    assert one == program_hash(workload.program(1))
+    assert one != program_hash(workload.program(2))
+
+
+def test_stats_dict_roundtrip():
+    config = MachineConfig(nthreads=2)
+    stats = SimStats(config)
+    stats.cycles = 123
+    stats.committed = 45
+    stats.committed_per_thread = [20, 25]
+    for cls in stats.fu_busy:
+        stats.fu_busy[cls] = [7] * len(stats.fu_busy[cls])
+    rebuilt = SimStats.from_dict(config, json.loads(
+        json.dumps(stats.to_dict())))
+    assert rebuilt.to_dict() == stats.to_dict()
+    assert rebuilt.ipc == stats.ipc
+    assert rebuilt.fu_busy == stats.fu_busy

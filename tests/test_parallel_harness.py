@@ -1,0 +1,73 @@
+"""Parallel grid fan-out: results must match the serial runner exactly."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.harness import Runner, cross, run_grid
+from repro.workloads import by_name
+
+
+def _jobs():
+    ll2 = by_name("LL2")
+    sieve = by_name("Sieve")
+    return [
+        (ll2, MachineConfig(nthreads=1)),
+        (ll2, MachineConfig(nthreads=4)),
+        ("Sieve", MachineConfig(nthreads=2)),
+        (sieve, MachineConfig(nthreads=2, su_entries=32)),
+    ]
+
+
+def _assert_matches_serial(results, jobs):
+    serial = Runner()
+    assert len(results) == len(jobs)
+    for result, (workload, config) in zip(results, jobs):
+        if isinstance(workload, str):
+            workload = by_name(workload)
+        expected = serial.run(workload, config)
+        assert result.workload.name == workload.name
+        assert result.cycles == expected.cycles
+        assert result.verified
+        assert result.stats.to_dict() == expected.stats.to_dict()
+
+
+def test_run_grid_inline_matches_serial():
+    jobs = _jobs()
+    _assert_matches_serial(run_grid(jobs, workers=1), jobs)
+
+
+def test_run_grid_processes_match_serial():
+    jobs = _jobs()
+    _assert_matches_serial(run_grid(jobs, workers=2), jobs)
+
+
+def test_run_grid_uses_disk_cache(tmp_path, monkeypatch):
+    jobs = _jobs()
+    cache_path = tmp_path / "cache.json"
+    first = run_grid(jobs, workers=2, disk_cache=cache_path)
+    # Second pass: all jobs answered from disk, no pool and no simulation.
+    monkeypatch.setattr(
+        "repro.harness.parallel.ProcessPoolExecutor",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError("spawned pool")))
+    monkeypatch.setattr(
+        "repro.harness.runner.PipelineSim",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError("simulated")))
+    second = run_grid(jobs, workers=2, disk_cache=cache_path)
+    for one, two in zip(first, second):
+        assert one.cycles == two.cycles
+        assert one.stats.to_dict() == two.stats.to_dict()
+
+
+def test_cross_builds_full_grid():
+    grid = cross(["LL2", "Sieve"],
+                 [MachineConfig(nthreads=1), MachineConfig(nthreads=2)])
+    assert len(grid) == 4
+    assert grid[0][0] == "LL2" and grid[0][1].nthreads == 1
+    assert grid[3][0] == "Sieve" and grid[3][1].nthreads == 2
+
+
+def test_run_grid_propagates_verification_failure():
+    ll2 = by_name("LL2")
+    bad = MachineConfig(nthreads=1, max_cycles=200)  # cannot finish
+    with pytest.raises(Exception):
+        run_grid([(ll2, bad)], workers=1)

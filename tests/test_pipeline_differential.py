@@ -126,3 +126,48 @@ def test_differential_tiny_cache(seed):
     config = MachineConfig(nthreads=2, max_cycles=1_000_000,
                            cache=CacheConfig(size_bytes=256, assoc=1))
     assert_equivalent(program, 2, config)
+
+
+def assert_fast_forward_invisible(program, nthreads, config):
+    """Fast-forward must be a pure engine optimization.
+
+    The idle-cycle jump may change *how* the simulator reaches a state,
+    never the state itself: both modes must agree on the final
+    architectural state and on every timing statistic, cycle for cycle.
+    """
+    fast = PipelineSim(program, config.replace(fast_forward=True))
+    fast_stats = fast.run()
+    slow = PipelineSim(program, config.replace(fast_forward=False))
+    slow_stats = slow.run()
+    assert fast_stats.cycles == slow_stats.cycles, \
+        "fast-forward changed the cycle count"
+    assert fast_stats.to_dict() == slow_stats.to_dict(), \
+        "fast-forward changed a statistic"
+    for tid in range(nthreads):
+        assert fast.regs.snapshot(tid) == slow.regs.snapshot(tid), \
+            f"thread {tid} registers diverge across fast-forward modes"
+    base = program.symbol("arr")
+    assert fast.mem(base, 256) == slow.mem(base, 256), \
+        "memory diverges across fast-forward modes"
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_differential_fast_forward_modes(seed):
+    """Random program/config: fast-forward on and off are bit-identical."""
+    rng = random.Random(0xFF0 + seed)
+    program = assemble(random_program(rng))
+    nthreads = rng.choice([1, 1, 2, 4, 6])
+    config = random_config(rng, nthreads)
+    assert_fast_forward_invisible(program, nthreads, config)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_differential_fast_forward_stall_heavy(seed):
+    """Long miss penalties maximize idle runs — the jump's main diet."""
+    from repro.mem.cache import CacheConfig
+    rng = random.Random(0xFF5 + seed)
+    program = assemble(random_program(rng))
+    config = MachineConfig(nthreads=2, max_cycles=1_000_000,
+                           cache=CacheConfig(size_bytes=256, assoc=1,
+                                             miss_penalty=64))
+    assert_fast_forward_invisible(program, 2, config)

@@ -208,4 +208,5 @@ class TestMemoryOrdering:
         tas = add_entry(su, b0, 1, 0, Instruction(Op.TAS, rd=1, rs1=2))
         assert not su.all_older_done(tas)
         older.state = DONE
+        su.note_done(older)  # keep the block's not-done counter in sync
         assert su.all_older_done(tas)

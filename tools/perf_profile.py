@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Engine throughput profiler: simulated cycles per wall-clock second.
+
+Runs a fixed matrix of (workload, configuration) pairs sampled from the
+paper's experiment sweeps — the cache study's small caches with long
+miss penalties, the SU-depth study's 256-entry scheduling unit, and the
+fetch-policy study — plus a default-machine point, and reports how many
+*simulated* cycles the engine retires per second of host time.
+
+``BENCH_engine.json`` (repo root) records two sets of numbers for this
+matrix: ``seed_cycles_per_sec``, measured once on the pre-fast-path
+engine, and ``cycles_per_sec``, the current engine. The file also pins
+each entry's simulated cycle count, so an accidental timing-model
+change (without an ``ENGINE_VERSION`` bump) fails loudly here too.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_profile.py            # report
+    PYTHONPATH=src python tools/perf_profile.py --json     # raw JSON
+    PYTHONPATH=src python tools/perf_profile.py --update   # rewrite
+        the current-engine numbers in BENCH_engine.json
+    PYTHONPATH=src python tools/perf_profile.py --smoke    # CI gate:
+        fail on >30% cycles/sec regression vs the committed numbers
+
+Timings on shared CI hosts are noisy; the smoke gate therefore measures
+best-of-``--reps`` after a warm-up run and allows a generous 30% band.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.core.pipeline import PipelineSim
+from repro.workloads import ALL_WORKLOADS
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Allowed relative cycles/sec drop before ``--smoke`` fails.
+SMOKE_TOLERANCE = 0.30
+
+#: The fixed measurement matrix: name -> (workload, config kwargs).
+#: Keep in sync with the committed ``BENCH_engine.json``.
+MATRIX = [
+    ("LL2-1t-default", "LL2", dict(nthreads=1)),
+    ("LL2-1t-mp64", "LL2",
+     dict(nthreads=1,
+          cache=CacheConfig(size_bytes=256, assoc=1, miss_penalty=64))),
+    ("LL2-4t-mp64", "LL2",
+     dict(nthreads=4,
+          cache=CacheConfig(size_bytes=256, assoc=1, miss_penalty=64))),
+    ("LL5-1t-mp32", "LL5",
+     dict(nthreads=1,
+          cache=CacheConfig(size_bytes=512, assoc=2, miss_penalty=32))),
+    ("Matrix-8t-su256-mp32", "Matrix",
+     dict(nthreads=8, su_entries=256,
+          cache=CacheConfig(size_bytes=512, assoc=2, miss_penalty=32))),
+    ("LL3-8t-icount-su256", "LL3",
+     dict(nthreads=8, fetch_policy="icount", su_entries=256)),
+]
+
+
+def _workload(name):
+    for workload in ALL_WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(name)
+
+
+def measure(reps):
+    """Best-of-``reps`` cycles/sec for every matrix entry."""
+    out = {}
+    for label, wname, kwargs in MATRIX:
+        config = MachineConfig(**kwargs)
+        program = _workload(wname).program(config.nthreads)
+        PipelineSim(program, config).run()  # warm caches and JIT-free warmup
+        best = 0.0
+        cycles = None
+        for _ in range(reps):
+            sim = PipelineSim(program, config)
+            start = time.perf_counter()
+            stats = sim.run()
+            elapsed = time.perf_counter() - start
+            cycles = stats.cycles
+            best = max(best, cycles / elapsed)
+        out[label] = {"cycles": cycles, "cycles_per_sec": round(best)}
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load_bench():
+    try:
+        return json.loads(BENCH_PATH.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def report(measured, bench):
+    rows = []
+    ratios_seed = []
+    ratios_base = []
+    for label, entry in measured.items():
+        line = f"{label:24s} {entry['cycles_per_sec']:>9,d} cyc/s"
+        if bench:
+            seed = bench.get("seed_cycles_per_sec", {}).get(label)
+            base = bench.get("cycles_per_sec", {}).get(label)
+            if seed:
+                ratio = entry["cycles_per_sec"] / seed
+                ratios_seed.append(ratio)
+                line += f"  {ratio:5.2f}x vs seed"
+            if base:
+                ratio = entry["cycles_per_sec"] / base
+                ratios_base.append(ratio)
+                line += f"  {ratio:5.2f}x vs committed"
+        rows.append(line)
+    print("\n".join(rows))
+    if ratios_seed:
+        print(f"{'geomean vs seed engine':24s} {geomean(ratios_seed):9.2f}x")
+    if ratios_base:
+        print(f"{'geomean vs committed':24s} {geomean(ratios_base):9.2f}x")
+
+
+def smoke(measured, bench):
+    """CI gate: cycle counts exact, throughput within tolerance."""
+    if not bench:
+        print(f"error: {BENCH_PATH} missing or unreadable", file=sys.stderr)
+        return 2
+    failures = []
+    committed = bench.get("cycles_per_sec", {})
+    cycle_counts = bench.get("cycles", {})
+    for label, entry in measured.items():
+        want_cycles = cycle_counts.get(label)
+        if want_cycles is not None and entry["cycles"] != want_cycles:
+            failures.append(
+                f"{label}: simulated {entry['cycles']} cycles, "
+                f"committed {want_cycles} — timing model changed; "
+                "bump ENGINE_VERSION and re-run --update")
+        base = committed.get(label)
+        if base and entry["cycles_per_sec"] < base * (1 - SMOKE_TOLERANCE):
+            failures.append(
+                f"{label}: {entry['cycles_per_sec']:,} cyc/s is more than "
+                f"{SMOKE_TOLERANCE:.0%} below committed {base:,}")
+    if failures:
+        print("perf smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"perf smoke ok: {len(measured)} configurations within "
+          f"{SMOKE_TOLERANCE:.0%} of committed throughput")
+    return 0
+
+
+def update(measured, bench):
+    from repro.core.pipeline import ENGINE_VERSION
+    bench = bench or {}
+    bench["engine_version"] = ENGINE_VERSION
+    bench["cycles"] = {k: v["cycles"] for k, v in measured.items()}
+    bench["cycles_per_sec"] = {k: v["cycles_per_sec"]
+                               for k, v in measured.items()}
+    seed = bench.get("seed_cycles_per_sec")
+    if seed:
+        ratios = [v["cycles_per_sec"] / seed[k]
+                  for k, v in measured.items() if k in seed]
+        bench["speedup_vs_seed_geomean"] = round(geomean(ratios), 2)
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fail on >30%% regression vs BENCH_engine.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite current-engine numbers in "
+                             "BENCH_engine.json")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw measurements as JSON")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per entry (best-of)")
+    args = parser.parse_args(argv)
+    measured = measure(args.reps)
+    if args.json:
+        print(json.dumps(measured, indent=1))
+        return 0
+    bench = load_bench()
+    if args.smoke:
+        return smoke(measured, bench)
+    if args.update:
+        update(measured, bench)
+        return 0
+    report(measured, bench)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
