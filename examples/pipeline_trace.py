@@ -6,8 +6,14 @@ showing how instructions from different threads interleave in the
 shared scheduling unit, and how a branch mispredict squashes only the
 offending thread's instructions.
 
+The tracer is one consumer of the simulator's event bus
+(``docs/OBSERVABILITY.md``); the same run also feeds a raw-event
+counter subscribed with ``sim.add_sink`` to show the underlying feed.
+
 Run with: ``python examples/pipeline_trace.py``
 """
+
+from collections import Counter
 
 from repro.asm import assemble
 from repro.core import MachineConfig, PipelineSim
@@ -39,6 +45,8 @@ def main():
     program = assemble(SOURCE)
     sim = PipelineSim(program, MachineConfig(nthreads=2))
     tracer = Tracer.attach(sim, limit=60)
+    kinds = Counter()
+    sim.add_sink(lambda event: kinds.update([event.kind]))
     stats = sim.run()
     print(tracer.render(width=64))
     print()
@@ -47,6 +55,10 @@ def main():
           f"({stats.squashed} instructions squashed)")
     print("Squashed (K) lines are wrong-path instructions; note that a "
           "thread-1 mispredict never kills thread-0 work.")
+    print()
+    feed = ", ".join(f"{kind} x{count}" for kind, count in
+                     sorted(kinds.items()))
+    print(f"event-bus feed: {feed}")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,14 @@ Commands
     Run one of the paper's workloads by name and verify its checksum.
 ``workloads``
     List the available workloads.
+``trace PROG``
+    Simulate with the event bus attached and export the trace:
+    ``--format perfetto`` (open in https://ui.perfetto.dev), ``jsonl``
+    (one event per line), or ``text``. ``PROG`` is a file or a
+    workload name.
+``stats PROG``
+    Simulate and print run statistics; ``--breakdown`` adds the
+    per-cycle stall-attribution table (see docs/OBSERVABILITY.md).
 """
 
 import argparse
@@ -107,6 +115,57 @@ def cmd_run(args):
     return 0
 
 
+def _resolve_program(name_or_path, nthreads, align):
+    """A workload name (``repro workloads``) or a source-file path."""
+    workload = BY_NAME.get(name_or_path)
+    if workload is not None:
+        return workload.program(nthreads)
+    return _load_program(name_or_path, nthreads, align)
+
+
+def cmd_trace(args):
+    program = _resolve_program(args.prog, args.threads, args.align)
+    config = _machine_config(args)
+    sim = PipelineSim(program, config)
+    out = args.out
+    if args.format == "perfetto":
+        from repro.obs.export import PerfettoCollector
+        collector = PerfettoCollector(config)
+        sim.add_sink(collector)
+        stats = sim.run()
+        with open(out, "w") as stream:
+            collector.write(stream, stats.cycles)
+        count = collector.count
+    else:
+        from repro.obs.export import JsonlSink, TextSink
+        with open(out, "w") as stream:
+            sink_cls = JsonlSink if args.format == "jsonl" else TextSink
+            sink = sink_cls(stream)
+            sim.add_sink(sink)
+            stats = sim.run()
+            count = sink.count
+    print(f"{stats.cycles} cycles, {stats.committed} instructions; "
+          f"{count} events -> {out} ({args.format})", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args):
+    program = _resolve_program(args.prog, args.threads, args.align)
+    config = _machine_config(args)
+    sim = PipelineSim(program, config)
+    if args.breakdown:
+        attr = sim.attach_attribution()
+        sim.attach_metrics()
+    stats = sim.run()
+    print(stats.summary())
+    if args.breakdown:
+        from repro.obs.attribution import format_breakdown
+        attr.verify(stats)
+        print()
+        print(format_breakdown(stats.stall_breakdown, stats.cycles))
+    return 0
+
+
 def cmd_bench(args):
     workload = BY_NAME.get(args.name)
     if workload is None:
@@ -166,6 +225,32 @@ def build_parser():
     p_bench.add_argument("name")
     _machine_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="simulate and export a pipeline trace")
+    p_trace.add_argument("prog",
+                         help="source file (.s/.mc) or workload name")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default trace.json)")
+    p_trace.add_argument("--format", default="perfetto",
+                         choices=["perfetto", "jsonl", "text"],
+                         help="perfetto: Chrome trace_event JSON for "
+                              "ui.perfetto.dev; jsonl: one event per "
+                              "line; text: human-readable log")
+    p_trace.add_argument("--align", action="store_true")
+    _machine_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="simulate and print statistics")
+    p_stats.add_argument("prog",
+                         help="source file (.s/.mc) or workload name")
+    p_stats.add_argument("--breakdown", action="store_true",
+                         help="print the per-cycle stall-attribution "
+                              "table")
+    p_stats.add_argument("--align", action="store_true")
+    _machine_args(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
 
     p_list = sub.add_parser("workloads", help="list the paper's workloads")
     p_list.set_defaults(func=cmd_workloads)

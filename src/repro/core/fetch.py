@@ -17,6 +17,7 @@ The instruction cache is perfect (100% hits), as in the paper.
 """
 
 from repro.core.config import BLOCK, FetchPolicy
+from repro.obs.events import MaskEvent
 
 
 class ThreadContext:
@@ -76,6 +77,9 @@ class FetchUnit:
         #: Callable tid -> in-flight instruction count, set by the
         #: pipeline; used by the ICOUNT policy.
         self.occupancy_of = None
+        #: Event bus (shared with the pipeline); None unless a sink is
+        #: attached, in which case mask transitions are emitted.
+        self.bus = None
         # Reusable FetchedInstr objects: the fetch buffer lives exactly
         # one cycle (filled by fetch, drained by decode or discarded on
         # a squash before the next fetch), so the items can be pooled
@@ -158,9 +162,19 @@ class FetchUnit:
         if self.policy is FetchPolicy.COND_SWITCH:
             self._switch_pending = True
 
-    def set_mask(self, tid, masked):
-        """Masked-RR: suspend/resume fetching for ``tid``."""
+    def set_mask(self, tid, masked, now=0):
+        """Masked-RR: suspend/resume fetching for ``tid``.
+
+        Only actual transitions are recorded (the pipeline re-asserts
+        the desired mask state every cycle), so an attached sink sees
+        one :class:`~repro.obs.events.MaskEvent` per suspend/resume.
+        """
+        if self.masked[tid] == masked:
+            return
         self.masked[tid] = masked
+        bus = self.bus
+        if bus is not None:
+            bus.emit(MaskEvent(now, tid, masked))
 
     # ------------------------------------------------------- block fetch
 

@@ -70,6 +70,12 @@ from repro.isa.semantics import branch_taken, build_exec
 from repro.mem.cache import DataCache
 from repro.mem.memory import MainMemory
 from repro.mem.storebuffer import StoreBuffer
+# Plain-data event types (no further imports; see repro.obs.__init__ for
+# the layering rules). Event objects are only ever constructed when a
+# sink is attached (self._bus is not None).
+from repro.obs.events import (CommitEvent, DecodeEvent, FetchEvent,
+                              IssueEvent, SquashEvent, StallEvent,
+                              WritebackEvent)
 
 #: Simulator timing-model version. Bump on ANY change that can alter a
 #: simulated cycle count; persisted results keyed on an older version
@@ -138,6 +144,61 @@ class PipelineSim:
         self._fast_forward = cfg.fast_forward
         self._nthreads = cfg.nthreads
         self._latency = self.fu_pool._latency  # fu_index -> result latency
+        # Observability (repro.obs). All three stay None unless
+        # explicitly attached; every hook in the hot loop is guarded by
+        # a single ``is None`` check, so a plain run pays nothing else.
+        self._bus = None       # EventBus while >=1 sink is subscribed
+        self._attr = None      # StallAttribution (attach_attribution)
+        self._metrics = None   # IntervalMetrics (attach_metrics)
+
+    # ----------------------------------------------------- observability
+
+    def add_sink(self, sink):
+        """Subscribe ``sink`` (any callable taking one event); returns it.
+
+        The first sink creates the event bus, flipping every hook point
+        from a bare predicate check to actual event emission.
+        """
+        if self._bus is None:
+            from repro.obs.events import EventBus
+            self._bus = EventBus()
+            self.fetch_unit.bus = self._bus
+        return self._bus.subscribe(sink)
+
+    def remove_sink(self, sink):
+        """Unsubscribe ``sink``; dropping the last sink drops the bus."""
+        bus = self._bus
+        if bus is None:
+            return
+        bus.unsubscribe(sink)
+        if not bus.sinks:
+            self._bus = None
+            self.fetch_unit.bus = None
+
+    def attach_attribution(self, attr=None):
+        """Attach per-cycle stall attribution (before :meth:`run`).
+
+        Returns the :class:`~repro.obs.attribution.StallAttribution`;
+        its breakdown also lands on ``stats.stall_breakdown``.
+        """
+        if attr is None:
+            from repro.obs.attribution import StallAttribution
+            attr = StallAttribution()
+        self._attr = attr
+        return attr
+
+    def attach_metrics(self, metrics=None, interval=64):
+        """Attach interval-metric sampling (before :meth:`run`).
+
+        Returns the :class:`~repro.obs.metrics.IntervalMetrics`; its
+        histograms also land on ``stats.interval_metrics``.
+        """
+        if metrics is None:
+            from repro.obs.metrics import IntervalMetrics
+            metrics = IntervalMetrics(interval=interval)
+        metrics.bind(self.config)
+        self._metrics = metrics
+        return metrics
 
     # ------------------------------------------------------------ driver
 
@@ -180,7 +241,7 @@ class PipelineSim:
         """Advance the machine by one cycle."""
         now = self.cycle
         su = self.su
-        self._commit(now)
+        committed = self._commit(now)
         cycles = self._wb_cycles
         if self._bypassing:
             if cycles and cycles[0] <= now:
@@ -200,6 +261,12 @@ class PipelineSim:
         if store_buffer.entries:
             store_buffer.drain_one(self.cache, self.memory, now)
         self.stats.su_occupancy_sum += su._entry_count
+        attr = self._attr
+        if attr is not None:
+            attr.close_cycle(self, now, committed)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.on_cycle(self, now)
         self.cycle = now + 1
 
     def _skip_idle_cycles(self):
@@ -262,9 +329,20 @@ class PipelineSim:
             self.fetch_unit.note_idle_cycles(skipped)
         else:
             stats.decode_stall_cycles += skipped
-        if su.full:
+        su_full = su.full
+        if su_full:
             stats.su_stall_cycles += skipped
         stats.su_occupancy_sum += su._entry_count * skipped
+        attr = self._attr
+        if attr is not None:
+            attr.note_skip(self, skipped, su_full, fetch_idle)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.note_skip(self, skipped)
+        bus = self._bus
+        if bus is not None:
+            bus.emit(StallEvent(now, "fetch-idle" if fetch_idle
+                                else "decode-stall", skipped))
         self.cycle = target
 
     def _decode_blocked(self):
@@ -283,14 +361,24 @@ class PipelineSim:
         stats.cache_hits = self.cache.stats.hits
         stats.cache_misses = self.cache.stats.misses
         if self.icache is not None:
-            stats.icache_accesses = self.icache.stats.accesses
-            stats.icache_hit_rate = self.icache.stats.hit_rate
+            icstats = self.icache.stats
+            stats.icache_accesses = icstats.accesses
+            # None (rendered "n/a"), not 1.0, when nothing was fetched.
+            stats.icache_hit_rate = (icstats.hit_rate if icstats.accesses
+                                     else None)
         stats.predictor_accuracy = self.predictor.accuracy
         self.fu_pool.flush_stats()
+        if self._attr is not None:
+            stats.stall_breakdown = self._attr.to_dict()
+        if self._metrics is not None:
+            stats.interval_metrics = self._metrics.to_dict()
 
     # ------------------------------------------------------------ commit
 
     def _commit(self, now):
+        """Commit stage. Returns 1 if a block retired, 2 if the commit
+        slot was lost to a full scheduling unit, 0 otherwise (the stall
+        attribution's ``commit_status``)."""
         su = self.su
         index = su.choose_commit_block(self._commit_blocks)
         if index is not None:
@@ -302,13 +390,22 @@ class PipelineSim:
         if index is None:
             if su.full:
                 self.stats.su_stall_cycles += 1
+                status = 2
+            else:
+                status = 0
         else:
             self._commit_block(su.pop_block(index))
+            status = 1
         if self._masked:
-            self._update_masks()
+            self._update_masks(now)
+        return status
 
     def _commit_block(self, block):
         now = self.cycle
+        bus = self._bus
+        if bus is not None:
+            bus.emit(CommitEvent(now, block.tid,
+                                 [entry.tag for entry in block.entries]))
         stats = self.stats
         regs = self.regs
         predictor = self.predictor
@@ -339,7 +436,7 @@ class PipelineSim:
         stats.committed += len(block.entries)
         stats.commit_blocks += 1
 
-    def _update_masks(self):
+    def _update_masks(self, now):
         """Masked-RR masking.
 
         ``commit_stall`` (the paper's criterion): suspend fetching for a
@@ -349,15 +446,17 @@ class PipelineSim:
         when the failing operation has a long latency.
         """
         fetch_unit = self.fetch_unit
-        for tid in range(self.config.nthreads):
-            fetch_unit.set_mask(tid, False)
+        nthreads = self.config.nthreads
+        desired = [False] * nthreads
         blocks = self.su.blocks
         if self.config.masked_criterion == "commit_stall":
             if blocks and blocks[0].not_done:
-                fetch_unit.set_mask(blocks[0].tid, True)
-            return
-        for tid in self.su.threads_with_inflight(_DIV_CLASSES):
-            fetch_unit.set_mask(tid, True)
+                desired[blocks[0].tid] = True
+        else:
+            for tid in self.su.threads_with_inflight(_DIV_CLASSES):
+                desired[tid] = True
+        for tid in range(nthreads):
+            fetch_unit.set_mask(tid, desired[tid], now)
 
     # --------------------------------------------------------- writeback
 
@@ -393,6 +492,9 @@ class PipelineSim:
     def _complete(self, entry, now):
         entry.state = DONE
         entry.block.not_done -= 1
+        bus = self._bus
+        if bus is not None:
+            bus.emit(WritebackEvent(now, entry.tag, entry.tid))
         waiters = entry.waiters
         if waiters:
             entry.waiters = None
@@ -436,6 +538,10 @@ class PipelineSim:
         self.stats.mispredicts += 1
         squashed = self.su.squash_younger(entry)
         self.stats.squashed += len(squashed)
+        bus = self._bus
+        if squashed and bus is not None:
+            bus.emit(SquashEvent(now, entry.tid,
+                                 [victim.tag for victim in squashed]))
         if self.fetch_buffer is not None and self.fetch_buffer[0] is thread:
             self.fetch_buffer = None
         thread.redirect(redirect)
@@ -450,6 +556,7 @@ class PipelineSim:
         pool = self.fu_pool
         latency = self._latency
         nthreads = self._nthreads
+        attr = self._attr
         # Per-cycle short-circuit masks. A functional-unit class with no
         # free unit stays exhausted for the rest of the cycle, and once a
         # thread's oldest waiting memory op fails to issue, every younger
@@ -486,6 +593,8 @@ class PipelineSim:
                     if mem_blocked & tbit:
                         pass
                     elif fu_blocked & bit or not pool.available(fu_index, now):
+                        if not fu_blocked & bit and attr is not None:
+                            attr.flag_fu()
                         fu_blocked |= bit
                         mem_blocked |= tbit
                     elif self._issue_load(entry, now, latency[fu_index]):
@@ -497,24 +606,28 @@ class PipelineSim:
                         # An unissued store blocks the thread's younger
                         # loads (in-order memory issue), not its stores.
                         mem_blocked |= 1 << entry.tid
-                elif pool.acquire(fu_index, now) is None:
-                    fu_blocked |= bit
-                    if info.is_store:
-                        mem_blocked |= 1 << entry.tid
                 else:
-                    if info.is_store:
-                        entry.addr = int(entry.vals[0]) + entry.instr.imm
-                        entry.result = None
-                    elif info.is_control:
-                        self._prepare_control(entry)
+                    unit = pool.acquire(fu_index, now)
+                    if unit is None:
+                        fu_blocked |= bit
+                        if info.is_store:
+                            mem_blocked |= 1 << entry.tid
+                        if attr is not None:
+                            attr.flag_fu()
                     else:
-                        instr = entry.instr
-                        fn = instr._exec
-                        if fn is None:
-                            fn = build_exec(instr)
-                        entry.result = fn(entry.vals, entry.tid, nthreads)
-                    self._schedule(entry, now + latency[fu_index])
-                    issued = True
+                        if info.is_store:
+                            entry.addr = int(entry.vals[0]) + entry.instr.imm
+                            entry.result = None
+                        elif info.is_control:
+                            self._prepare_control(entry)
+                        else:
+                            instr = entry.instr
+                            fn = instr._exec
+                            if fn is None:
+                                fn = build_exec(instr)
+                            entry.result = fn(entry.vals, entry.tid, nthreads)
+                        self._schedule(entry, now + latency[fu_index], unit)
+                        issued = True
                 if issued:
                     budget -= 1
                     if budget == 0:
@@ -527,44 +640,61 @@ class PipelineSim:
     def _issue_load(self, entry, now, latency):
         entry.addr = int(entry.vals[0]) + entry.instr.imm
         su = self.su
+        attr = self._attr
         if su.older_mem_unissued(entry):
+            if attr is not None:
+                attr.flag_sync()
             return False
         if entry.instr.op is Op.TAS:
             if not su.all_older_done(entry):
+                if attr is not None:
+                    attr.flag_sync()
                 return False
             if self.store_buffer.has_match(entry.addr):
+                if attr is not None:
+                    attr.flag_sync()
                 return False
             if not self.cache.can_access(now):
+                if attr is not None:
+                    attr.flag_dcache()
                 return False
-            self.fu_pool.acquire(entry.info.fu_index, now)
+            unit = self.fu_pool.acquire(entry.info.fu_index, now)
             ready = self.cache.access(entry.addr, now) + latency
+            if attr is not None and ready > now + latency:
+                attr.note_miss(ready)
             entry.result = self.memory.read(entry.addr)
             self.memory.write(entry.addr, 1)
-            self._schedule(entry, ready)
+            self._schedule(entry, ready, unit)
             return True
         if su.older_store_conflict(entry):
+            if attr is not None:
+                attr.flag_sync()
             return False
         forwarded = self._forward_value(entry)
         if forwarded is not _NO_FORWARD:
-            self.fu_pool.acquire(entry.info.fu_index, now)
+            unit = self.fu_pool.acquire(entry.info.fu_index, now)
             entry.result = forwarded
-            self._schedule(entry, now + latency)
+            self._schedule(entry, now + latency, unit)
             return True
         if not 0 <= entry.addr < self.memory.size:
             # A wrong-path load may compute a garbage address; hardware
             # does not fault speculatively, so return a dummy value. A
             # wild load on the *correct* path is a program bug that the
             # functional simulator reports as a MemoryFault.
-            self.fu_pool.acquire(entry.info.fu_index, now)
+            unit = self.fu_pool.acquire(entry.info.fu_index, now)
             entry.result = 0
-            self._schedule(entry, now + latency)
+            self._schedule(entry, now + latency, unit)
             return True
         if not self.cache.can_access(now):
+            if attr is not None:
+                attr.flag_dcache()
             return False
-        self.fu_pool.acquire(entry.info.fu_index, now)
+        unit = self.fu_pool.acquire(entry.info.fu_index, now)
         ready = self.cache.access(entry.addr, now) + latency
+        if attr is not None and ready > now + latency:
+            attr.note_miss(ready)
         entry.result = self.memory.read(entry.addr)
-        self._schedule(entry, ready)
+        self._schedule(entry, ready, unit)
         return True
 
     def _forward_value(self, entry):
@@ -607,7 +737,7 @@ class PipelineSim:
             entry.actual_target = int(entry.vals[0])
             entry.result = pc + 1
 
-    def _schedule(self, entry, ready_cycle):
+    def _schedule(self, entry, ready_cycle, unit=None):
         entry.state = ISSUED
         su = self.su
         su.issuable -= 1
@@ -625,6 +755,11 @@ class PipelineSim:
         else:
             bucket.append(entry)
         self.stats.issued += 1
+        bus = self._bus
+        if bus is not None:
+            bus.emit(IssueEvent(self.cycle, entry.tag, entry.tid, entry.pc,
+                                info.fu_index, unit, ready_cycle,
+                                entry.instr.text()))
 
     # ------------------------------------------------------------- decode
 
@@ -705,6 +840,12 @@ class PipelineSim:
         su._tid_count[tid] += count
         self._next_tag = next_tag
         self.fetch_buffer = None
+        bus = self._bus
+        if bus is not None:
+            bus.emit(DecodeEvent(now, tid, block.seq,
+                                 [e.tag for e in entries],
+                                 [e.pc for e in entries],
+                                 [e.instr.text() for e in entries]))
 
     def _scoreboard_hazard(self, tid, items):
         """Without full renaming, stall on in-flight destination writers."""
@@ -767,6 +908,9 @@ class PipelineSim:
         self.fetch_buffer = (thread, items)
         self.stats.fetched_blocks += 1
         self.stats.fetched_instructions += len(items)
+        bus = self._bus
+        if bus is not None:
+            bus.emit(FetchEvent(now, thread.tid, items[0].pc, len(items)))
 
     # ------------------------------------------------------------ helpers
 

@@ -40,7 +40,7 @@ Every index mirrors exactly the predicate the old full scans evaluated;
 ``tests/test_golden_cycles.py`` pins the resulting cycle counts.
 """
 
-from repro.isa.opcodes import Format, Op
+from repro.isa.opcodes import FU_CLASSES, Format, Op
 from repro.isa.registers import regs_per_thread
 
 # Entry states.
@@ -304,6 +304,21 @@ class SchedulingUnit:
                 if entry.state != DONE:
                     return False
         return True
+
+    def fu_class_pressure(self):
+        """WAITING-entry count per functional-unit class.
+
+        Indexed by ``fu_index`` (position in
+        :data:`~repro.isa.opcodes.FU_CLASSES`) — the "issue queue depth"
+        seen by each unit class. Used by the interval-metrics sampler
+        (once every N cycles), so a scan is fine.
+        """
+        counts = [0] * len(FU_CLASSES)
+        for block in self.blocks:
+            for entry in block.entries:
+                if entry.state == WAITING:
+                    counts[entry.info.fu_index] += 1
+        return counts
 
     def threads_with_inflight(self, fu_classes):
         """Thread ids with an unfinished op on one of ``fu_classes``.

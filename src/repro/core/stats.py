@@ -32,8 +32,17 @@ class SimStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.icache_accesses = 0
-        self.icache_hit_rate = 1.0  # perfect I-cache unless modeled
+        #: None ("n/a") until an instruction cache is actually modeled
+        #: and accessed — a default of 1.0 reads as "perfect cache" on
+        #: rows where nothing was measured.
+        self.icache_hit_rate = None
         self.predictor_accuracy = 1.0
+        # Observability payloads (repro.obs), populated only when the
+        # corresponding collector was attached to the simulator:
+        #: {category: cycles} from StallAttribution, or None.
+        self.stall_breakdown = None
+        #: IntervalMetrics.to_dict() histograms, or None.
+        self.interval_metrics = None
 
     @property
     def ipc(self):
@@ -44,8 +53,9 @@ class SimStats:
 
     @property
     def cache_hit_rate(self):
+        """Data-cache hit fraction, or None when nothing was accessed."""
         if self.cache_accesses == 0:
-            return 1.0
+            return None
         return self.cache_hits / self.cache_accesses
 
     @property
@@ -107,6 +117,8 @@ class SimStats:
             "icache_accesses": self.icache_accesses,
             "icache_hit_rate": self.icache_hit_rate,
             "predictor_accuracy": self.predictor_accuracy,
+            "stall_breakdown": self.stall_breakdown,
+            "interval_metrics": self.interval_metrics,
         }
 
     @classmethod
@@ -132,7 +144,9 @@ class SimStats:
             f"mispredict squashes: {self.mispredicts} "
             f"({self.squashed} instructions squashed)",
             f"cache:               {self.cache_accesses} accesses, "
-            f"hit rate {self.cache_hit_rate:.1%}",
+            f"hit rate "
+            + (f"{self.cache_hit_rate:.1%}" if self.cache_hit_rate is not None
+               else "n/a"),
             f"SU stalls:           {self.su_stall_cycles} cycles; "
             f"avg occupancy {self.avg_su_occupancy:.1f}/{self.config.su_entries}",
             f"fetch idle:          {self.fetch_idle_cycles} cycles",

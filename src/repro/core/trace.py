@@ -6,6 +6,13 @@ back, and committed (or squashed), then render a textual pipeline
 diagram — handy for debugging schedules and for teaching what the
 machine does cycle by cycle.
 
+The tracer is an event-bus sink (see :mod:`repro.obs.events`), not a
+method wrapper: it subscribes via ``sim.add_sink`` and receives the
+same explicit hook-point events every other sink does. In particular it
+sees the fast-forward engine's stall events, so tracing a run with
+``fast_forward=True`` neither changes any cycle count nor mislabels
+skipped spans (both were failure modes of the old wrapping approach).
+
 Usage::
 
     sim = PipelineSim(program, config)
@@ -47,98 +54,91 @@ class TraceRecord:
 
 
 class Tracer:
-    """Records instruction lifecycles from a running pipeline."""
+    """Records instruction lifecycles from the pipeline's event bus."""
 
     def __init__(self, limit=1000):
         self.limit = limit
         self.records = {}
         self.order = []
-
-    # ------------------------------------------------------------- hooks
+        #: (first skipped cycle, span) per fast-forward jump.
+        self.idle_spans = []
 
     @classmethod
     def attach(cls, sim, limit=1000):
-        """Wrap ``sim``'s stage methods to feed a new tracer."""
+        """Subscribe a new tracer to ``sim``'s event bus."""
         tracer = cls(limit=limit)
-
-        original_rename = sim._rename_operands
-        original_schedule = sim._schedule
-        original_complete = sim._complete
-        original_commit_block = sim._commit_block
-        original_squash = sim.su.squash_younger
-
-        def rename(entry):
-            tracer.on_decode(entry, sim.cycle)
-            return original_rename(entry)
-
-        def schedule(entry, ready):
-            tracer.on_issue(entry, sim.cycle)
-            return original_schedule(entry, ready)
-
-        def complete(entry, now):
-            tracer.on_complete(entry, now)
-            return original_complete(entry, now)
-
-        def commit_block(block):
-            for entry in block.entries:
-                tracer.on_commit(entry, sim.cycle)
-            return original_commit_block(block)
-
-        def squash_younger(origin):
-            squashed = original_squash(origin)
-            for entry in squashed:
-                tracer.on_squash(entry, sim.cycle)
-            return squashed
-
-        sim._rename_operands = rename
-        sim._schedule = schedule
-        sim._complete = complete
-        sim._commit_block = commit_block
-        sim.su.squash_younger = squash_younger
+        sim.add_sink(tracer)
         return tracer
 
-    def _record(self, entry):
-        return self.records.get(entry.tag)
+    # --------------------------------------------------------- event sink
 
-    def on_decode(self, entry, cycle):
-        if len(self.order) >= self.limit:
-            return
-        record = TraceRecord(entry.tag, entry.tid, entry.pc,
-                             entry.instr.text(), cycle)
-        self.records[entry.tag] = record
-        self.order.append(record)
-
-    def on_issue(self, entry, cycle):
-        record = self._record(entry)
-        if record:
-            record.issued = cycle
-
-    def on_complete(self, entry, cycle):
-        record = self._record(entry)
-        if record:
-            record.completed = cycle
-
-    def on_commit(self, entry, cycle):
-        record = self._record(entry)
-        if record:
-            record.committed = cycle
-
-    def on_squash(self, entry, cycle):
-        record = self._record(entry)
-        if record:
-            record.squashed = cycle
+    def __call__(self, event):
+        kind = event.kind
+        if kind == "decode":
+            if len(self.order) >= self.limit:
+                return
+            cycle = event.cycle
+            tid = event.tid
+            for tag, pc, text in zip(event.tags, event.pcs, event.texts):
+                if len(self.order) >= self.limit:
+                    break
+                record = TraceRecord(tag, tid, pc, text, cycle)
+                self.records[tag] = record
+                self.order.append(record)
+        elif kind == "issue":
+            record = self.records.get(event.tag)
+            if record is not None:
+                record.issued = event.cycle
+        elif kind == "writeback":
+            record = self.records.get(event.tag)
+            if record is not None:
+                record.completed = event.cycle
+        elif kind == "commit":
+            records = self.records
+            cycle = event.cycle
+            for tag in event.tags:
+                record = records.get(tag)
+                if record is not None:
+                    record.committed = cycle
+        elif kind == "squash":
+            records = self.records
+            cycle = event.cycle
+            for tag in event.tags:
+                record = records.get(tag)
+                if record is not None:
+                    record.squashed = cycle
+        elif kind == "stall":
+            self.idle_spans.append((event.cycle, event.span))
 
     # ---------------------------------------------------------- rendering
 
-    def render(self, width=60):
+    def span(self):
+        """(first, last) cycle touched by any traced stage, or ``None``."""
+        cycles = [cycle for record in self.order
+                  for _, cycle in record.stages()]
+        if not cycles:
+            return None
+        return min(cycles), max(cycles)
+
+    def render(self, width=60, start=None):
         """Text pipeline diagram: one line per traced instruction.
 
         Stage letters: D decode, X issue, W writeback, C commit,
-        K squashed (killed).
+        K squashed (killed). ``start`` selects the window's first cycle;
+        it is clamped into the traced cycle range, so a window that
+        would fall entirely outside it still renders the nearest
+        in-range cycles instead of an empty (or crashing) diagram.
         """
-        if not self.order:
+        traced = self.span()
+        if traced is None:
             return "(no instructions traced)"
-        start = min(record.decoded for record in self.order)
+        first, last = traced
+        if start is None:
+            start = first
+        else:
+            # Clamp to the traced range: at most starting on the last
+            # traced cycle, at least on the first.
+            start = max(first, min(start, last))
         lines = []
         for record in self.order:
             lane = [" "] * width

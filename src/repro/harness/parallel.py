@@ -25,17 +25,17 @@ from repro.harness.runner import Runner, _config_key, program_hash
 from repro.workloads import by_name
 
 
-def _job_key(workload, config, aligned, program):
+def _job_key(workload, config, aligned, program, instrument=False):
     return Runner._disk_key(
-        (workload.name, aligned, _config_key(config)), program)
+        Runner._mem_key(workload, aligned, config, instrument), program)
 
 
 def _run_job(job):
     """Worker entry point: simulate one (workload, config) pair."""
-    wname, spec, aligned, verify = job
+    wname, spec, aligned, verify, instrument = job
     workload = by_name(wname)
     config = MachineConfig.from_spec(spec)
-    runner = Runner(verify=verify)
+    runner = Runner(verify=verify, instrument=instrument)
     result = runner.run(workload, config, aligned=aligned)
     return Runner._to_payload(result)
 
@@ -46,7 +46,7 @@ def default_workers():
 
 
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
-             aligned=False):
+             aligned=False, instrument=False):
     """Simulate every ``(workload, config)`` job, in parallel.
 
     Parameters
@@ -64,6 +64,10 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         Optional :class:`~repro.harness.diskcache.DiskResultCache` (or
         path-like). Cached jobs are answered without simulation; new
         results are persisted.
+    instrument:
+        Attach stall attribution and interval metrics in every worker;
+        the serialized stats then carry ``stall_breakdown`` and
+        ``interval_metrics`` (and use a distinct disk-cache key).
 
     Returns
     -------
@@ -88,7 +92,7 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
             pending.append((index, None))
             continue
         program = workload.program(config.nthreads, aligned=aligned)
-        key = _job_key(workload, config, aligned, program)
+        key = _job_key(workload, config, aligned, program, instrument)
         payload = disk_cache.get(key)
         if payload is None:
             pending.append((index, key))
@@ -99,7 +103,7 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         return results
 
     job_args = [(resolved[i][0].name, resolved[i][1].to_spec(),
-                 aligned, verify) for i, _ in pending]
+                 aligned, verify, instrument) for i, _ in pending]
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(pending) == 1:

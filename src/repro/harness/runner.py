@@ -93,15 +93,23 @@ class Runner:
         path-like, which constructs one. Entries are keyed on the
         engine version, the program content, and the full configuration
         (see :mod:`repro.harness.diskcache`).
+    instrument:
+        Attach stall attribution and interval metrics to every run, so
+        results carry ``stats.stall_breakdown`` and
+        ``stats.interval_metrics``. Instrumented runs use a distinct
+        cache key (same cycle counts, richer payload), so they never
+        collide with — or invalidate — plain entries.
     """
 
-    def __init__(self, verify=True, quiet=True, disk_cache=None):
+    def __init__(self, verify=True, quiet=True, disk_cache=None,
+                 instrument=False):
         self.verify = verify
         self.quiet = quiet
         if disk_cache is not None and not isinstance(disk_cache,
                                                      DiskResultCache):
             disk_cache = DiskResultCache(disk_cache)
         self.disk_cache = disk_cache
+        self.instrument = instrument
         self._cache = {}
 
     def run(self, workload, config=None, aligned=False, **overrides):
@@ -116,7 +124,7 @@ class Runner:
             # guard so a pathological configuration fails fast instead
             # of burning an hour of single-core simulation.
             config = config.replace(max_cycles=2_000_000)
-        key = (workload.name, aligned, _config_key(config))
+        key = self._mem_key(workload, aligned, config, self.instrument)
         if key in self._cache:
             return self._cache[key]
         nthreads = config.nthreads
@@ -131,7 +139,12 @@ class Runner:
                 self._cache[key] = result
                 return result
         sim = PipelineSim(program, config)
+        if self.instrument:
+            attr = sim.attach_attribution()
+            sim.attach_metrics()
         stats = sim.run()
+        if self.instrument:
+            attr.verify(stats)  # attribution must reconcile exactly
         checksum = sim.mem(workload.checksum_address(nthreads))
         verified = workload.verify(checksum, nthreads)
         if self.verify and not verified:
@@ -146,6 +159,15 @@ class Runner:
             print(f"  {workload.name:8s} threads={nthreads} "
                   f"cycles={stats.cycles:8d} ipc={stats.ipc:.2f}")
         return result
+
+    @staticmethod
+    def _mem_key(workload, aligned, config, instrument=False):
+        # Plain runs keep the historical key shape, so existing disk
+        # caches stay valid; instrumented runs get a marker element.
+        if instrument:
+            return (workload.name, aligned, "instrumented",
+                    _config_key(config))
+        return (workload.name, aligned, _config_key(config))
 
     @staticmethod
     def _disk_key(key, program):

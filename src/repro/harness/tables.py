@@ -8,6 +8,8 @@ def format_table(title, columns, rows):
     lists (strings or numbers).
     """
     def fmt(value):
+        if value is None:
+            return "n/a"  # e.g. a hit rate with zero accesses
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)

@@ -1,0 +1,43 @@
+"""Observability: typed pipeline events, stall attribution, metrics.
+
+Import surface is deliberately small: :mod:`repro.obs.events` and
+:mod:`repro.obs.attribution` are dependency-free plain-data modules, so
+the pipeline can import them without cycles; the heavier sinks live in
+:mod:`repro.obs.metrics` and :mod:`repro.obs.export` and are imported
+on demand (``attach_metrics``, the CLI, the exporters' users).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, the stall
+categories, and the zero-overhead contract.
+"""
+
+from repro.obs.attribution import CATEGORIES, StallAttribution, format_breakdown
+from repro.obs.events import (
+    CommitEvent,
+    DecodeEvent,
+    Event,
+    EventBus,
+    EVENT_TYPES,
+    FetchEvent,
+    IssueEvent,
+    MaskEvent,
+    SquashEvent,
+    StallEvent,
+    WritebackEvent,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CommitEvent",
+    "DecodeEvent",
+    "Event",
+    "EventBus",
+    "EVENT_TYPES",
+    "FetchEvent",
+    "IssueEvent",
+    "MaskEvent",
+    "SquashEvent",
+    "StallAttribution",
+    "StallEvent",
+    "WritebackEvent",
+    "format_breakdown",
+]

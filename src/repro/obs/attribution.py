@@ -1,0 +1,198 @@
+"""Per-cycle stall attribution.
+
+The paper's analysis (Figs. 3-14) is an exercise in explaining where
+cycles go. :class:`StallAttribution` charges **every simulated cycle to
+exactly one category**, so the breakdown always sums to
+``stats.cycles`` — with and without the idle-cycle fast-forward
+(enforced by ``tests/test_obs_attribution.py`` over the golden-cycle
+matrix).
+
+Categories (first matching rule wins, evaluated per executed cycle):
+
+``commit``
+    A block retired this cycle — or, rarely, no stall condition held
+    (pipeline ramp/drain cycles are charged here too; the machine was
+    making unimpeded forward progress).
+``su-full``
+    No block retired and the scheduling unit was full at the commit
+    stage. By construction this count equals the per-cycle part of
+    ``stats.su_stall_cycles`` (see :meth:`StallAttribution.verify`).
+``sync``
+    Memory-ordering or synchronization wait: a ready ``tas`` held back
+    until non-speculative / the store buffer drains its address, or a
+    load blocked by the restricted load/store policy (older unresolved
+    or conflicting same-thread store, per-thread in-order memory issue).
+``dcache-miss``
+    A data-cache miss is outstanding, or a ready memory op lost cache
+    port arbitration this cycle.
+``fu-contention``
+    Ready work failed to acquire a busy functional unit, or every
+    in-flight instruction is waiting out functional-unit/result latency
+    (including scoreboard RAW waits when renaming is off).
+``fetch-idle``
+    Nothing else stalled and the front end produced no block (no
+    fetchable thread: all masked, done, jalr-blocked, or refilling the
+    instruction cache).
+``idle-ff``
+    Cycles skipped in one jump by the fast-forward engine (only ever
+    non-zero with ``fast_forward=True``). The sub-counters
+    ``ff_su_full`` / ``ff_fetch_idle`` / ``ff_decode_stall`` record
+    which legacy stall counters the skipped span was charged to, which
+    is what keeps :meth:`verify` exact in both engine modes.
+
+The attribution object is attached with
+``PipelineSim.attach_attribution()`` **before** ``run()``; when it is
+not attached the simulator pays one ``is None`` check per cycle.
+"""
+
+#: Attribution category names, display order.
+CATEGORIES = ("commit", "su-full", "sync", "dcache-miss",
+              "fu-contention", "fetch-idle", "idle-ff")
+
+_F_SYNC = 1
+_F_DCACHE = 2
+_F_FU = 4
+
+
+class StallAttribution:
+    """Charges every simulated cycle to exactly one stall category."""
+
+    __slots__ = ("counts", "flags", "miss_until",
+                 "ff_su_full", "ff_fetch_idle", "ff_decode_stall",
+                 "_last_fetch_idle", "_last_decode_stall")
+
+    def __init__(self):
+        self.counts = dict.fromkeys(CATEGORIES, 0)
+        #: Per-cycle condition flags, set by the issue stage and cleared
+        #: when the cycle is closed.
+        self.flags = 0
+        #: Latest data-ready cycle of any outstanding cache miss.
+        self.miss_until = 0
+        self.ff_su_full = 0
+        self.ff_fetch_idle = 0
+        self.ff_decode_stall = 0
+        self._last_fetch_idle = 0
+        self._last_decode_stall = 0
+
+    # ------------------------------------------------- issue-stage flags
+
+    def flag_sync(self):
+        """A memory op was held by ordering/synchronization this cycle."""
+        self.flags |= _F_SYNC
+
+    def flag_dcache(self):
+        """A ready memory op lost cache port arbitration this cycle."""
+        self.flags |= _F_DCACHE
+
+    def flag_fu(self):
+        """A ready instruction found its functional-unit class busy."""
+        self.flags |= _F_FU
+
+    def note_miss(self, ready_cycle):
+        """A load's cache access missed; data arrives at ``ready_cycle``."""
+        if ready_cycle > self.miss_until:
+            self.miss_until = ready_cycle
+
+    # ------------------------------------------------------ cycle close
+
+    def close_cycle(self, sim, now, commit_status):
+        """Charge the cycle that just executed to one category.
+
+        ``commit_status`` comes from the commit stage: 1 = a block
+        retired, 2 = the scheduling unit was full, 0 = neither.
+        """
+        flags = self.flags
+        if flags:
+            self.flags = 0
+        stats = sim.stats
+        if commit_status == 1:
+            key = "commit"
+        elif commit_status == 2:
+            key = "su-full"
+        elif flags & _F_SYNC:
+            key = "sync"
+        elif flags & _F_DCACHE or now < self.miss_until:
+            key = "dcache-miss"
+        elif flags & _F_FU:
+            key = "fu-contention"
+        elif sim._wb_cycles and not sim.su.issuable:
+            # Everything in flight is waiting out result latency.
+            key = "fu-contention"
+        elif stats.fetch_idle_cycles > self._last_fetch_idle:
+            key = "fetch-idle"
+        elif stats.decode_stall_cycles > self._last_decode_stall:
+            # Scoreboard RAW wait (renaming off): the producer has not
+            # written back yet — a result-latency wait.
+            key = "fu-contention"
+        else:
+            key = "commit"
+        self.counts[key] += 1
+        self._last_fetch_idle = stats.fetch_idle_cycles
+        self._last_decode_stall = stats.decode_stall_cycles
+
+    def note_skip(self, sim, skipped, su_full, fetch_idle):
+        """Charge a fast-forwarded idle span of ``skipped`` cycles.
+
+        Mirrors exactly how ``_skip_idle_cycles`` charged the legacy
+        stall counters, so :meth:`verify` stays exact under
+        ``fast_forward=True``.
+        """
+        self.counts["idle-ff"] += skipped
+        if su_full:
+            self.ff_su_full += skipped
+        if fetch_idle:
+            self.ff_fetch_idle += skipped
+            self._last_fetch_idle += skipped
+        else:
+            self.ff_decode_stall += skipped
+            self._last_decode_stall += skipped
+
+    # -------------------------------------------------------- reporting
+
+    def total(self):
+        """Cycles charged so far (== ``stats.cycles`` after a run)."""
+        return sum(self.counts.values())
+
+    def verify(self, stats):
+        """Reconciliation check against the run's legacy counters.
+
+        Raises :class:`AssertionError` unless (a) the categories sum
+        exactly to ``stats.cycles`` and (b) the ``su-full`` accounting
+        matches ``stats.su_stall_cycles`` once fast-forwarded spans are
+        folded back in.
+        """
+        total = self.total()
+        if total != stats.cycles:
+            raise AssertionError(
+                f"attributed {total} cycles, simulated {stats.cycles}: "
+                f"{self.counts}")
+        su_full = self.counts["su-full"] + self.ff_su_full
+        if su_full != stats.su_stall_cycles:
+            raise AssertionError(
+                f"su-full attribution {su_full} != su_stall_cycles "
+                f"{stats.su_stall_cycles}")
+        fetch_idle = self.counts["fetch-idle"] + self.ff_fetch_idle
+        if fetch_idle > stats.fetch_idle_cycles:
+            raise AssertionError(
+                f"fetch-idle attribution {fetch_idle} exceeds "
+                f"fetch_idle_cycles {stats.fetch_idle_cycles}")
+
+    def to_dict(self):
+        """Plain-data snapshot (stored on ``SimStats.stall_breakdown``)."""
+        return dict(self.counts)
+
+
+def format_breakdown(breakdown, cycles=None):
+    """Render a stall-attribution table (``repro stats --breakdown``)."""
+    from repro.harness.tables import format_table
+
+    if cycles is None:
+        cycles = sum(breakdown.values())
+    rows = []
+    for key in CATEGORIES:
+        count = breakdown.get(key, 0)
+        share = count / cycles if cycles else 0.0
+        rows.append([key, count, f"{share:6.1%}"])
+    rows.append(["total", cycles, f"{1.0 if cycles else 0.0:6.1%}"])
+    return format_table("cycle attribution", ["category", "cycles", "share"],
+                        rows)

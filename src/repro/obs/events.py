@@ -1,0 +1,209 @@
+"""Typed pipeline events and the event bus they travel on.
+
+The observability layer replaces the old method-wrapping ``Tracer``
+hooks with *explicit* hook points inside the simulator: each pipeline
+stage constructs a small ``__slots__`` event object and hands it to the
+:class:`EventBus` — but **only** when a sink is attached. With no sink,
+the simulator's ``_bus`` attribute is ``None`` and every hook collapses
+to a single predicate check; no event is ever constructed (enforced by
+``tests/test_obs_overhead.py``).
+
+Events are plain data: every field is JSON-serializable, and
+:meth:`Event.to_dict` produces the record the JSON-lines exporter
+writes. Cycle numbers are simulated cycles, tags are the scheduling
+unit's per-instruction tags (monotonic per run).
+
+Event taxonomy (see ``docs/OBSERVABILITY.md`` for the full contract):
+
+=============  =====================================================
+``fetch``      one aligned block left the instruction unit
+``decode``     one block entered the scheduling unit (with renames)
+``issue``      one instruction was dispatched to a functional unit
+``writeback``  one instruction's result completed
+``commit``     one block retired
+``squash``     wrong-path instructions were discarded
+``stall``      the fast-forward engine skipped an idle span
+``mask``       masked-RR suspended or resumed a thread's fetching
+=============  =====================================================
+"""
+
+
+class Event:
+    """Base class: plain-data record of one pipeline occurrence."""
+
+    __slots__ = ()
+    kind = "event"
+
+    def to_dict(self):
+        """JSON-serializable dict: ``{"event": kind, **fields}``."""
+        record = {"event": self.kind}
+        for name in self.__slots__:
+            record[name] = getattr(self, name)
+        return record
+
+    def __repr__(self):
+        fields = ", ".join(f"{n}={getattr(self, n)!r}" for n in self.__slots__)
+        return f"{type(self).__name__}({fields})"
+
+
+class FetchEvent(Event):
+    """One block of up to four instructions fetched for a thread."""
+
+    __slots__ = ("cycle", "tid", "pc", "count")
+    kind = "fetch"
+
+    def __init__(self, cycle, tid, pc, count):
+        self.cycle = cycle
+        self.tid = tid
+        self.pc = pc
+        self.count = count
+
+
+class DecodeEvent(Event):
+    """One block decoded/renamed into the scheduling unit."""
+
+    __slots__ = ("cycle", "tid", "seq", "tags", "pcs", "texts")
+    kind = "decode"
+
+    def __init__(self, cycle, tid, seq, tags, pcs, texts):
+        self.cycle = cycle
+        self.tid = tid
+        self.seq = seq
+        self.tags = tags
+        self.pcs = pcs
+        self.texts = texts
+
+
+class IssueEvent(Event):
+    """One instruction dispatched to a functional-unit instance.
+
+    ``fu_index`` indexes :data:`repro.isa.opcodes.FU_CLASSES`; ``unit``
+    is the instance within the class (lowest-free-first); ``ready`` is
+    the cycle the result will write back (already including any cache
+    miss delay for loads).
+    """
+
+    __slots__ = ("cycle", "tag", "tid", "pc", "fu_index", "unit", "ready",
+                 "text")
+    kind = "issue"
+
+    def __init__(self, cycle, tag, tid, pc, fu_index, unit, ready, text):
+        self.cycle = cycle
+        self.tag = tag
+        self.tid = tid
+        self.pc = pc
+        self.fu_index = fu_index
+        self.unit = unit
+        self.ready = ready
+        self.text = text
+
+
+class WritebackEvent(Event):
+    """One instruction's result completed (left the calendar queue)."""
+
+    __slots__ = ("cycle", "tag", "tid")
+    kind = "writeback"
+
+    def __init__(self, cycle, tag, tid):
+        self.cycle = cycle
+        self.tag = tag
+        self.tid = tid
+
+
+class CommitEvent(Event):
+    """One block retired (in per-thread program order)."""
+
+    __slots__ = ("cycle", "tid", "tags")
+    kind = "commit"
+
+    def __init__(self, cycle, tid, tags):
+        self.cycle = cycle
+        self.tid = tid
+        self.tags = tags
+
+
+class SquashEvent(Event):
+    """Wrong-path same-thread instructions discarded after a mispredict."""
+
+    __slots__ = ("cycle", "tid", "tags")
+    kind = "squash"
+
+    def __init__(self, cycle, tid, tags):
+        self.cycle = cycle
+        self.tid = tid
+        self.tags = tags
+
+
+class StallEvent(Event):
+    """A provably idle span skipped by the fast-forward engine.
+
+    ``cycle`` is the first skipped cycle, ``span`` the number of cycles
+    jumped; the machine resumes at ``cycle + span``. Emitting this
+    explicitly is what lets sinks stay correct under
+    ``fast_forward=True`` — the old method-wrapping tracer silently
+    missed these jumps.
+    """
+
+    __slots__ = ("cycle", "reason", "span")
+    kind = "stall"
+
+    def __init__(self, cycle, reason, span):
+        self.cycle = cycle
+        self.reason = reason
+        self.span = span
+
+
+class MaskEvent(Event):
+    """Masked round-robin suspended (or resumed) fetching for a thread."""
+
+    __slots__ = ("cycle", "tid", "masked")
+    kind = "mask"
+
+    def __init__(self, cycle, tid, masked):
+        self.cycle = cycle
+        self.tid = tid
+        self.masked = masked
+
+
+#: Every concrete event class, in pipeline-stage order.
+EVENT_TYPES = (FetchEvent, DecodeEvent, IssueEvent, WritebackEvent,
+               CommitEvent, SquashEvent, StallEvent, MaskEvent)
+
+
+class EventBus:
+    """Fans events out to subscribed sinks (callables taking one event).
+
+    The bus itself only exists while at least one sink is attached:
+    :meth:`repro.core.pipeline.PipelineSim.add_sink` creates it and
+    :meth:`~repro.core.pipeline.PipelineSim.remove_sink` drops it when
+    the last sink unsubscribes, so the simulator's disabled path stays
+    a bare ``is None`` check.
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self):
+        self._sinks = []
+
+    @property
+    def sinks(self):
+        return tuple(self._sinks)
+
+    def subscribe(self, sink):
+        """Attach ``sink``; returns it (handy for inline construction)."""
+        if not callable(sink):
+            raise TypeError(f"sink must be callable, got {type(sink).__name__}")
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink):
+        """Detach ``sink``; unknown sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def emit(self, event):
+        for sink in self._sinks:
+            sink(event)

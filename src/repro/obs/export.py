@@ -1,0 +1,236 @@
+"""Event-bus sinks: JSON-lines, plain text, and Chrome/Perfetto traces.
+
+Every sink is a callable taking one :class:`~repro.obs.events.Event`;
+attach with ``PipelineSim.add_sink(sink)``.
+
+The Perfetto exporter emits the Chrome ``trace_event`` JSON object
+format (https://ui.perfetto.dev opens it directly):
+
+* **pid 1 — threads**: one track per hardware thread. Each issued
+  instruction is an ``X`` (complete) event spanning issue to writeback.
+  ``X`` events may overlap freely, which in-flight instructions of one
+  thread routinely do, so thread tracks never use ``B``/``E`` nesting.
+* **pid 2 — functional units**: one track per FU *instance*
+  (``tid = fu_index * 64 + unit``). Occupancy spans are matched
+  ``B``/``E`` pairs — an instance is occupied for 1 cycle (pipelined
+  classes) or the full latency (the unpipelined dividers), and
+  occupancies on one instance never overlap, so the pairs always
+  balance (checked by :func:`validate_trace` and the CI gate).
+* **pid 3 — engine**: idle spans skipped by the fast-forward engine,
+  as ``X`` events labelled with the stall reason.
+
+Timestamps are simulated cycles, written as microseconds (1 cycle =
+1 us) so Perfetto's time axis reads directly in cycles.
+"""
+
+import json
+
+from repro.obs.events import Event
+
+#: Synthetic process ids grouping the trace tracks.
+PID_THREADS = 1
+PID_FUS = 2
+PID_ENGINE = 3
+
+#: FU-instance track id stride: ``tid = fu_index * 64 + unit``.
+FU_TRACK_STRIDE = 64
+
+#: Sort rank per phase at equal ``ts``: close before open so B/E pairs
+#: on one track never appear to overlap.
+_PHASE_RANK = {"E": 0, "B": 2}
+
+
+class JsonlSink:
+    """Writes one JSON object per event to ``stream`` (JSON-lines)."""
+
+    __slots__ = ("stream", "count")
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.count = 0
+
+    def __call__(self, event):
+        self.stream.write(json.dumps(event.to_dict()))
+        self.stream.write("\n")
+        self.count += 1
+
+
+class TextSink:
+    """Writes one human-readable line per event to ``stream``."""
+
+    __slots__ = ("stream", "count")
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.count = 0
+
+    def __call__(self, event):
+        record = event.to_dict()
+        kind = record.pop("event")
+        cycle = record.pop("cycle")
+        rest = " ".join(f"{key}={value}" for key, value in record.items())
+        self.stream.write(f"[{cycle:>8}] {kind:<9} {rest}\n")
+        self.count += 1
+
+
+class PerfettoCollector:
+    """Accumulates Chrome ``trace_event`` records from pipeline events.
+
+    Usage::
+
+        collector = PerfettoCollector(config)
+        sim.add_sink(collector)
+        stats = sim.run()
+        with open("trace.json", "w") as out:
+            collector.write(out)
+    """
+
+    __slots__ = ("events", "count", "_occupancy", "_fu_names", "_tids",
+                 "_fu_tracks")
+
+    def __init__(self, config):
+        from repro.core.execute import UNPIPELINED
+        from repro.isa.opcodes import FU_CLASSES
+
+        self._occupancy = [config.fu_latency[cls] if cls in UNPIPELINED
+                           else 1 for cls in FU_CLASSES]
+        self._fu_names = [cls.value for cls in FU_CLASSES]
+        self.events = []
+        self.count = 0
+        self._tids = set()
+        self._fu_tracks = {}  # (fu_index, unit) -> (track tid, label)
+
+    def _fu_track(self, fu_index, unit):
+        key = (fu_index, unit)
+        track = self._fu_tracks.get(key)
+        if track is None:
+            track = (fu_index * FU_TRACK_STRIDE + unit,
+                     f"{self._fu_names[fu_index]}[{unit}]")
+            self._fu_tracks[key] = track
+        return track[0]
+
+    def __call__(self, event):
+        kind = event.kind
+        out = self.events
+        if kind == "issue":
+            self._tids.add(event.tid)
+            dur = event.ready - event.cycle
+            out.append({"name": event.text, "cat": "instr", "ph": "X",
+                        "ts": event.cycle, "dur": dur if dur > 0 else 1,
+                        "pid": PID_THREADS, "tid": event.tid,
+                        "args": {"tag": event.tag, "pc": event.pc}})
+            unit = event.unit if event.unit is not None else 0
+            track = self._fu_track(event.fu_index, unit)
+            occupancy = self._occupancy[event.fu_index]
+            out.append({"name": event.text, "cat": "fu", "ph": "B",
+                        "ts": event.cycle, "pid": PID_FUS, "tid": track,
+                        "args": {"tag": event.tag, "tid": event.tid}})
+            out.append({"name": event.text, "cat": "fu", "ph": "E",
+                        "ts": event.cycle + occupancy,
+                        "pid": PID_FUS, "tid": track})
+        elif kind == "commit":
+            self._tids.add(event.tid)
+            out.append({"name": "commit", "cat": "retire", "ph": "i",
+                        "ts": event.cycle, "pid": PID_THREADS,
+                        "tid": event.tid, "s": "t",
+                        "args": {"tags": list(event.tags)}})
+        elif kind == "squash":
+            self._tids.add(event.tid)
+            out.append({"name": "squash", "cat": "retire", "ph": "i",
+                        "ts": event.cycle, "pid": PID_THREADS,
+                        "tid": event.tid, "s": "t",
+                        "args": {"tags": list(event.tags)}})
+        elif kind == "stall":
+            out.append({"name": f"idle ({event.reason})", "cat": "engine",
+                        "ph": "X", "ts": event.cycle, "dur": event.span,
+                        "pid": PID_ENGINE, "tid": 0, "args": {}})
+        self.count += 1
+
+    def _metadata(self):
+        meta = [
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": PID_THREADS,
+             "tid": 0, "args": {"name": "threads"}},
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": PID_FUS,
+             "tid": 0, "args": {"name": "functional units"}},
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": PID_ENGINE,
+             "tid": 0, "args": {"name": "engine"}},
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": PID_ENGINE,
+             "tid": 0, "args": {"name": "fast-forward"}},
+        ]
+        for tid in sorted(self._tids):
+            meta.append({"name": "thread_name", "ph": "M", "ts": 0,
+                         "pid": PID_THREADS, "tid": tid,
+                         "args": {"name": f"thread {tid}"}})
+        for track, label in sorted(self._fu_tracks.values()):
+            meta.append({"name": "thread_name", "ph": "M", "ts": 0,
+                         "pid": PID_FUS, "tid": track,
+                         "args": {"name": label}})
+        return meta
+
+    def trace(self, final_cycle=None):
+        """The complete trace as a plain dict (``trace_event`` object form)."""
+        body = sorted(self.events,
+                      key=lambda ev: (ev["ts"], _PHASE_RANK.get(ev["ph"], 1)))
+        record = {"traceEvents": self._metadata() + body,
+                  "displayTimeUnit": "ms",
+                  "otherData": {"time_unit": "1 us = 1 simulated cycle"}}
+        if final_cycle is not None:
+            record["otherData"]["final_cycle"] = final_cycle
+        return record
+
+    def write(self, stream, final_cycle=None):
+        """Serialize the trace to ``stream`` as JSON."""
+        json.dump(self.trace(final_cycle), stream)
+        stream.write("\n")
+
+
+def validate_trace(trace):
+    """Check a ``trace_event`` object against the contract CI enforces.
+
+    Returns a list of error strings (empty = valid): ``traceEvents``
+    present, timestamps sorted non-decreasing (metadata aside), ``X``
+    durations non-negative, and ``B``/``E`` pairs matched per
+    ``(pid, tid)`` track.
+    """
+    errors = []
+    events = trace.get("traceEvents") if isinstance(trace, dict) else None
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts = None
+    stacks = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if not phase:
+            errors.append(f"event {index}: missing ph")
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {index}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"event {index}: ts {ts} < previous {last_ts} "
+                          "(unsorted)")
+        last_ts = ts
+        track = (event.get("pid"), event.get("tid"))
+        if phase == "B":
+            stacks.setdefault(track, []).append(event.get("name"))
+        elif phase == "E":
+            stack = stacks.get(track)
+            if not stack:
+                errors.append(f"event {index}: E without matching B "
+                              f"on track {track}")
+            else:
+                stack.pop()
+        elif phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {index}: X with bad dur {dur!r}")
+    for track, stack in stacks.items():
+        if stack:
+            errors.append(f"track {track}: {len(stack)} unclosed B event(s)")
+    return errors

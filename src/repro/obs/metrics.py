@@ -1,0 +1,198 @@
+"""Interval metrics: fixed-bucket histograms sampled every N cycles.
+
+Flat end-of-run counters (``SimStats``) answer *how much*; the paper's
+occupancy arguments (SU depth, Figs. 9-10; FU sizing, Figs. 11-12) need
+*distributions*. :class:`IntervalMetrics` samples the machine every
+``interval`` cycles and accumulates:
+
+* **SU occupancy** — instantaneous live-entry count, 16 linear buckets
+  over ``[0, su_entries]``;
+* **issue width** — average instructions issued per cycle over the
+  interval, one bucket per integer width;
+* **fetch width** — average instructions fetched per cycle over the
+  interval, one bucket per integer width;
+* **per-FU-class queue depth** — instantaneous count of WAITING
+  entries destined for each functional-unit class (the "issue queue
+  pressure" view of Carroll & Lin's queuing model).
+
+Sampling is observational only — attaching metrics never changes a
+simulated cycle. Under ``fast_forward=True`` a skipped idle span
+contributes its due number of samples with the (frozen) occupancy and
+zero issue/fetch width, so distributions remain comparable across
+engine modes; the boundary sample straddling a jump is attributed to
+the post-jump interval (a deliberate, documented approximation).
+
+Serialized via :meth:`IntervalMetrics.to_dict` onto
+``SimStats.interval_metrics``, so the disk result cache and
+``run_grid`` carry histograms exactly like any other counter.
+"""
+
+from repro.isa.opcodes import FU_CLASSES
+
+#: Bucket count for the SU-occupancy histogram.
+SU_BUCKETS = 16
+
+#: Bucket count (and clamp ceiling) for per-FU-class queue depth.
+PRESSURE_BUCKETS = 16
+
+
+class Histogram:
+    """Fixed-width linear-bucket histogram over ``[lo, hi)``.
+
+    Values outside the range clamp into the first/last bucket, so the
+    bucket count is fixed regardless of outliers.
+    """
+
+    __slots__ = ("lo", "hi", "counts")
+
+    def __init__(self, nbuckets, lo, hi):
+        if nbuckets < 1 or hi <= lo:
+            raise ValueError(f"bad histogram shape ({nbuckets}, {lo}, {hi})")
+        self.lo = lo
+        self.hi = hi
+        self.counts = [0] * nbuckets
+
+    def record(self, value, weight=1):
+        counts = self.counts
+        n = len(counts)
+        index = int((value - self.lo) * n / (self.hi - self.lo))
+        if index < 0:
+            index = 0
+        elif index >= n:
+            index = n - 1
+        counts[index] += weight
+
+    def total(self):
+        return sum(self.counts)
+
+    def mean(self):
+        """Approximate mean using bucket midpoints."""
+        total = self.total()
+        if not total:
+            return 0.0
+        width = (self.hi - self.lo) / len(self.counts)
+        acc = 0.0
+        for index, count in enumerate(self.counts):
+            acc += count * (self.lo + (index + 0.5) * width)
+        return acc / total
+
+    def to_dict(self):
+        return {"lo": self.lo, "hi": self.hi, "counts": list(self.counts)}
+
+    @classmethod
+    def from_dict(cls, data):
+        hist = cls(len(data["counts"]), data["lo"], data["hi"])
+        hist.counts = list(data["counts"])
+        return hist
+
+
+class IntervalMetrics:
+    """Samples SU occupancy, issue/fetch width, and FU queue pressure.
+
+    Attach with ``PipelineSim.attach_metrics()`` (which calls
+    :meth:`bind` with the machine configuration) before ``run()``.
+    """
+
+    __slots__ = ("interval", "samples", "su_occupancy", "issue_width",
+                 "fetch_width", "fu_pressure", "_tick", "_last_issued",
+                 "_last_fetched")
+
+    def __init__(self, interval=64):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.samples = 0
+        self.su_occupancy = None
+        self.issue_width = None
+        self.fetch_width = None
+        self.fu_pressure = None
+        self._tick = 0
+        self._last_issued = 0
+        self._last_fetched = 0
+
+    def bind(self, config):
+        """Size the histograms for ``config`` (idempotent)."""
+        if self.su_occupancy is not None:
+            return self
+        from repro.core.config import BLOCK
+
+        self.su_occupancy = Histogram(SU_BUCKETS, 0, config.su_entries + 1)
+        self.issue_width = Histogram(config.issue_width + 1, 0,
+                                     config.issue_width + 1)
+        self.fetch_width = Histogram(BLOCK + 1, 0, BLOCK + 1)
+        self.fu_pressure = {cls: Histogram(PRESSURE_BUCKETS, 0,
+                                           PRESSURE_BUCKETS)
+                            for cls in FU_CLASSES}
+        return self
+
+    # --------------------------------------------------- pipeline hooks
+
+    def on_cycle(self, sim, now):
+        """Called once per executed cycle; samples every ``interval``."""
+        tick = self._tick + 1
+        if tick < self.interval:
+            self._tick = tick
+            return
+        self._tick = 0
+        self._sample(sim)
+
+    def note_skip(self, sim, skipped):
+        """Account a fast-forwarded idle span of ``skipped`` cycles."""
+        tick = self._tick + skipped
+        due = tick // self.interval
+        self._tick = tick % self.interval
+        if not due:
+            return
+        # Machine state is frozen across the jump: record the current
+        # occupancy/pressure with the span's sample weight, and zero
+        # issue/fetch width (nothing moved).
+        self.su_occupancy.record(sim.su._entry_count, due)
+        self.issue_width.record(0, due)
+        self.fetch_width.record(0, due)
+        for cls, depth in zip(FU_CLASSES, sim.su.fu_class_pressure()):
+            self.fu_pressure[cls].record(depth, due)
+        self.samples += due
+        # Nothing issued or fetched while skipping, so the delta
+        # baselines are already correct.
+
+    def _sample(self, sim):
+        stats = sim.stats
+        interval = self.interval
+        self.su_occupancy.record(sim.su._entry_count)
+        issued = stats.issued
+        self.issue_width.record((issued - self._last_issued) / interval)
+        self._last_issued = issued
+        fetched = stats.fetched_instructions
+        self.fetch_width.record((fetched - self._last_fetched) / interval)
+        self._last_fetched = fetched
+        for cls, depth in zip(FU_CLASSES, sim.su.fu_class_pressure()):
+            self.fu_pressure[cls].record(depth)
+        self.samples += 1
+
+    # -------------------------------------------------- serialization
+
+    def to_dict(self):
+        """Plain-data snapshot (stored on ``SimStats.interval_metrics``)."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "su_occupancy": self.su_occupancy.to_dict(),
+            "issue_width": self.issue_width.to_dict(),
+            "fetch_width": self.fetch_width.to_dict(),
+            "fu_pressure": {cls.value: hist.to_dict()
+                            for cls, hist in self.fu_pressure.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from a :meth:`to_dict` payload (histograms only)."""
+        from repro.isa.opcodes import FuClass
+
+        metrics = cls(interval=data["interval"])
+        metrics.samples = data["samples"]
+        metrics.su_occupancy = Histogram.from_dict(data["su_occupancy"])
+        metrics.issue_width = Histogram.from_dict(data["issue_width"])
+        metrics.fetch_width = Histogram.from_dict(data["fetch_width"])
+        metrics.fu_pressure = {FuClass(name): Histogram.from_dict(hist)
+                               for name, hist in data["fu_pressure"].items()}
+        return metrics

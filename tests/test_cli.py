@@ -95,3 +95,44 @@ def test_run_with_alignment(asm_file, capsys):
 def test_bench_extra_workload(capsys):
     assert main(["bench", "LL11", "--threads", "2"]) == 0
     assert "verified" in capsys.readouterr().out
+
+
+def test_trace_perfetto(tmp_path, capsys):
+    import json
+    from repro.obs.export import validate_trace
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "LL2", "--threads", "2",
+                 "--out", str(out), "--format", "perfetto"]) == 0
+    trace = json.loads(out.read_text())
+    assert validate_trace(trace) == []
+    assert "events" in capsys.readouterr().err
+
+
+def test_trace_jsonl_and_text(tmp_path, asm_file):
+    import json
+
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", asm_file, "--out", str(out),
+                 "--format", "jsonl"]) == 0
+    lines = out.read_text().splitlines()
+    assert lines and all("event" in json.loads(line) for line in lines)
+
+    out = tmp_path / "trace.txt"
+    assert main(["trace", asm_file, "--out", str(out),
+                 "--format", "text"]) == 0
+    assert out.read_text().startswith("[")
+
+
+def test_stats_breakdown(capsys):
+    assert main(["stats", "LL3", "--threads", "4", "--breakdown"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle attribution" in out
+    assert "su-full" in out and "total" in out
+    assert "IPC" in out
+
+
+def test_stats_plain_source_file(asm_file, capsys):
+    assert main(["stats", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "cycle attribution" not in out

@@ -1,0 +1,124 @@
+"""Event bus and hook-point tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import MachineConfig, PipelineSim
+from repro.obs.events import EventBus, EVENT_TYPES, FetchEvent, IssueEvent
+from repro.workloads import by_name
+
+COUNTDOWN = """
+    .text
+    li r4, 20
+lp: addi r4, r4, -1
+    bnez r4, lp
+    halt
+"""
+
+
+def run_with_sink(source=COUNTDOWN, **cfg):
+    program = assemble(source)
+    sim = PipelineSim(program, MachineConfig(nthreads=1, max_cycles=100_000,
+                                             **cfg))
+    events = []
+    sim.add_sink(events.append)
+    stats = sim.run()
+    return sim, stats, events
+
+
+# ------------------------------------------------------------ bus plumbing
+
+def test_subscribe_dedup_and_unsubscribe():
+    bus = EventBus()
+    sink = lambda event: None
+    assert bus.subscribe(sink) is sink
+    bus.subscribe(sink)  # duplicate: ignored
+    assert bus.sinks == (sink,)
+    bus.unsubscribe(sink)
+    assert bus.sinks == ()
+    bus.unsubscribe(sink)  # unknown: ignored
+
+
+def test_subscribe_rejects_non_callable():
+    with pytest.raises(TypeError):
+        EventBus().subscribe(42)
+
+
+def test_emit_fans_out_in_subscription_order():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(lambda e: seen.append(("a", e)))
+    bus.subscribe(lambda e: seen.append(("b", e)))
+    event = FetchEvent(3, 0, 0, 4)
+    bus.emit(event)
+    assert seen == [("a", event), ("b", event)]
+
+
+def test_event_to_dict_round_trips_fields():
+    event = IssueEvent(7, 12, 1, 40, 0, 2, 9, "add r4, r4, r4")
+    record = event.to_dict()
+    assert record["event"] == "issue"
+    assert record["cycle"] == 7 and record["tag"] == 12
+    assert record["unit"] == 2 and record["ready"] == 9
+
+
+def test_every_event_type_has_cycle_and_unique_kind():
+    kinds = [cls.kind for cls in EVENT_TYPES]
+    assert len(set(kinds)) == len(kinds)
+    for cls in EVENT_TYPES:
+        assert cls.__slots__[0] == "cycle"
+
+
+# --------------------------------------------------- simulator integration
+
+def test_bus_lifecycle_on_sim():
+    program = assemble(COUNTDOWN)
+    sim = PipelineSim(program, MachineConfig(nthreads=1))
+    assert sim._bus is None  # no sink -> no bus, hooks dead
+    sink = lambda event: None
+    sim.add_sink(sink)
+    assert sim._bus is not None
+    assert sim.fetch_unit.bus is sim._bus
+    sim.remove_sink(sink)
+    assert sim._bus is None  # last sink out -> bus dropped again
+    assert sim.fetch_unit.bus is None
+
+
+def test_event_counts_match_statistics():
+    sim, stats, events = run_with_sink()
+    by_kind = {}
+    for event in events:
+        by_kind.setdefault(event.kind, []).append(event)
+    assert len(by_kind["issue"]) == stats.issued
+    assert sum(e.count for e in by_kind["fetch"]) \
+        == stats.fetched_instructions
+    committed_tags = [tag for e in by_kind["commit"] for tag in e.tags]
+    assert len(committed_tags) == stats.committed
+    squashed_tags = [tag for e in by_kind.get("squash", ())
+                     for tag in e.tags]
+    assert len(squashed_tags) == stats.squashed
+
+
+def test_events_carry_monotonic_cycles():
+    __, stats, events = run_with_sink()
+    last = 0
+    for event in events:
+        assert event.cycle >= last
+        last = event.cycle
+    assert last <= stats.cycles
+
+
+def test_mask_events_are_edge_triggered():
+    workload = by_name("LL2")
+    config = MachineConfig(nthreads=4, fetch_policy="masked_rr")
+    sim = PipelineSim(workload.program(4), config)
+    events = []
+    sim.add_sink(events.append)
+    sim.run()
+    masks = [e for e in events if e.kind == "mask"]
+    assert masks  # masked RR must suspend someone in LL2-4t
+    state = {}
+    for event in masks:
+        # Edge-triggered: consecutive events per thread alternate.
+        assert state.get(event.tid, False) != event.masked
+        state[event.tid] = event.masked

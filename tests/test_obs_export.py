@@ -1,0 +1,110 @@
+"""Exporter tests: JSON-lines, text, and Perfetto trace structure."""
+
+import io
+import json
+
+from repro.core import MachineConfig, PipelineSim
+from repro.obs.export import (JsonlSink, PerfettoCollector, TextSink,
+                              PID_FUS, PID_THREADS, validate_trace)
+from repro.workloads import by_name
+
+
+def simulate(sink_factory, workload="LL3", nthreads=2, **cfg):
+    program = by_name(workload).program(nthreads)
+    config = MachineConfig(nthreads=nthreads, **cfg)
+    sim = PipelineSim(program, config)
+    sink = sink_factory(config)
+    sim.add_sink(sink)
+    stats = sim.run()
+    return sink, stats
+
+
+def test_jsonl_lines_parse_and_count():
+    stream = io.StringIO()
+    sink, stats = simulate(lambda config: JsonlSink(stream))
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == sink.count > 0
+    first = json.loads(lines[0])
+    assert "event" in first and "cycle" in first
+    kinds = {json.loads(line)["event"] for line in lines}
+    assert {"fetch", "decode", "issue", "writeback", "commit"} <= kinds
+
+
+def test_text_sink_is_line_per_event():
+    stream = io.StringIO()
+    sink, __ = simulate(lambda config: TextSink(stream))
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == sink.count
+    assert all(line.startswith("[") for line in lines)
+
+
+def test_perfetto_trace_validates_multithreaded():
+    collector, stats = simulate(PerfettoCollector, nthreads=4)
+    trace = collector.trace(final_cycle=stats.cycles)
+    assert validate_trace(trace) == []
+    assert trace["otherData"]["final_cycle"] == stats.cycles
+
+
+def test_perfetto_thread_and_fu_tracks():
+    collector, stats = simulate(PerfettoCollector, nthreads=2)
+    events = collector.trace()["traceEvents"]
+    instr = [e for e in events
+             if e["ph"] == "X" and e["pid"] == PID_THREADS]
+    assert len(instr) == stats.issued
+    assert all(e["dur"] >= 1 for e in instr)
+    assert {e["tid"] for e in instr} == {0, 1}
+    begins = sum(1 for e in events
+                 if e["ph"] == "B" and e["pid"] == PID_FUS)
+    ends = sum(1 for e in events
+               if e["ph"] == "E" and e["pid"] == PID_FUS)
+    assert begins == ends == stats.issued
+
+
+def test_perfetto_write_round_trips_through_json():
+    collector, stats = simulate(PerfettoCollector)
+    stream = io.StringIO()
+    collector.write(stream, stats.cycles)
+    trace = json.loads(stream.getvalue())
+    assert validate_trace(trace) == []
+
+
+def test_validate_trace_rejects_garbage():
+    assert validate_trace([]) == ["traceEvents missing or not a list"]
+    assert validate_trace({"traceEvents": 7})
+    unsorted = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 0},
+        {"name": "b", "ph": "X", "ts": 2, "dur": 1, "pid": 1, "tid": 0},
+    ]}
+    assert any("unsorted" in error for error in validate_trace(unsorted))
+    unmatched = {"traceEvents": [
+        {"name": "a", "ph": "B", "ts": 1, "pid": 2, "tid": 0},
+    ]}
+    assert any("unclosed" in error for error in validate_trace(unmatched))
+    dangling = {"traceEvents": [
+        {"name": "a", "ph": "E", "ts": 1, "pid": 2, "tid": 0},
+    ]}
+    assert any("without matching B" in error
+               for error in validate_trace(dangling))
+    bad_dur = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 1, "dur": -2, "pid": 1, "tid": 0},
+    ]}
+    assert any("bad dur" in error for error in validate_trace(bad_dur))
+
+
+def test_validate_trace_tool(tmp_path, capsys):
+    import sys
+    sys.path.insert(0, "tools")
+    try:
+        import validate_trace as tool
+    finally:
+        sys.path.pop(0)
+    collector, stats = simulate(PerfettoCollector)
+    good = tmp_path / "good.json"
+    with open(good, "w") as stream:
+        collector.write(stream, stats.cycles)
+    assert tool.main([str(good)]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"name": "a", "ph": "E", '
+                   '"ts": 1, "pid": 2, "tid": 0}]}')
+    assert tool.main([str(bad)]) == 1
+    assert tool.main([str(tmp_path / "missing.json")]) == 2

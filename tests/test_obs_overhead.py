@@ -1,0 +1,69 @@
+"""The zero-overhead contract: observability costs nothing while off.
+
+``tools/perf_profile.py --smoke`` gates wall-clock throughput in CI;
+these tests pin the mechanism behind that number: an uninstrumented
+run executes *zero* calls into the ``repro.obs`` package, and attaching
+the full observability load never moves a simulated cycle.
+"""
+
+import os
+import sys
+
+from repro.core import MachineConfig, PipelineSim
+from repro.workloads import by_name
+
+OBS_FRAGMENT = os.sep + os.path.join("repro", "obs") + os.sep
+
+
+def run(workload="LL2", nthreads=2, instrument=False, sink=None):
+    program = by_name(workload).program(nthreads)
+    sim = PipelineSim(program, MachineConfig(nthreads=nthreads))
+    if instrument:
+        sim.attach_attribution()
+        sim.attach_metrics()
+    if sink is not None:
+        sim.add_sink(sink)
+    return sim, sim.run()
+
+
+def test_uninstrumented_run_never_calls_into_obs():
+    program = by_name("LL2").program(1)
+    sim = PipelineSim(program, MachineConfig(nthreads=1))
+    assert sim._bus is None
+    obs_calls = []
+
+    def profiler(frame, event, arg):
+        if event == "call" and OBS_FRAGMENT in frame.f_code.co_filename:
+            obs_calls.append(frame.f_code.co_name)
+
+    sys.setprofile(profiler)
+    try:
+        sim.run()
+    finally:
+        sys.setprofile(None)
+    assert obs_calls == []
+    assert sim._bus is None
+
+
+def test_instrumented_cycles_identical():
+    __, plain = run()
+    events = []
+    __, loaded = run(instrument=True, sink=events.append)
+    assert loaded.cycles == plain.cycles
+    assert loaded.committed == plain.committed
+    assert loaded.su_stall_cycles == plain.su_stall_cycles
+    assert events  # the sink really was live
+
+
+def test_removing_sinks_restores_the_disabled_path():
+    program = by_name("LL2").program(1)
+    sim = PipelineSim(program, MachineConfig(nthreads=1))
+    first, second = [], []
+    sim.add_sink(first.append)
+    sim.add_sink(second.append)
+    sim.remove_sink(first.append)
+    # remove_sink with one sink left keeps the bus...
+    assert sim._bus is not None
+    sim.remove_sink(second.append)
+    # ...and dropping the last one kills it.
+    assert sim._bus is None

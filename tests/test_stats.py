@@ -14,7 +14,9 @@ def test_initial_state():
     assert stats.cycles == 0
     assert stats.ipc == 0.0
     assert stats.committed_per_thread == [0, 0, 0]
-    assert stats.cache_hit_rate == 1.0
+    # Zero accesses: the hit rate is unknown ("n/a"), not perfect.
+    assert stats.cache_hit_rate is None
+    assert stats.icache_hit_rate is None
     assert stats.avg_su_occupancy == 0.0
 
 

@@ -71,3 +71,47 @@ def test_limit_respected():
     tracer = Tracer.attach(sim, limit=50)
     sim.run()
     assert len(tracer.order) == 50
+
+
+# A divide chain stalls the single thread long enough for the engine to
+# fast-forward; the old method-wrapping tracer disabled those jumps (and
+# so changed the traced run's behavior under profiling assumptions).
+STALLY = """
+    .text
+    li r4, 96
+    li r5, 3
+    div r6, r4, r5
+    div r7, r6, r5
+    div r8, r7, r5
+    halt
+"""
+
+
+def test_tracing_does_not_change_cycles_with_fast_forward():
+    program = assemble(STALLY)
+    config = MachineConfig(nthreads=1, fast_forward=True)
+    plain = PipelineSim(program, config).run()
+    sim = PipelineSim(program, config)
+    tracer = Tracer.attach(sim)
+    traced = sim.run()
+    assert traced.cycles == plain.cycles
+    assert traced.committed == plain.committed
+    # The jumps the engine took are reported, not hidden.
+    assert tracer.idle_spans
+    assert all(span >= 1 for _, span in tracer.idle_spans)
+
+
+def test_render_clamps_out_of_range_window():
+    tracer = traced_run(".text\nli r4, 1\nhalt\n")
+    first, last = tracer.span()
+    # A window starting far past the traced range used to crash on
+    # min() of an empty sequence; now it clamps to the traced cycles.
+    late = tracer.render(width=10, start=10**9)
+    assert f"cycles {last}.." in late
+    early = tracer.render(width=10, start=-500)
+    assert f"cycles {first}.." in early
+    assert "D" in early
+
+
+def test_render_empty_tracer():
+    assert Tracer().render() == "(no instructions traced)"

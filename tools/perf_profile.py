@@ -21,6 +21,10 @@ Usage::
         the current-engine numbers in BENCH_engine.json
     PYTHONPATH=src python tools/perf_profile.py --smoke    # CI gate:
         fail on >30% cycles/sec regression vs the committed numbers
+    PYTHONPATH=src python tools/perf_profile.py --instrumented
+        # measure with stall attribution + metrics + null sink attached
+    PYTHONPATH=src python tools/perf_profile.py --update-instrumented
+        # record off-vs-on throughput in BENCH_engine.json
 
 Timings on shared CI hosts are noisy; the smoke gate therefore measures
 best-of-``--reps`` after a warm-up run and allows a generous 30% band.
@@ -70,8 +74,19 @@ def _workload(name):
     raise KeyError(name)
 
 
-def measure(reps):
-    """Best-of-``reps`` cycles/sec for every matrix entry."""
+def _null_sink(event):
+    """Cheapest possible event consumer, for overhead measurement."""
+
+
+def measure(reps, instrument=False):
+    """Best-of-``reps`` cycles/sec for every matrix entry.
+
+    With ``instrument=True``, every run carries the full observability
+    load: stall attribution, interval metrics, and an event-bus sink
+    that discards events — the worst realistic case for hot-loop
+    overhead. Cycle counts must match the uninstrumented engine
+    exactly; only wall-clock throughput may differ.
+    """
     out = {}
     for label, wname, kwargs in MATRIX:
         config = MachineConfig(**kwargs)
@@ -81,6 +96,10 @@ def measure(reps):
         cycles = None
         for _ in range(reps):
             sim = PipelineSim(program, config)
+            if instrument:
+                sim.attach_attribution()
+                sim.attach_metrics()
+                sim.add_sink(_null_sink)
             start = time.perf_counter()
             stats = sim.run()
             elapsed = time.perf_counter() - start
@@ -172,6 +191,36 @@ def update(measured, bench):
     print(f"wrote {BENCH_PATH}")
 
 
+def update_instrumented(measured_off, measured_on, bench):
+    """Record instrumentation-off vs -on throughput.
+
+    Writes only the ``instrumentation`` section; the committed
+    ``cycles_per_sec`` baseline (measured on a specific host) is left
+    untouched so the smoke gate keeps comparing like with like.
+    """
+    bench = bench or {}
+    for label in measured_off:
+        if measured_off[label]["cycles"] != measured_on[label]["cycles"]:
+            print(f"error: {label}: instrumented run simulated "
+                  f"{measured_on[label]['cycles']} cycles, uninstrumented "
+                  f"{measured_off[label]['cycles']} — observability must "
+                  "not change timing", file=sys.stderr)
+            return 1
+    ratios = [measured_on[k]["cycles_per_sec"] / v["cycles_per_sec"]
+              for k, v in measured_off.items()]
+    bench["instrumentation"] = {
+        "off_cycles_per_sec": {k: v["cycles_per_sec"]
+                               for k, v in measured_off.items()},
+        "on_cycles_per_sec": {k: v["cycles_per_sec"]
+                              for k, v in measured_on.items()},
+        "on_over_off_geomean": round(geomean(ratios), 3),
+    }
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH} (instrumentation section; "
+          f"on/off geomean {bench['instrumentation']['on_over_off_geomean']})")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -183,8 +232,19 @@ def main(argv=None):
                         help="print raw measurements as JSON")
     parser.add_argument("--reps", type=int, default=3,
                         help="timed repetitions per entry (best-of)")
+    parser.add_argument("--instrumented", action="store_true",
+                        help="measure with attribution, metrics, and a "
+                             "null event sink attached")
+    parser.add_argument("--update-instrumented", action="store_true",
+                        help="measure both off and on, record the "
+                             "'instrumentation' section in "
+                             "BENCH_engine.json")
     args = parser.parse_args(argv)
-    measured = measure(args.reps)
+    if args.update_instrumented:
+        measured_off = measure(args.reps)
+        measured_on = measure(args.reps, instrument=True)
+        return update_instrumented(measured_off, measured_on, load_bench())
+    measured = measure(args.reps, instrument=args.instrumented)
     if args.json:
         print(json.dumps(measured, indent=1))
         return 0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate a Chrome/Perfetto ``trace_event`` JSON file.
+
+Checks the structural invariants that ``ui.perfetto.dev`` relies on
+(see :func:`repro.obs.export.validate_trace`): timestamps are numeric,
+non-negative, and sorted; every duration ("B") event has a matching
+"E" on the same track; complete ("X") events carry a non-negative
+``dur``. CI runs this on a freshly exported trace so a format
+regression fails the build instead of silently producing a file the
+viewer rejects.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py trace.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_trace
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="trace JSON file to validate")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file) as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.file}: {exc}", file=sys.stderr)
+        return 2
+
+    errors = validate_trace(trace)
+    if errors:
+        print(f"{args.file}: INVALID ({len(errors)} problems)",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    events = trace.get("traceEvents", [])
+    print(f"{args.file}: ok ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
