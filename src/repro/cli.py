@@ -23,6 +23,7 @@ Commands
 """
 
 import argparse
+import os
 import sys
 
 from repro.asm import assemble, disassemble
@@ -33,6 +34,19 @@ from repro.mem.cache import CacheConfig
 from repro.workloads import ALL_WORKLOADS, BY_NAME
 
 _MINIC_SUFFIXES = (".mc", ".c", ".minic")
+
+
+class CliError(Exception):
+    """A user-input error: printed as one line, exit status 2.
+
+    Raised instead of letting a raw ``KeyError``/``ValueError``
+    traceback escape for unknown workload names, missing files, and
+    invalid machine configurations.
+    """
+
+
+def _workload_choices():
+    return ", ".join(sorted(BY_NAME))
 
 
 def _machine_args(parser):
@@ -59,23 +73,30 @@ def _machine_args(parser):
 
 def _machine_config(args):
     from repro.core.config import FU_DEFAULT, FU_ENHANCED
-    cache = CacheConfig(size_bytes=int(args.cache_kb * 1024),
-                        assoc=args.cache_assoc)
-    return MachineConfig(
-        nthreads=args.threads,
-        fetch_policy=args.policy,
-        commit_policy=args.commit,
-        su_entries=args.su,
-        store_buffer_depth=args.store_buffer,
-        fu_counts=FU_ENHANCED if args.enhanced_fus else FU_DEFAULT,
-        cache=cache,
-        max_cycles=args.max_cycles,
-    )
+    try:
+        cache = CacheConfig(size_bytes=int(args.cache_kb * 1024),
+                            assoc=args.cache_assoc)
+        return MachineConfig(
+            nthreads=args.threads,
+            fetch_policy=args.policy,
+            commit_policy=args.commit,
+            su_entries=args.su,
+            store_buffer_depth=args.store_buffer,
+            fu_counts=FU_ENHANCED if args.enhanced_fus else FU_DEFAULT,
+            cache=cache,
+            max_cycles=args.max_cycles,
+        ).validate()
+    except ValueError as error:
+        raise CliError(f"invalid configuration: {error}") from error
 
 
 def _load_program(path, nthreads, align):
-    with open(path) as handle:
-        source = handle.read()
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise CliError(
+            f"cannot read {path!r}: {error.strerror or error}") from error
     if any(path.endswith(suffix) for suffix in _MINIC_SUFFIXES):
         return compile_source(source, nthreads=nthreads,
                               align_branch_targets=align)
@@ -101,6 +122,7 @@ def cmd_cc(args):
 
 
 def cmd_run(args):
+    config = _machine_config(args)  # validate flags before compiling
     program = _load_program(args.file, args.threads, args.align)
     if args.functional:
         sim = FunctionalSim(program, nthreads=args.threads)
@@ -109,7 +131,7 @@ def cmd_run(args):
         for thread in sim.threads:
             print(f"  thread {thread.tid}: {thread.retired} retired")
         return 0
-    sim = PipelineSim(program, _machine_config(args))
+    sim = PipelineSim(program, config)
     stats = sim.run()
     print(stats.summary())
     return 0
@@ -120,12 +142,17 @@ def _resolve_program(name_or_path, nthreads, align):
     workload = BY_NAME.get(name_or_path)
     if workload is not None:
         return workload.program(nthreads)
+    if not any(name_or_path.endswith(s)
+               for s in (".s",) + _MINIC_SUFFIXES) \
+            and not os.path.exists(name_or_path):
+        raise CliError(f"unknown workload {name_or_path!r}; valid "
+                       f"workloads: {_workload_choices()}")
     return _load_program(name_or_path, nthreads, align)
 
 
 def cmd_trace(args):
-    program = _resolve_program(args.prog, args.threads, args.align)
     config = _machine_config(args)
+    program = _resolve_program(args.prog, args.threads, args.align)
     sim = PipelineSim(program, config)
     out = args.out
     if args.format == "perfetto":
@@ -150,8 +177,8 @@ def cmd_trace(args):
 
 
 def cmd_stats(args):
-    program = _resolve_program(args.prog, args.threads, args.align)
     config = _machine_config(args)
+    program = _resolve_program(args.prog, args.threads, args.align)
     sim = PipelineSim(program, config)
     if args.breakdown:
         attr = sim.attach_attribution()
@@ -169,11 +196,11 @@ def cmd_stats(args):
 def cmd_bench(args):
     workload = BY_NAME.get(args.name)
     if workload is None:
-        print(f"unknown workload {args.name!r}; try: "
-              + ", ".join(sorted(BY_NAME)), file=sys.stderr)
-        return 2
+        raise CliError(f"unknown workload {args.name!r}; valid "
+                       f"workloads: {_workload_choices()}")
+    config = _machine_config(args)
     program = workload.program(args.threads)
-    sim = PipelineSim(program, _machine_config(args))
+    sim = PipelineSim(program, config)
     stats = sim.run()
     checksum = sim.mem(workload.checksum_address(args.threads))
     ok = workload.verify(checksum, args.threads)
@@ -259,7 +286,11 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

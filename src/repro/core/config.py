@@ -7,7 +7,7 @@ sensitivity benches can sweep it.
 
 import enum
 
-from repro.isa.opcodes import FuClass
+from repro.isa.opcodes import FU_CLASSES, FuClass
 from repro.mem.cache import CacheConfig
 
 
@@ -121,6 +121,7 @@ class MachineConfig:
                  predictor_kind="bimodal",
                  mem_words=1 << 20,
                  max_cycles=50_000_000,
+                 hang_cycles=200_000,
                  fast_forward=True):
         self.nthreads = nthreads
         self.fetch_policy = (FetchPolicy(fetch_policy)
@@ -161,6 +162,14 @@ class MachineConfig:
         self.predictor_kind = predictor_kind
         self.mem_words = mem_words
         self.max_cycles = max_cycles
+        #: No-progress watchdog: raise
+        #: :class:`~repro.core.pipeline.SimulationHang` (with a machine
+        #: state dump) when this many consecutive cycles pass without a
+        #: single block committing. ``None`` disables the watchdog and
+        #: falls back to the blunt ``max_cycles`` guard. Like
+        #: ``max_cycles``, it cannot change a completed run's statistics
+        #: and is excluded from the result-cache key.
+        self.hang_cycles = hang_cycles
         #: Skip provably-idle cycles in one jump. Never changes any
         #: simulated statistic (see docs/PERFORMANCE.md); exposed as a
         #: knob so differential tests can pin the slow path.
@@ -191,6 +200,7 @@ class MachineConfig:
             predictor_kind=self.predictor_kind,
             mem_words=self.mem_words,
             max_cycles=self.max_cycles,
+            hang_cycles=self.hang_cycles,
             fast_forward=self.fast_forward,
         )
         fields.update(overrides)
@@ -226,6 +236,7 @@ class MachineConfig:
             predictor_kind=self.predictor_kind,
             mem_words=self.mem_words,
             max_cycles=self.max_cycles,
+            hang_cycles=self.hang_cycles,
             fast_forward=self.fast_forward,
         )
 
@@ -244,6 +255,82 @@ class MachineConfig:
         if fields["icache"] is not None:
             fields["icache"] = CacheConfig(**fields["icache"])
         return cls(**fields)
+
+    def validate(self, program=None):
+        """Reject nonsensical configurations with actionable errors.
+
+        ``__init__`` already rejects malformed individual fields (bad
+        enum values, SU size not a multiple of the block size, a store
+        buffer smaller than a block); :meth:`validate` adds the
+        cross-field and semantic checks that would otherwise surface as
+        a deadlocked or garbage simulation. With a ``program`` it also
+        proves every functional-unit class the program actually uses
+        has at least one unit — a zero-unit needed class is a
+        guaranteed hang, diagnosed here in microseconds instead of
+        after ``max_cycles`` of simulation.
+
+        Raises :class:`ValueError` listing every problem found; returns
+        ``self`` so construction can chain (``MachineConfig(...)
+        .validate()``).
+        """
+        problems = []
+        if self.nthreads < 1:
+            problems.append(f"nthreads={self.nthreads}: need at least one "
+                            f"resident thread")
+        if self.issue_width < 1:
+            problems.append(f"issue_width={self.issue_width}: the machine "
+                            f"could never issue an instruction")
+        if self.writeback_width < 1:
+            problems.append(f"writeback_width={self.writeback_width}: "
+                            f"results could never complete")
+        if self.commit_blocks < 1:
+            problems.append(f"commit_blocks={self.commit_blocks}: no block "
+                            f"could ever retire")
+        if self.su_entries < BLOCK:
+            problems.append(f"su_entries={self.su_entries}: the scheduling "
+                            f"unit cannot hold even one {BLOCK}-instruction "
+                            f"block")
+        if self.max_cycles < 1:
+            problems.append(f"max_cycles={self.max_cycles}: must be >= 1")
+        if self.hang_cycles is not None and self.hang_cycles < 1:
+            problems.append(f"hang_cycles={self.hang_cycles}: must be >= 1 "
+                            f"(or None to disable the watchdog)")
+        if self.mem_words < 1:
+            problems.append(f"mem_words={self.mem_words}: must be >= 1")
+        if self.predictor_entries < 1 or self.predictor_bits < 1:
+            problems.append(
+                f"predictor_entries={self.predictor_entries}, "
+                f"predictor_bits={self.predictor_bits}: the predictor "
+                f"needs at least one entry of at least one bit")
+        for cls in FU_CLASSES:
+            count = self.fu_counts.get(cls, 0)
+            if count < 0:
+                problems.append(f"fu_counts[{cls.value}]={count}: negative "
+                                f"unit count")
+            latency = self.fu_latency.get(cls)
+            if latency is None or latency < 1:
+                problems.append(f"fu_latency[{cls.value}]={latency!r}: every "
+                                f"class needs a latency >= 1")
+        if self.fu_counts.get(FuClass.CT, 0) < 1:
+            problems.append(
+                f"fu_counts[{FuClass.CT.value}]=0: every program ends in a "
+                f"halt, which needs the control-transfer unit")
+        if program is not None:
+            used = {FU_CLASSES[instr.info.fu_index]
+                    for instr in program.instructions}
+            for cls in sorted(used, key=lambda c: c.value):
+                if self.fu_counts.get(cls, 0) < 1:
+                    problems.append(
+                        f"fu_counts[{cls.value}]=0 but the program uses "
+                        f"that class: it could never issue (guaranteed "
+                        f"hang)")
+            if len(program.data) > self.mem_words:
+                problems.append(
+                    f"mem_words={self.mem_words} is smaller than the "
+                    f"program's {len(program.data)}-word data image")
+        if problems:
+            raise ValueError("invalid MachineConfig: " + "; ".join(problems))
+        return self
 
     def describe(self):
         """Multi-line summary of the configuration."""

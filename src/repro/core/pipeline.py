@@ -93,6 +93,23 @@ class DeadlockError(RuntimeError):
     """The simulation exceeded its cycle budget without finishing."""
 
 
+class SimulationHang(DeadlockError):
+    """The pipeline made no commit progress for ``hang_cycles`` cycles.
+
+    Raised by the no-progress watchdog in :meth:`PipelineSim.run` —
+    long before the blunt ``max_cycles`` guard would fire — with a
+    machine-state dump attached as :attr:`report` (scheduling unit,
+    per-thread fetch state, store buffer, pending writebacks, and the
+    stall-attribution breakdown when one is attached). Subclasses
+    :class:`DeadlockError` so existing guards keep catching it.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        #: Plain-data machine-state snapshot (see ``_hang_report``).
+        self.report = report or {}
+
+
 class PipelineSim:
     """Simulate ``program`` on the configured multithreaded SDSP.
 
@@ -107,6 +124,10 @@ class PipelineSim:
         if not isinstance(program, Program):
             raise TypeError(f"expected Program, got {type(program).__name__}")
         self.config = config or MachineConfig()
+        # Diagnose nonsensical configurations (zero units of a class the
+        # program needs, impossible widths) in microseconds here instead
+        # of as a deadlocked simulation later.
+        self.config.validate(program)
         self.program = program
         cfg = self.config
         self.regs = RegisterFile(cfg.nthreads)
@@ -212,6 +233,15 @@ class PipelineSim:
         nthreads = self.config.nthreads
         fast_forward = self._fast_forward
         step = self.step
+        # No-progress watchdog: a machine where no block commits for
+        # hang_cycles is wedged (the longest legitimate commit gap —
+        # cache-miss pileups, divide chains, SU drain — is orders of
+        # magnitude shorter), so raise a diagnosable SimulationHang
+        # instead of silently spinning to max_cycles.
+        hang_limit = self.config.hang_cycles
+        stats = self.stats
+        last_committed = -1
+        progress_cycle = 0
         # The run loop allocates at a high, steady rate with almost no
         # garbage surviving a cycle; collector passes only add overhead.
         gc_was_enabled = gc.isenabled()
@@ -226,6 +256,13 @@ class PipelineSim:
                 if fast_forward:
                     self._skip_idle_cycles()
                 step()
+                if hang_limit:
+                    committed = stats.committed
+                    if committed != last_committed:
+                        last_committed = committed
+                        progress_cycle = self.cycle
+                    elif self.cycle - progress_cycle >= hang_limit:
+                        raise self._hang_error(hang_limit)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -911,6 +948,90 @@ class PipelineSim:
         bus = self._bus
         if bus is not None:
             bus.emit(FetchEvent(now, thread.tid, items[0].pc, len(items)))
+
+    # ---------------------------------------------------------- watchdog
+
+    def _hang_error(self, hang_limit):
+        """Build the :class:`SimulationHang` for a no-progress wedge."""
+        report = self._hang_report()
+        lines = [
+            f"no block committed for {hang_limit} cycles "
+            f"(cycle {self.cycle}, {self.stats.committed} committed, "
+            f"{self._halted}/{self._nthreads} threads halted)",
+            "threads:",
+        ]
+        for state in report["threads"]:
+            lines.append(
+                "  t{tid}: pc={pc} done={done} fetch_halted={fetch_halted} "
+                "jalr_wait={jalr_wait} stall_until={stall_until} "
+                "masked={masked} in_flight={in_flight}".format(**state))
+        su = report["su"]
+        lines.append(
+            f"scheduling unit: {su['entries']}/{su['capacity']} entries, "
+            f"issuable={su['issuable']}, blocks={len(su['blocks'])}")
+        for block in su["blocks"][:8]:
+            lines.append(f"  block seq={block['seq']} tid={block['tid']} "
+                         f"not_done={block['not_done']}: "
+                         + "; ".join(block["entries"]))
+        lines.append(
+            f"store buffer: {report['store_buffer']} entries; pending "
+            f"writeback cycles: {report['pending_writeback_cycles']}; "
+            f"fetch buffer: {report['fetch_buffer']}")
+        if report.get("stall_breakdown"):
+            lines.append(f"stall attribution so far: "
+                         f"{report['stall_breakdown']}")
+        bus = self._bus
+        if bus is not None:
+            bus.emit(StallEvent(self.cycle, "hang", 0))
+        return SimulationHang("\n".join(lines), report)
+
+    def _hang_report(self):
+        """Plain-data machine-state snapshot for hang diagnosis.
+
+        Rides the observability layer where attached: the attribution
+        breakdown (who was charged for the dead cycles) is included
+        whenever ``attach_attribution`` was called before ``run``.
+        """
+        su = self.su
+        fetch_buffer = self.fetch_buffer
+        threads = [{
+            "tid": thread.tid,
+            "pc": thread.pc,
+            "done": thread.done,
+            "fetch_halted": thread.fetch_halted,
+            "jalr_wait": thread.jalr_wait,
+            "stall_until": thread.stall_until,
+            "masked": self.fetch_unit.masked[thread.tid],
+            "in_flight": self._thread_occupancy(thread.tid),
+        } for thread in self.threads]
+        blocks = [{
+            "seq": block.seq,
+            "tid": block.tid,
+            "not_done": block.not_done,
+            "ready": block.ready,
+            "entries": [repr(entry) for entry in block.entries],
+        } for block in su.blocks]
+        report = {
+            "cycle": self.cycle,
+            "committed": self.stats.committed,
+            "halted": self._halted,
+            "threads": threads,
+            "su": {
+                "entries": su._entry_count,
+                "capacity": self.config.su_entries,
+                "issuable": su.issuable,
+                "full": su.full,
+                "blocks": blocks,
+            },
+            "store_buffer": len(self.store_buffer.entries),
+            "pending_writeback_cycles": sorted(self._wb_cycles)[:8],
+            "fetch_buffer": (None if fetch_buffer is None else
+                             {"tid": fetch_buffer[0].tid,
+                              "count": len(fetch_buffer[1])}),
+        }
+        if self._attr is not None:
+            report["stall_breakdown"] = self._attr.to_dict()
+        return report
 
     # ------------------------------------------------------------ helpers
 

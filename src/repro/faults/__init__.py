@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the experiment harness.
+
+The evaluation is thousands of independent ``(workload, config)``
+simulations fanned out over worker processes, and every infrastructure
+failure mode — a worker that dies, a worker that wedges, a cache file
+that rots on disk, a transient exception — must be *injectable* so the
+recovery paths in :mod:`repro.harness.parallel` and
+:mod:`repro.harness.diskcache` can be proven by tests instead of
+trusted. This package provides those injectors.
+
+Everything here is deterministic and seedable: a :class:`FaultPlan`
+decides purely from ``(seed, job index, attempt)`` whether a fault
+fires, so a failing fault-matrix test replays bit-identically. Plans
+are plain picklable data and travel to worker processes inside the job
+tuple; no global state, no environment variables.
+
+See ``docs/ROBUSTNESS.md`` for the failure-mode catalogue and
+``tests/test_faults.py`` for the matrix that exercises every recovery
+path.
+"""
+
+from repro.faults.inject import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    corrupt_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "corrupt_file",
+]

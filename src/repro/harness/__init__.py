@@ -9,8 +9,9 @@ results.
 """
 
 from repro.harness.runner import Runner, RunResult
-from repro.harness.diskcache import DiskResultCache
-from repro.harness.parallel import cross, run_grid
+from repro.harness.diskcache import CacheCorruptionWarning, DiskResultCache
+from repro.harness.parallel import (GridError, JobFailure, cross,
+                                    default_workers, run_grid)
 from repro.harness.experiments import (
     cache_study,
     commit_study,
@@ -24,12 +25,16 @@ from repro.harness.experiments import (
 from repro.harness.tables import format_table, series_table
 
 __all__ = [
+    "CacheCorruptionWarning",
     "DiskResultCache",
+    "GridError",
+    "JobFailure",
     "RunResult",
     "Runner",
     "cache_study",
     "commit_study",
     "cross",
+    "default_workers",
     "fetch_policy_study",
     "format_table",
     "fu_study",

@@ -19,27 +19,63 @@ cycle count* changed, so the key hashes together:
   without touching anything else;
 * the full architectural configuration via the runner's
   ``_config_key`` (which deliberately excludes ``fast_forward`` — both
-  modes are bit-identical by construction — and ``max_cycles``).
+  modes are bit-identical by construction — ``max_cycles``, and
+  ``hang_cycles``, none of which can change a completed run's counts).
 
 The default location is ``~/.cache/repro-sdsp/results.json``; override
 with the ``REPRO_CACHE`` environment variable or an explicit ``path``.
 
-Writes are atomic (temp file + ``os.replace``) and *merge-on-save*: the
-file is re-read and merged immediately before writing, so concurrent
-processes appending different keys do not clobber each other's entries
-(last writer wins only for identical keys, which hold identical data).
+Robustness
+----------
+The cache is the crash-safety backstop of the fault-tolerant harness
+(see ``docs/ROBUSTNESS.md``), so it must never lose good data to bad
+data:
+
+* **Quarantine, not reset.** A file that fails to parse is renamed to
+  ``<name>.corrupt-<n>`` and a :class:`CacheCorruptionWarning` is
+  emitted; the cache then starts empty. Nothing is silently deleted —
+  the corpse stays on disk for diagnosis.
+* **Per-entry validation.** Entries are stored in a versioned envelope
+  recording the :data:`~repro.core.pipeline.ENGINE_VERSION` that wrote
+  them; on load, entries from another engine version are dropped, and
+  with a ``schema`` (a tuple of required payload fields) entries whose
+  payload is not a dict or misses a required field are dropped too —
+  each with a warning, never a crash. Extra payload fields are
+  tolerated (forward compatibility). Files written by the pre-envelope
+  format load transparently.
+* **Advisory locking.** Writes are atomic (temp file + ``os.replace``)
+  and *merge-on-save*: the file is re-read and merged immediately
+  before writing. The read-merge-write sequence runs under an advisory
+  ``flock`` on ``<name>.lock`` where the platform provides one, so
+  concurrent writers appending different keys cannot interleave and
+  clobber each other's entries (last writer wins only for identical
+  keys, which hold identical data).
 """
 
+import itertools
 import hashlib
 import json
 import os
 import pathlib
 import tempfile
+import warnings
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to atomic-replace-only safety
+    fcntl = None
 
 #: Environment variable overriding the cache file location.
 ENV_PATH = "REPRO_CACHE"
 
 _DEFAULT_PATH = "~/.cache/repro-sdsp/results.json"
+
+#: On-disk format version of the envelope layout written by :meth:`save`.
+FILE_FORMAT = 2
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache file (or entry) was corrupt and has been quarantined."""
 
 
 def default_path():
@@ -54,6 +90,34 @@ def hash_key(*parts):
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def _engine_version():
+    # Imported lazily: the cache is also used by light-weight tools that
+    # should not pay for the full simulator import at module load.
+    from repro.core.pipeline import ENGINE_VERSION
+    return ENGINE_VERSION
+
+
+class _FileLock:
+    """Advisory exclusive lock on ``<path>.lock`` (no-op without fcntl)."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(str(path) + ".lock")
+        self._handle = None
+
+    def __enter__(self):
+        if fcntl is not None:
+            self._handle = open(self.path, "a+")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        return False
+
+
 class DiskResultCache:
     """JSON-file-backed mapping from run keys to result payloads.
 
@@ -65,29 +129,139 @@ class DiskResultCache:
     autosave:
         Persist after every :meth:`put` (default). Disable for bulk
         insertion and call :meth:`save` once at the end.
+    schema:
+        Optional tuple of field names every payload must carry (e.g.
+        ``Runner.RESULT_SCHEMA``). Entries missing a field — or whose
+        payload is not a dict — are dropped on load and answered as
+        misses by :meth:`get`, with a warning. ``None`` disables
+        payload validation (the cache then stores arbitrary JSON).
     """
 
-    def __init__(self, path=None, autosave=True):
+    def __init__(self, path=None, autosave=True, schema=None):
         self.path = pathlib.Path(path) if path is not None else default_path()
         self.autosave = autosave
+        self.schema = tuple(schema) if schema is not None else None
         self.hits = 0
         self.misses = 0
-        self._entries = self._load()
+        #: Entries dropped for schema/engine mismatch (diagnostics).
+        self.dropped = 0
+        self._entries, self._engines = self._load()
         self._dirty = False
 
+    # ----------------------------------------------------------- loading
+
     def _load(self):
+        """Parse the cache file into ``(entries, engines)`` dicts.
+
+        Corrupt files are quarantined (warning, never an exception);
+        invalid or stale entries are dropped individually.
+        """
         try:
-            data = json.loads(self.path.read_text())
-        except (OSError, ValueError):
-            return {}
-        return data if isinstance(data, dict) else {}
+            text = self.path.read_text()
+        except OSError:
+            return {}, {}
+        except UnicodeDecodeError:
+            self._quarantine("not valid UTF-8")
+            return {}, {}
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine("not valid JSON")
+            return {}, {}
+        if not isinstance(data, dict):
+            self._quarantine(f"top level is {type(data).__name__}, "
+                             f"expected an object")
+            return {}, {}
+        if data.get("format") == FILE_FORMAT:
+            raw = data.get("entries")
+            if not isinstance(raw, dict):
+                self._quarantine("format-2 file without an entries object")
+                return {}, {}
+            return self._adopt_envelopes(raw)
+        # Pre-envelope format: bare key -> payload mapping with the
+        # engine version unrecorded (it is still baked into each key
+        # hash, so replay safety is unaffected).
+        entries = {}
+        engines = {}
+        dropped = 0
+        for key, payload in data.items():
+            if self.schema is not None and not self._payload_ok(payload):
+                dropped += 1
+                continue
+            entries[key] = payload
+            engines[key] = None
+        self._note_dropped(dropped)
+        return entries, engines
+
+    def _adopt_envelopes(self, raw):
+        current = _engine_version()
+        entries = {}
+        engines = {}
+        dropped = 0
+        for key, envelope in raw.items():
+            if not isinstance(envelope, dict) or "payload" not in envelope:
+                dropped += 1
+                continue
+            engine = envelope.get("engine")
+            if isinstance(engine, int) and engine != current:
+                dropped += 1  # stale engine: ignored, never reused
+                continue
+            payload = envelope["payload"]
+            if self.schema is not None and not self._payload_ok(payload):
+                dropped += 1
+                continue
+            entries[key] = payload
+            engines[key] = engine
+        self._note_dropped(dropped)
+        return entries, engines
+
+    def _payload_ok(self, payload):
+        return (isinstance(payload, dict)
+                and all(field in payload for field in self.schema))
+
+    def _note_dropped(self, count):
+        if count:
+            self.dropped += count
+            warnings.warn(
+                f"dropped {count} invalid or stale cache entr"
+                f"{'y' if count == 1 else 'ies'} from {self.path} "
+                f"(schema/engine-version validation)",
+                CacheCorruptionWarning, stacklevel=4)
+
+    def _quarantine(self, reason):
+        """Move the corrupt file aside to ``<name>.corrupt-<n>``."""
+        for n in itertools.count(1):
+            target = self.path.with_name(f"{self.path.name}.corrupt-{n}")
+            if not target.exists():
+                break
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            return  # concurrently removed/quarantined; nothing to keep
+        warnings.warn(
+            f"cache file {self.path} is corrupt ({reason}); quarantined "
+            f"to {target} and starting empty",
+            CacheCorruptionWarning, stacklevel=4)
+
+    # --------------------------------------------------------- dict-like
 
     def __len__(self):
         return len(self._entries)
 
     def get(self, key):
-        """Payload stored under ``key``, or ``None`` (counted as a miss)."""
+        """Payload stored under ``key``, or ``None`` (counted as a miss).
+
+        With a ``schema``, an entry whose payload lost a required field
+        (e.g. hand-edited or merged from a corrupt writer) is dropped
+        and answered as a miss rather than poisoning the caller.
+        """
         entry = self._entries.get(key)
+        if entry is not None and self.schema is not None \
+                and not self._payload_ok(entry):
+            del self._entries[key]
+            self._engines.pop(key, None)
+            self._note_dropped(1)
+            entry = None
         if entry is None:
             self.misses += 1
             return None
@@ -97,35 +271,48 @@ class DiskResultCache:
     def put(self, key, payload):
         """Store ``payload`` (plain data) under ``key``."""
         self._entries[key] = payload
+        self._engines[key] = _engine_version()
         self._dirty = True
         if self.autosave:
             self.save()
 
     def save(self):
-        """Atomically persist, merging with concurrent writers first."""
+        """Atomically persist, merging with concurrent writers first.
+
+        The re-read + merge + replace runs under an advisory file lock,
+        so two processes saving different keys both survive.
+        """
         if not self._dirty:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        merged = self._load()
-        merged.update(self._entries)
-        self._entries = merged
-        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(merged, handle)
-            os.replace(tmp, self.path)
-        except BaseException:
+        with _FileLock(self.path):
+            disk_entries, disk_engines = self._load()
+            for key, payload in disk_entries.items():
+                if key not in self._entries:
+                    self._entries[key] = payload
+                    self._engines[key] = disk_engines.get(key)
+            envelopes = {
+                key: {"engine": self._engines.get(key), "payload": payload}
+                for key, payload in self._entries.items()}
+            document = {"format": FILE_FORMAT, "entries": envelopes}
+            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                       prefix=self.path.name, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
 
     def stats_line(self):
         """One-line hit/miss summary for end-of-session reporting."""
         total = self.hits + self.misses
+        dropped = f", {self.dropped} dropped" if self.dropped else ""
         return (f"disk result cache: {self.hits}/{total} hits, "
-                f"{self.misses} misses, {len(self._entries)} entries "
-                f"({self.path})")
+                f"{self.misses} misses, {len(self._entries)} entries"
+                f"{dropped} ({self.path})")

@@ -1,4 +1,5 @@
-"""Parallel experiment fan-out over a (workload, configuration) grid.
+"""Fault-tolerant parallel experiment fan-out over a (workload,
+configuration) grid.
 
 Every figure in the evaluation is an embarrassingly parallel grid of
 independent simulations, but the simulator itself is single-threaded
@@ -11,18 +12,109 @@ the workload travels by *name* (resolved in the worker via
 :func:`repro.workloads.by_name`) and the configuration as its
 :meth:`~repro.core.config.MachineConfig.to_spec` dict.
 
-When a :class:`~repro.harness.diskcache.DiskResultCache` is supplied,
-already-cached jobs never reach the pool, and fresh results are
-persisted by the parent process only — workers never touch the cache
-file, so there is no write contention.
+Fault tolerance
+---------------
+The original harness used ``pool.map``: one crashed or hung worker lost
+the whole sweep, and nothing was persisted until the very end. The
+rewrite drives an explicit submit/collect event loop instead:
+
+* **Per-job wall-clock timeouts** (``timeout=``). A job past its
+  deadline is presumed hung; the pool is torn down (hung workers cannot
+  be reclaimed individually), innocent in-flight jobs are requeued
+  uncharged, and the overdue job is charged one attempt.
+* **Bounded retries with exponential backoff** (``retries=``,
+  ``backoff=``). Crashes, timeouts, and transient exceptions retry;
+  deterministic simulation errors (verification mismatches,
+  :class:`~repro.core.pipeline.DeadlockError`, config errors) fail
+  immediately.
+* **``BrokenProcessPool`` recovery.** When a worker dies the pool is
+  respawned and only unfinished jobs are requeued. If several jobs were
+  in flight the culprit is unknown, so the victims enter *suspect
+  isolation*: they re-run one at a time until each either completes or
+  crashes alone (and is then charged) — an innocent neighbour is never
+  charged for a crasher's death.
+* **Incremental persistence.** With a disk cache attached, every
+  result is written as it arrives, so a later crash — of a worker *or*
+  of the whole process — never loses completed work.
+* **Structured failure records.** An unrecoverable job yields a
+  :class:`JobFailure` at its slot in the returned list (``strict=True``
+  raises :class:`GridError` instead), and every other job still returns
+  its correct :class:`~repro.harness.runner.RunResult`.
+
+Faults themselves are injectable: pass a
+:class:`repro.faults.FaultPlan` as ``fault_plan=`` and the workers
+fire deterministic crashes/hangs/exceptions, which is how
+``tests/test_faults.py`` proves each recovery path. See
+``docs/ROBUSTNESS.md``.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.config import MachineConfig
-from repro.harness.runner import Runner, _config_key, program_hash
-from repro.workloads import by_name
+from repro.core.pipeline import DeadlockError
+from repro.harness.runner import Runner
+
+#: Environment variable pinning the worker-pool size (clamped to >= 1).
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Exception types that retrying cannot fix: wrong checksums, cycle
+#: budget exhaustion, and malformed jobs reproduce deterministically.
+_DETERMINISTIC_ERRORS = (AssertionError, DeadlockError, ValueError,
+                         TypeError, KeyError)
+
+
+class JobFailure:
+    """Structured record of one unrecoverable grid job.
+
+    Takes the failed job's slot in :func:`run_grid`'s result list, so
+    results and failures stay aligned with the input grid. ``kind`` is
+    ``"exception"`` (the job raised), ``"timeout"`` (exceeded the
+    per-job wall clock), or ``"crash"`` (the worker process died).
+    """
+
+    __slots__ = ("index", "workload", "spec", "kind", "message", "attempts")
+
+    ok = False  # mirrors RunResult.ok = True; filter mixed lists on r.ok
+
+    def __init__(self, index, workload, spec, kind, message, attempts):
+        self.index = index
+        self.workload = workload
+        self.spec = spec
+        self.kind = kind
+        self.message = message
+        self.attempts = attempts
+
+    def to_dict(self):
+        return {"index": self.index, "workload": self.workload,
+                "kind": self.kind, "message": self.message,
+                "attempts": self.attempts}
+
+    def __repr__(self):
+        return (f"JobFailure(index={self.index}, workload={self.workload!r}, "
+                f"kind={self.kind!r}, attempts={self.attempts}, "
+                f"message={self.message!r})")
+
+
+class GridError(RuntimeError):
+    """``strict=True``: at least one job failed unrecoverably.
+
+    Carries the full ``failures`` list and the partial ``results`` list
+    (completed slots hold their :class:`RunResult`; failed slots hold
+    the :class:`JobFailure`), so a strict caller still sees — and a
+    disk cache has already persisted — every finished job.
+    """
+
+    def __init__(self, failures, results):
+        self.failures = failures
+        self.results = results
+        lines = "; ".join(f"job {f.index} ({f.workload}): {f.kind} after "
+                          f"{f.attempts} attempt(s)" for f in failures)
+        super().__init__(f"{len(failures)} grid job(s) failed: {lines}")
 
 
 def _job_key(workload, config, aligned, program, instrument=False):
@@ -32,7 +124,12 @@ def _job_key(workload, config, aligned, program, instrument=False):
 
 def _run_job(job):
     """Worker entry point: simulate one (workload, config) pair."""
-    wname, spec, aligned, verify, instrument = job
+    from repro.workloads import by_name
+
+    (wname, spec, aligned, verify, instrument,
+     plan, index, attempt, inline) = job
+    if plan is not None:
+        plan.apply(index, attempt, inline=inline)
     workload = by_name(wname)
     config = MachineConfig.from_spec(spec)
     runner = Runner(verify=verify, instrument=instrument)
@@ -41,13 +138,328 @@ def _run_job(job):
 
 
 def default_workers():
-    """Worker count: all cores minus one, at least one."""
+    """Worker count: all cores minus one, at least one.
+
+    The ``REPRO_WORKERS`` environment variable overrides the heuristic
+    (clamped to >= 1) so CI and profilers can pin the pool size; a
+    non-integer value is ignored with a warning.
+    """
+    override = os.environ.get(ENV_WORKERS)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {ENV_WORKERS}="
+                          f"{override!r}", RuntimeWarning, stacklevel=2)
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+class _Job:
+    """Parent-side bookkeeping for one in-flight or queued grid job."""
+
+    __slots__ = ("index", "key", "wname", "spec", "attempts", "eligible_at",
+                 "deadline")
+
+    def __init__(self, index, key, wname, spec):
+        self.index = index
+        self.key = key          # disk-cache key, or None
+        self.wname = wname
+        self.spec = spec
+        self.attempts = 0       # attempts charged (begun and accounted)
+        self.eligible_at = 0.0  # monotonic time before which not to submit
+        self.deadline = None    # monotonic deadline of the running attempt
+
+
+def _retryable(exc):
+    """Can a retry plausibly change the outcome of this exception?"""
+    return not isinstance(exc, _DETERMINISTIC_ERRORS)
+
+
+def _kill_pool(pool):
+    """Forcibly tear down a pool that may contain hung workers."""
+    processes = getattr(pool, "_processes", None)
+    processes = list(processes.values()) if processes else []
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+class _GridExecutor:
+    """The submit/collect event loop behind :func:`run_grid`."""
+
+    def __init__(self, *, width, timeout, retries, backoff, verify,
+                 aligned, instrument, fault_plan, disk_cache, rebuilder,
+                 resolved, results):
+        self.width = width
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.verify = verify
+        self.aligned = aligned
+        self.instrument = instrument
+        self.fault_plan = fault_plan
+        self.disk_cache = disk_cache
+        self.rebuilder = rebuilder
+        self.resolved = resolved
+        self.results = results
+        self.failures = []
+        self.queue = deque()
+        self.inflight = {}       # future -> _Job
+        self.suspects = set()    # job indices under crash suspicion
+        self.pool = None
+
+    # -------------------------------------------------------- inline path
+
+    def run_inline(self, jobs):
+        """Execute every job in-process (``workers=1``): no pool, no
+        per-job timeout enforcement, but identical retry/backoff and
+        failure-record semantics."""
+        for job in jobs:
+            while True:
+                job.attempts += 1
+                try:
+                    payload = _run_job(self._args(job, inline=True))
+                    self._record(job, payload)
+                    break
+                except Exception as exc:
+                    if not self._maybe_retry(job, "exception", exc,
+                                             sleep=True):
+                        break
+        return self.failures
+
+    # ---------------------------------------------------------- pool path
+
+    def run_pool(self, jobs):
+        self.queue.extend(jobs)
+        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        try:
+            while self.queue or self.inflight:
+                self._submit_eligible()
+                if not self.inflight:
+                    self._sleep_until_eligible()
+                    continue
+                done = self._wait_for_events()
+                broken = self._collect(done)
+                if broken:
+                    self._recover_broken()
+                    continue
+                self._reap_overdue()
+        finally:
+            _kill_pool(self.pool)
+        return self.failures
+
+    def _args(self, job, inline):
+        return (job.wname, job.spec, self.aligned, self.verify,
+                self.instrument, self.fault_plan, job.index,
+                job.attempts - 1, inline)
+
+    def _submit_eligible(self):
+        """Fill free pool slots with eligible queued jobs.
+
+        During suspect isolation only one job runs at a time, and
+        suspects go first, so the culprit of an unattributed crash is
+        identified (or exonerated) as quickly as possible.
+        """
+        cap = 1 if self.suspects else self.width
+        now = time.monotonic()
+        if self.suspects:
+            ordered = sorted(self.queue,
+                             key=lambda j: (j.index not in self.suspects,))
+        else:
+            ordered = list(self.queue)
+        for job in ordered:
+            if len(self.inflight) >= cap:
+                break
+            if job.eligible_at > now:
+                continue
+            self.queue.remove(job)
+            job.attempts += 1
+            try:
+                future = self.pool.submit(_run_job,
+                                          self._args(job, inline=False))
+            except (BrokenProcessPool, RuntimeError):
+                # Pool died between collections; undo and recover.
+                job.attempts -= 1
+                self.queue.appendleft(job)
+                self._recover_broken()
+                return
+            job.deadline = (now + self.timeout
+                            if self.timeout is not None else None)
+            self.inflight[future] = job
+
+    def _sleep_until_eligible(self):
+        now = time.monotonic()
+        wake = min(job.eligible_at for job in self.queue)
+        time.sleep(min(max(wake - now, 0.0) + 0.001, 1.0))
+
+    def _wait_for_events(self):
+        """Block until a future settles, a deadline passes, or a queued
+        job's backoff expires."""
+        now = time.monotonic()
+        horizon = None
+        for job in self.inflight.values():
+            if job.deadline is not None:
+                horizon = (job.deadline if horizon is None
+                           else min(horizon, job.deadline))
+        for job in self.queue:
+            if job.eligible_at > now:
+                horizon = (job.eligible_at if horizon is None
+                           else min(horizon, job.eligible_at))
+        timeout = None if horizon is None else max(horizon - now, 0.0) + 0.001
+        done, _ = wait(list(self.inflight), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        return done
+
+    def _collect(self, done):
+        """Absorb settled futures; returns True when the pool broke."""
+        for future in done:
+            job = self.inflight.get(future)
+            if job is None:
+                continue
+            exc = future.exception()
+            if isinstance(exc, BrokenProcessPool):
+                return True
+            del self.inflight[future]
+            if exc is None:
+                try:
+                    self._record(job, future.result())
+                except Exception as rebuild_exc:
+                    self._fail(job, "exception", str(rebuild_exc))
+                self.suspects.discard(job.index)
+            else:
+                self._maybe_retry(job, "exception", exc)
+        return False
+
+    def _recover_broken(self):
+        """A worker died. Keep finished results, respawn the pool, and
+        requeue unfinished jobs — charging the crash only when it can be
+        attributed to exactly one job."""
+        victims = []
+        for future, job in list(self.inflight.items()):
+            if future.done() and future.exception() is None:
+                try:
+                    self._record(job, future.result())
+                except Exception as rebuild_exc:
+                    self._fail(job, "exception", str(rebuild_exc))
+                self.suspects.discard(job.index)
+            else:
+                victims.append(job)
+        self.inflight.clear()
+        _kill_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        if len(victims) == 1:
+            job = victims[0]
+            self.suspects.discard(job.index)
+            self._maybe_retry(job, "crash",
+                              "worker process died (BrokenProcessPool)")
+        else:
+            # Culprit unknown: requeue uncharged, isolate until resolved.
+            for job in victims:
+                job.attempts -= 1
+                job.deadline = None
+                self.suspects.add(job.index)
+                self.queue.append(job)
+
+    def _reap_overdue(self):
+        """Presume jobs past their deadline hung; kill and recover."""
+        if self.timeout is None or not self.inflight:
+            return
+        now = time.monotonic()
+        overdue = [(future, job) for future, job in self.inflight.items()
+                   if job.deadline is not None and now >= job.deadline
+                   and not future.done()]
+        if not overdue:
+            return
+        innocents = []
+        for future, job in list(self.inflight.items()):
+            if future.done():
+                del self.inflight[future]
+                exc = future.exception()
+                if exc is None:
+                    try:
+                        self._record(job, future.result())
+                    except Exception as rebuild_exc:
+                        self._fail(job, "exception", str(rebuild_exc))
+                    self.suspects.discard(job.index)
+                elif not isinstance(exc, BrokenProcessPool):
+                    self._maybe_retry(job, "exception", exc)
+                else:
+                    self._maybe_retry(
+                        job, "crash",
+                        "worker process died (BrokenProcessPool)")
+            elif (future, job) not in overdue:
+                innocents.append(job)
+        _kill_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        self.inflight.clear()
+        for job in innocents:
+            job.attempts -= 1  # uncharged: their workers were collateral
+            job.deadline = None
+            self.queue.append(job)
+        for _, job in overdue:
+            self.suspects.discard(job.index)
+            self._maybe_retry(
+                job, "timeout",
+                f"exceeded per-job timeout of {self.timeout:g}s")
+
+    # -------------------------------------------------------- accounting
+
+    def _record(self, job, payload):
+        workload, config = self.resolved[job.index]
+        self.results[job.index] = self.rebuilder._from_payload(
+            workload, config, payload)
+        if self.disk_cache is not None and job.key is not None:
+            # Persist immediately: a later crash loses nothing finished.
+            self.disk_cache.put(job.key, payload)
+
+    def _maybe_retry(self, job, kind, exc_or_message, sleep=False):
+        """Requeue ``job`` with backoff, or convert it to a failure.
+
+        Returns True when the job was requeued. ``sleep=True`` (inline
+        mode) blocks for the backoff instead of scheduling it.
+        """
+        message = str(exc_or_message)
+        retryable = kind in ("timeout", "crash") or (
+            isinstance(exc_or_message, BaseException)
+            and _retryable(exc_or_message))
+        if not retryable or job.attempts > self.retries:
+            self._fail(job, kind, message)
+            return False
+        delay = (self.backoff * (2.0 ** (job.attempts - 1))
+                 if self.backoff else 0.0)
+        if sleep:
+            if delay:
+                time.sleep(delay)
+        else:
+            job.eligible_at = time.monotonic() + delay
+            job.deadline = None
+            self.queue.append(job)
+        return True
+
+    def _fail(self, job, kind, message):
+        self.suspects.discard(job.index)
+        failure = JobFailure(job.index, job.wname, job.spec, kind, message,
+                             job.attempts)
+        self.failures.append(failure)
+        self.results[job.index] = failure
+
+
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
-             aligned=False, instrument=False):
-    """Simulate every ``(workload, config)`` job, in parallel.
+             aligned=False, instrument=False, *, timeout=None, retries=2,
+             backoff=0.25, strict=False, fault_plan=None):
+    """Simulate every ``(workload, config)`` job, in parallel, surviving
+    worker crashes, hangs, and transient failures.
 
     Parameters
     ----------
@@ -55,68 +467,90 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         Iterable of ``(workload, config)`` pairs; the workload may be a
         workload object or its name.
     workers:
-        Process count (default :func:`default_workers`). ``1`` runs
-        inline without spawning a pool — useful under profilers and in
-        tests.
+        Process count (default :func:`default_workers`, which honours
+        ``REPRO_WORKERS``). ``1`` runs inline without spawning a pool —
+        useful under profilers and in tests; inline runs keep the
+        retry/failure semantics but cannot enforce ``timeout``.
     verify:
         Check every run's checksum against the workload mirror.
     disk_cache:
         Optional :class:`~repro.harness.diskcache.DiskResultCache` (or
-        path-like). Cached jobs are answered without simulation; new
-        results are persisted.
+        path-like). Cached jobs are answered without simulation; every
+        fresh result is persisted *as it arrives*, so completed work
+        survives any later failure.
     instrument:
         Attach stall attribution and interval metrics in every worker;
         the serialized stats then carry ``stall_breakdown`` and
         ``interval_metrics`` (and use a distinct disk-cache key).
+    timeout:
+        Per-job wall-clock seconds. A job past its deadline is presumed
+        hung: its worker pool is torn down, innocents are requeued
+        uncharged, and the job is charged one attempt. ``None`` (the
+        default) disables the watchdog.
+    retries:
+        Bounded re-attempts per job after its first try. Crashes,
+        timeouts, and transient exceptions retry with exponential
+        backoff; deterministic simulation errors never retry.
+    backoff:
+        Base backoff in seconds; attempt *n* waits ``backoff * 2**(n-1)``.
+    strict:
+        Raise :class:`GridError` when any job fails unrecoverably
+        instead of returning :class:`JobFailure` records in the result
+        list.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; workers fire its
+        deterministic fault rules (testing hook).
 
     Returns
     -------
-    list of :class:`~repro.harness.runner.RunResult`, in job order.
+    list aligned with ``jobs``: a
+    :class:`~repro.harness.runner.RunResult` per completed job and a
+    :class:`JobFailure` per unrecoverable one (unless ``strict``).
     """
     from repro.harness.diskcache import DiskResultCache
+    from repro.workloads import by_name
 
     if disk_cache is not None and not isinstance(disk_cache,
                                                  DiskResultCache):
-        disk_cache = DiskResultCache(disk_cache)
+        disk_cache = DiskResultCache(disk_cache, schema=Runner.RESULT_SCHEMA)
     resolved = []
     for workload, config in jobs:
         if isinstance(workload, str):
             workload = by_name(workload)
+        config.validate()
         resolved.append((workload, config))
 
     rebuilder = Runner(verify=verify)
     results = [None] * len(resolved)
-    pending = []  # (index, disk key or None)
+    pending = []  # _Job records for uncached work
     for index, (workload, config) in enumerate(resolved):
-        if disk_cache is None:
-            pending.append((index, None))
-            continue
-        program = workload.program(config.nthreads, aligned=aligned)
-        key = _job_key(workload, config, aligned, program, instrument)
-        payload = disk_cache.get(key)
-        if payload is None:
-            pending.append((index, key))
-        else:
-            results[index] = rebuilder._from_payload(
-                workload, config, payload)
+        key = None
+        if disk_cache is not None:
+            program = workload.program(config.nthreads, aligned=aligned)
+            key = _job_key(workload, config, aligned, program, instrument)
+            payload = disk_cache.get(key)
+            if payload is not None:
+                results[index] = rebuilder._from_payload(
+                    workload, config, payload)
+                continue
+        pending.append(_Job(index, key, workload.name, config.to_spec()))
     if not pending:
         return results
 
-    job_args = [(resolved[i][0].name, resolved[i][1].to_spec(),
-                 aligned, verify, instrument) for i, _ in pending]
     if workers is None:
         workers = default_workers()
+    executor = _GridExecutor(
+        width=min(max(1, workers), len(pending)), timeout=timeout,
+        retries=max(0, retries), backoff=backoff, verify=verify,
+        aligned=aligned, instrument=instrument, fault_plan=fault_plan,
+        disk_cache=disk_cache, rebuilder=rebuilder, resolved=resolved,
+        results=results)
     if workers <= 1 or len(pending) == 1:
-        payloads = map(_run_job, job_args)
+        failures = executor.run_inline(pending)
     else:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        with pool:
-            payloads = list(pool.map(_run_job, job_args))
-    for (index, key), payload in zip(pending, payloads):
-        workload, config = resolved[index]
-        results[index] = rebuilder._from_payload(workload, config, payload)
-        if disk_cache is not None:
-            disk_cache.put(key, payload)
+        failures = executor.run_pool(pending)
+    if strict and failures:
+        raise GridError(failures, results)
     return results
 
 

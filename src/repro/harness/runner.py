@@ -23,6 +23,10 @@ class RunResult:
 
     __slots__ = ("workload", "nthreads", "stats", "checksum", "verified")
 
+    #: Discriminator mirrored by ``JobFailure.ok = False``: grid callers
+    #: can filter mixed result lists with ``r.ok`` instead of isinstance.
+    ok = True
+
     def __init__(self, workload, nthreads, stats, checksum, verified):
         self.workload = workload
         self.nthreads = nthreads
@@ -101,13 +105,20 @@ class Runner:
         collide with — or invalidate — plain entries.
     """
 
+    #: Fields every cached result payload must carry; passed to
+    #: :class:`DiskResultCache` as its validation schema so a corrupted
+    #: or hand-edited entry is dropped (a miss) instead of crashing
+    #: :meth:`_from_payload`.
+    RESULT_SCHEMA = ("nthreads", "stats", "checksum", "verified")
+
     def __init__(self, verify=True, quiet=True, disk_cache=None,
                  instrument=False):
         self.verify = verify
         self.quiet = quiet
         if disk_cache is not None and not isinstance(disk_cache,
                                                      DiskResultCache):
-            disk_cache = DiskResultCache(disk_cache)
+            disk_cache = DiskResultCache(disk_cache,
+                                         schema=Runner.RESULT_SCHEMA)
         self.disk_cache = disk_cache
         self.instrument = instrument
         self._cache = {}

@@ -1,10 +1,50 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also provides an opt-in global per-test timeout: set
+``REPRO_TEST_TIMEOUT`` (seconds) and any test exceeding it fails with
+a stack trace instead of hanging the session — CI sets it so a wedged
+simulation or a deadlocked worker pool can never stall the pipeline.
+Implemented with ``SIGALRM`` (no third-party plugin in the image);
+silently inactive where the platform lacks it.
+"""
+
+import os
+import signal
 
 import pytest
 
 from repro.asm import assemble
 from repro.core import MachineConfig, PipelineSim
 from repro.funcsim import FunctionalSim
+
+_TIMEOUT_ENV = "REPRO_TEST_TIMEOUT"
+
+
+def _test_timeout():
+    try:
+        value = float(os.environ.get(_TIMEOUT_ENV, ""))
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = _test_timeout()
+    if limit is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded {_TIMEOUT_ENV}={limit:g}s", pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

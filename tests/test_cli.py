@@ -72,6 +72,42 @@ def test_bench_verifies(capsys):
 
 def test_bench_unknown_name(capsys):
     assert main(["bench", "Nope"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one line, not a traceback
+    assert "unknown workload 'Nope'" in err
+    assert "LL2" in err and "Sieve" in err  # names the valid choices
+
+
+def test_stats_unknown_workload_exits_2(capsys):
+    assert main(["stats", "Bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 'Bogus'" in err and "LL2" in err
+
+
+def test_trace_unknown_workload_exits_2(capsys):
+    assert main(["trace", "Bogus", "--out", "/dev/null"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_missing_source_file_exits_2(capsys):
+    assert main(["run", "/nonexistent/prog.s"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read" in err and err.count("\n") == 1
+
+
+def test_invalid_config_exits_2(capsys):
+    # su_entries not a multiple of the block size: a config error must
+    # exit 2 with a one-line message, not a ValueError traceback.
+    assert main(["bench", "LL2", "--su", "30"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err
+    assert err.count("\n") == 1
+
+
+def test_invalid_thread_count_exits_2(capsys):
+    assert main(["bench", "LL2", "--threads", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err and "nthreads" in err
 
 
 def test_workloads_lists_all(capsys):

@@ -65,3 +65,64 @@ def test_describe_mentions_key_fields():
     text = MachineConfig().describe()
     assert "threads=4" in text
     assert "SU=64" in text
+
+
+def test_validate_accepts_defaults_and_chains():
+    config = MachineConfig()
+    assert config.validate() is config  # returns self for chaining
+
+
+def test_validate_rejects_nonpositive_counts():
+    for field in ("nthreads", "issue_width", "writeback_width",
+                  "commit_blocks", "max_cycles", "mem_words"):
+        with pytest.raises(ValueError, match=field):
+            MachineConfig(**{field: 0}).validate()
+
+
+def test_validate_rejects_zero_control_transfer_units():
+    # Every program ends in halt (a CT instruction): zero CT units is
+    # always a guaranteed hang, program or no program.
+    config = MachineConfig()
+    counts = dict(config.fu_counts)
+    counts[FuClass.CT] = 0
+    with pytest.raises(ValueError, match="control_transfer"):
+        config.replace(fu_counts=counts).validate()
+
+
+def test_validate_rejects_missing_or_bad_latency():
+    config = MachineConfig()
+    latency = dict(config.fu_latency)
+    latency[FuClass.IALU] = 0
+    with pytest.raises(ValueError, match="latency"):
+        config.replace(fu_latency=latency).validate()
+
+
+def test_validate_rejects_negative_fu_count():
+    config = MachineConfig()
+    counts = dict(config.fu_counts)
+    counts[FuClass.LOAD] = -1
+    with pytest.raises(ValueError, match="load"):
+        config.replace(fu_counts=counts).validate()
+
+
+def test_validate_error_lists_every_problem():
+    with pytest.raises(ValueError) as excinfo:
+        MachineConfig(nthreads=0, issue_width=0).validate()
+    message = str(excinfo.value)
+    assert message.startswith("invalid MachineConfig")
+    assert "nthreads" in message and "issue_width" in message
+
+
+def test_validate_checks_program_fits_memory():
+    from repro.workloads import by_name
+    program = by_name("Matrix").program(1)
+    config = MachineConfig(nthreads=1, mem_words=1)
+    with pytest.raises(ValueError, match="mem_words"):
+        config.validate(program)
+
+
+def test_hang_cycles_round_trips_through_spec():
+    config = MachineConfig(hang_cycles=12_345)
+    rebuilt = MachineConfig.from_spec(config.to_spec())
+    assert rebuilt.hang_cycles == 12_345
+    assert MachineConfig(hang_cycles=None).replace().hang_cycles is None

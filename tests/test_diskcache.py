@@ -1,10 +1,15 @@
-"""Persistent result cache: keying, round-trip, merge semantics."""
+"""Persistent result cache: keying, round-trip, merge, corruption."""
 
 import json
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
 
 from repro.core.config import MachineConfig
 from repro.core.stats import SimStats
-from repro.harness.diskcache import DiskResultCache, hash_key
+from repro.harness.diskcache import (CacheCorruptionWarning, DiskResultCache,
+                                     FILE_FORMAT, hash_key)
 from repro.harness.runner import Runner, _config_key, program_hash
 from repro.workloads import by_name
 
@@ -33,17 +38,119 @@ def test_save_merges_concurrent_entries(tmp_path):
     b.put("from-b", 2)
     a.save()
     b.save()  # must not clobber a's entry
-    merged = json.loads(path.read_text())
-    assert merged == {"from-a": 1, "from-b": 2}
+    merged = DiskResultCache(path)
+    assert merged.get("from-a") == 1
+    assert merged.get("from-b") == 2
+    document = json.loads(path.read_text())
+    assert document["format"] == FILE_FORMAT
+    assert set(document["entries"]) == {"from-a", "from-b"}
 
 
-def test_corrupt_file_treated_as_empty(tmp_path):
+def _hammer_cache(job):
+    """Module-level so it pickles into pool workers."""
+    path, worker, count = job
+    cache = DiskResultCache(path, autosave=False)
+    for n in range(count):
+        cache.put(f"w{worker}-k{n}", {"worker": worker, "n": n})
+    cache.save()
+    return worker
+
+
+def test_save_survives_concurrent_writer_processes(tmp_path):
+    """N processes saving disjoint keys: every key survives the races."""
+    path = tmp_path / "cache.json"
+    workers, keys_each = 4, 8
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        done = list(pool.map(_hammer_cache,
+                             [(str(path), w, keys_each)
+                              for w in range(workers)]))
+    assert sorted(done) == list(range(workers))
+    merged = DiskResultCache(path)
+    assert len(merged) == workers * keys_each
+    for w in range(workers):
+        for n in range(keys_each):
+            assert merged.get(f"w{w}-k{n}") == {"worker": w, "n": n}
+
+
+def test_corrupt_file_quarantined_not_deleted(tmp_path):
     path = tmp_path / "cache.json"
     path.write_text("{not json")
-    cache = DiskResultCache(path)
+    with pytest.warns(CacheCorruptionWarning, match="quarantined"):
+        cache = DiskResultCache(path)
     assert len(cache) == 0
+    corpse = tmp_path / "cache.json.corrupt-1"
+    assert corpse.read_text() == "{not json"  # evidence preserved
     cache.put("k", 1)
-    assert json.loads(path.read_text()) == {"k": 1}
+    assert DiskResultCache(path).get("k") == 1
+
+
+def test_quarantine_numbering_never_overwrites(tmp_path):
+    path = tmp_path / "cache.json"
+    for n in (1, 2):
+        path.write_text(f"garbage #{n}")
+        with pytest.warns(CacheCorruptionWarning):
+            DiskResultCache(path)
+    assert (tmp_path / "cache.json.corrupt-1").read_text() == "garbage #1"
+    assert (tmp_path / "cache.json.corrupt-2").read_text() == "garbage #2"
+
+
+def test_non_object_top_level_quarantined(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.warns(CacheCorruptionWarning, match="top level"):
+        cache = DiskResultCache(path)
+    assert len(cache) == 0
+
+
+def test_legacy_plain_dict_file_loads(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"old-key": {"cycles": 7}}))
+    cache = DiskResultCache(path)
+    assert cache.get("old-key") == {"cycles": 7}
+
+
+def test_schema_drops_entry_missing_required_field(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = DiskResultCache(path, schema=("cycles", "checksum"))
+    cache.put("good", {"cycles": 1, "checksum": 2})
+    cache.put("bad", {"cycles": 1})  # missing "checksum"
+    with pytest.warns(CacheCorruptionWarning):
+        again = DiskResultCache(path, schema=("cycles", "checksum"))
+    assert again.get("good") == {"cycles": 1, "checksum": 2}
+    assert again.get("bad") is None
+    assert again.dropped == 1
+
+
+def test_schema_tolerates_extra_fields(tmp_path):
+    path = tmp_path / "cache.json"
+    DiskResultCache(path).put("k", {"cycles": 1, "checksum": 2,
+                                    "future-field": True})
+    cache = DiskResultCache(path, schema=("cycles", "checksum"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert cache.get("k")["future-field"] is True
+
+
+def test_get_drops_invalid_in_memory_entry():
+    cache = DiskResultCache("/nonexistent/never-written.json",
+                            autosave=False, schema=("cycles",))
+    cache._entries["bad"] = ["not", "a", "dict"]
+    with pytest.warns(CacheCorruptionWarning):
+        assert cache.get("bad") is None
+    assert cache.misses == 1 and cache.dropped == 1
+
+
+def test_stale_engine_entries_dropped(tmp_path):
+    path = tmp_path / "cache.json"
+    document = {"format": FILE_FORMAT, "entries": {
+        "stale": {"engine": 10_000, "payload": {"cycles": 1}},
+        "fresh": {"engine": None, "payload": {"cycles": 2}},
+    }}
+    path.write_text(json.dumps(document))
+    with pytest.warns(CacheCorruptionWarning):
+        cache = DiskResultCache(path)
+    assert cache.get("stale") is None
+    assert cache.get("fresh") == {"cycles": 2}
 
 
 def test_runner_disk_cache_skips_simulation(tmp_path, monkeypatch):
@@ -71,6 +178,13 @@ def test_runner_disk_cache_skips_simulation(tmp_path, monkeypatch):
 def test_config_key_covers_mem_words():
     base = MachineConfig()
     assert _config_key(base) != _config_key(base.replace(mem_words=1 << 16))
+
+
+def test_config_key_ignores_hang_cycles():
+    # Like max_cycles, the watchdog threshold cannot change a completed
+    # run's counts, so it must not invalidate disk caches.
+    base = MachineConfig()
+    assert _config_key(base) == _config_key(base.replace(hang_cycles=None))
 
 
 def test_program_hash_tracks_content():

@@ -1,0 +1,230 @@
+"""Fault-matrix suite: every recovery path of the fault-tolerant
+harness, driven by deterministic injectors (see docs/ROBUSTNESS.md).
+
+Each test injects one fault class — transient exception, worker crash,
+worker hang, cache corruption — and proves the grid still returns
+correct results for every other job, persists completed work, and
+reports unrecoverable jobs as structured :class:`JobFailure` records.
+Uses the cheapest workloads (LL11/LL5/LL2 at one thread simulate in
+well under a second) so the whole matrix stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.faults import (FaultPlan, InjectedCrash, InjectedFault,
+                          InjectedHang, corrupt_file)
+from repro.faults.inject import _chance
+from repro.harness import (CacheCorruptionWarning, DiskResultCache,
+                           GridError, JobFailure, Runner, run_grid)
+from repro.workloads import by_name
+
+
+def _cheap_jobs(names=("LL11", "LL5", "LL2")):
+    config = MachineConfig(nthreads=1)
+    return [(by_name(name), config) for name in names]
+
+
+def _expected(jobs):
+    runner = Runner()
+    return [runner.run(workload, config) for workload, config in jobs]
+
+
+def _assert_slot_correct(result, expected):
+    assert result.ok
+    assert result.verified
+    assert result.cycles == expected.cycles
+    assert result.stats.to_dict() == expected.stats.to_dict()
+
+
+# --------------------------------------------------------- plan mechanics
+
+
+def test_plan_is_deterministic_and_seedable():
+    probe = [(i, a) for i in range(40) for a in range(2)]
+    one = FaultPlan(seed=7).fail(probability=0.3)
+    two = FaultPlan(seed=7).fail(probability=0.3)
+    other = FaultPlan(seed=8).fail(probability=0.3)
+    hits = [pair for pair in probe if one.matches(*pair)]
+    assert hits == [pair for pair in probe if two.matches(*pair)]
+    assert hits != [pair for pair in probe if other.matches(*pair)]
+    assert 0 < len(hits) < len(probe)  # probability actually thins
+
+
+def test_chance_is_uniform_ish():
+    draws = [_chance(0, i, 0, "fail") for i in range(200)]
+    assert all(0.0 <= d < 1.0 for d in draws)
+    assert 0.35 < sum(draws) / len(draws) < 0.65
+
+
+def test_plan_rule_selection():
+    plan = FaultPlan().crash(indices=[2], attempts=1).hang(attempts=2)
+    assert plan.matches(2, 0) == ["crash", "hang"]
+    assert plan.matches(1, 0) == ["hang"]
+    assert plan.matches(1, 1) == ["hang"]
+    assert plan.matches(1, 2) == []  # attempts exhausted: rule heals
+    assert "crash" in repr(plan) and "hang" in repr(plan)
+
+
+def test_plan_rejects_never_firing_rule():
+    with pytest.raises(ValueError):
+        FaultPlan().fail(attempts=0)
+
+
+def test_apply_raises_matching_fault_inline():
+    with pytest.raises(InjectedFault):
+        FaultPlan().fail().apply(0, 0, inline=True)
+    with pytest.raises(InjectedCrash):
+        FaultPlan().crash().apply(0, 0, inline=True)
+    with pytest.raises(InjectedHang):
+        FaultPlan().hang().apply(0, 0, inline=True)
+
+
+# ----------------------------------------------------- transient failures
+
+
+def test_transient_failure_heals_on_retry_inline():
+    jobs = _cheap_jobs()
+    plan = FaultPlan().fail(indices=[0], attempts=1)
+    results = run_grid(jobs, workers=1, fault_plan=plan, backoff=0.0)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+
+
+def test_transient_failure_heals_on_retry_pool():
+    jobs = _cheap_jobs()
+    plan = FaultPlan().fail(indices=[1], attempts=1)
+    results = run_grid(jobs, workers=2, fault_plan=plan, backoff=0.0)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+
+
+def test_persistent_failure_exhausts_retries():
+    jobs = _cheap_jobs()
+    plan = FaultPlan().fail(indices=[0], attempts=99)
+    results = run_grid(jobs, workers=2, fault_plan=plan,
+                       retries=1, backoff=0.0)
+    failure = results[0]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "exception"
+    assert failure.attempts == 2  # first try + one retry
+    assert "injected transient fault" in failure.message
+    for result, expected in zip(results[1:], _expected(jobs)[1:]):
+        _assert_slot_correct(result, expected)
+
+
+# --------------------------------------------------------- worker crashes
+
+
+def test_worker_crash_recovers_and_retries():
+    jobs = _cheap_jobs()
+    plan = FaultPlan().crash(indices=[1], attempts=1)
+    results = run_grid(jobs, workers=2, fault_plan=plan, backoff=0.0)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+
+
+def test_persistent_crash_fails_job_but_preserves_grid(tmp_path):
+    jobs = _cheap_jobs()
+    cache_path = tmp_path / "cache.json"
+    plan = FaultPlan().crash(indices=[0], attempts=99)
+    results = run_grid(jobs, workers=2, fault_plan=plan, retries=1,
+                       backoff=0.0, disk_cache=cache_path)
+    failure = results[0]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "crash"
+    assert "died" in failure.message
+    expected = _expected(jobs)
+    for result, want in zip(results[1:], expected[1:]):
+        _assert_slot_correct(result, want)
+    # Completed jobs were persisted incrementally despite the crashes.
+    persisted = DiskResultCache(cache_path, schema=Runner.RESULT_SCHEMA)
+    assert len(persisted) == len(jobs) - 1
+
+
+def test_inline_crash_degrades_to_exception():
+    jobs = _cheap_jobs(("LL11",))
+    plan = FaultPlan().crash(indices=[0], attempts=1)
+    results = run_grid(jobs, workers=1, fault_plan=plan, backoff=0.0)
+    _assert_slot_correct(results[0], _expected(jobs)[0])
+
+
+# ------------------------------------------------------------ worker hangs
+
+
+def test_hung_worker_reaped_and_retried():
+    jobs = _cheap_jobs(("LL11", "LL5"))
+    plan = FaultPlan().hang(indices=[0], attempts=1, seconds=30.0)
+    results = run_grid(jobs, workers=2, fault_plan=plan,
+                       timeout=1.5, backoff=0.0)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+
+
+def test_persistent_hang_becomes_timeout_failure():
+    jobs = _cheap_jobs(("LL11", "LL5"))
+    plan = FaultPlan().hang(indices=[0], attempts=99, seconds=30.0)
+    results = run_grid(jobs, workers=2, fault_plan=plan,
+                       timeout=1.0, retries=0, backoff=0.0)
+    failure = results[0]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "timeout"
+    assert "timeout" in failure.message
+    _assert_slot_correct(results[1], _expected(jobs)[1])
+
+
+def test_strict_mode_raises_grid_error_on_injected_fault():
+    jobs = _cheap_jobs(("LL11", "LL5"))
+    plan = FaultPlan().fail(indices=[0], attempts=99)
+    with pytest.raises(GridError) as excinfo:
+        run_grid(jobs, workers=1, fault_plan=plan, retries=0,
+                 backoff=0.0, strict=True)
+    assert excinfo.value.failures[0].kind == "exception"
+    assert excinfo.value.results[1].ok  # the good job still completed
+
+
+# -------------------------------------------------------- cache corruption
+
+
+@pytest.mark.parametrize("mode", ["truncate", "garbage", "binary"])
+def test_cache_corruption_quarantined_and_grid_recovers(tmp_path, mode):
+    jobs = _cheap_jobs(("LL11", "LL5"))
+    cache_path = tmp_path / "cache.json"
+    run_grid(jobs, workers=1, disk_cache=cache_path)
+    corrupt_file(cache_path, mode=mode)
+    with pytest.warns(CacheCorruptionWarning):
+        results = run_grid(jobs, workers=1, disk_cache=cache_path)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+    assert (tmp_path / "cache.json.corrupt-1").exists()
+    # The re-run repopulated the cache with valid entries.
+    document = json.loads(cache_path.read_text())
+    assert len(document["entries"]) == len(jobs)
+
+
+def test_corrupt_file_modes_are_deterministic(tmp_path):
+    for name, mode in (("a", "binary"), ("b", "binary")):
+        path = tmp_path / name
+        path.write_bytes(b"x" * 100)
+        corrupt_file(path, mode=mode, seed=3)
+    assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()
+    path = tmp_path / "c"
+    path.write_bytes(b"0123456789")
+    assert corrupt_file(path, mode="truncate").read_bytes() == b"01234"
+    with pytest.raises(ValueError):
+        corrupt_file(path, mode="shred")
+
+
+def test_golden_counts_unchanged_by_harness_features(tmp_path):
+    """The fault machinery must never perturb simulation results: a
+    grid run through the fault-tolerant pool, with a (non-firing) plan
+    and a disk cache, reproduces the serial runner bit-for-bit."""
+    jobs = _cheap_jobs()
+    plan = FaultPlan(seed=1).fail(indices=[999])  # never matches
+    results = run_grid(jobs, workers=2, fault_plan=plan,
+                       disk_cache=tmp_path / "cache.json", timeout=60.0)
+    for result, expected in zip(results, _expected(jobs)):
+        _assert_slot_correct(result, expected)
+        assert result.checksum == expected.checksum

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core.config import MachineConfig
-from repro.harness import Runner, cross, run_grid
+from repro.harness import (GridError, JobFailure, Runner, cross,
+                           default_workers, run_grid)
+from repro.harness.parallel import ENV_WORKERS
 from repro.workloads import by_name
 
 
@@ -66,8 +68,52 @@ def test_cross_builds_full_grid():
     assert grid[3][0] == "Sieve" and grid[3][1].nthreads == 2
 
 
-def test_run_grid_propagates_verification_failure():
+def test_run_grid_reports_failure_without_sinking_grid():
+    # One job that cannot finish (deadlocks at max_cycles) among good
+    # ones: the grid completes, the bad slot holds a JobFailure, and the
+    # good slots hold verified results.
     ll2 = by_name("LL2")
+    good = MachineConfig(nthreads=1)
     bad = MachineConfig(nthreads=1, max_cycles=200)  # cannot finish
-    with pytest.raises(Exception):
-        run_grid([(ll2, bad)], workers=1)
+    results = run_grid([(ll2, good), (ll2, bad)], workers=1)
+    assert results[0].ok and results[0].verified
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert not failure.ok
+    assert failure.index == 1
+    assert failure.workload == "LL2"
+    assert failure.kind == "exception"
+    assert failure.attempts == 1  # deterministic error: never retried
+    assert failure.to_dict()["kind"] == "exception"
+
+
+def test_run_grid_strict_raises_grid_error():
+    ll2 = by_name("LL2")
+    bad = MachineConfig(nthreads=1, max_cycles=200)
+    with pytest.raises(GridError) as excinfo:
+        run_grid([(ll2, MachineConfig(nthreads=1)), (ll2, bad)],
+                 workers=1, strict=True)
+    error = excinfo.value
+    assert len(error.failures) == 1
+    assert error.failures[0].index == 1
+    assert error.results[0].ok  # completed work still reachable
+
+
+def test_run_grid_rejects_invalid_config_up_front():
+    with pytest.raises(ValueError, match="invalid MachineConfig"):
+        run_grid([(by_name("LL2"), MachineConfig(nthreads=0))], workers=1)
+
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "3")
+    assert default_workers() == 3
+    monkeypatch.setenv(ENV_WORKERS, "0")
+    assert default_workers() == 1  # clamped
+    monkeypatch.delenv(ENV_WORKERS)
+    assert default_workers() >= 1
+
+
+def test_default_workers_ignores_junk(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "lots")
+    with pytest.warns(RuntimeWarning):
+        assert default_workers() >= 1
