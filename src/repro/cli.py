@@ -19,12 +19,32 @@ Commands
     workload name.
 ``stats PROG``
     Simulate and print run statistics; ``--breakdown`` adds the
-    per-cycle stall-attribution table (see docs/OBSERVABILITY.md).
+    per-cycle stall-attribution table (see docs/OBSERVABILITY.md);
+    ``--json`` dumps the full machine-readable record (stats counters,
+    attribution, metrics summaries) in the ledger's serialization.
+``diff RUNA RUNB``
+    Compare two ledger records (``last``, ``last~N``, or a run-id
+    prefix): per-counter deltas plus the attribution waterfall.
+``check --baseline BENCH_engine.json``
+    Regression sentry: re-measure the fixed profiling matrix and fail
+    unless simulated cycle counts are bit-identical to the baseline and
+    throughput is within the tolerance band (``--advisory-throughput``
+    demotes throughput failures to warnings for noisy shared runners).
+``report --experiment {threads,fetch,su,cache}``
+    Re-run one paper experiment grid through the ledger and render the
+    corresponding EXPERIMENTS.md table from ledger data (``--csv`` for
+    a machine-readable copy).
+
+``run``, ``bench``, ``check``, and ``report`` append durable records
+to the run ledger (``~/.cache/repro-sdsp/ledger.jsonl``, overridden by
+``REPRO_LEDGER`` or ``--ledger``; disabled by ``--no-ledger``).
 """
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from repro.asm import assemble, disassemble
 from repro.core import FetchPolicy, CommitPolicy, MachineConfig, PipelineSim
@@ -69,6 +89,34 @@ def _machine_args(parser):
     parser.add_argument("--enhanced-fus", action="store_true",
                         help="use the enhanced functional-unit mix")
     parser.add_argument("--max-cycles", type=int, default=20_000_000)
+
+
+def _ledger_args(parser):
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="run-ledger file (default: REPRO_LEDGER or "
+                             "~/.cache/repro-sdsp/ledger.jsonl)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append records to the run ledger")
+
+
+def _ledger_append(args, *, source, workload, config, stats, program=None,
+                   checksum=None, verified=None, wall_seconds=None):
+    """Append one record to the run ledger; never fails the command."""
+    if getattr(args, "no_ledger", False):
+        return
+    from repro.harness.runner import program_hash
+    from repro.obs import ledger as ledger_mod
+
+    record = ledger_mod.make_record(
+        source=source, workload=workload, config=config, stats=stats,
+        timestamp=ledger_mod.utc_now_iso(),
+        program_hash=program_hash(program) if program is not None else None,
+        checksum=checksum, verified=verified, wall_seconds=wall_seconds)
+    try:
+        ledger_mod.RunLedger(args.ledger).append(record)
+    except OSError as error:
+        print(f"repro: warning: could not append to run ledger: {error}",
+              file=sys.stderr)
 
 
 def _machine_config(args):
@@ -132,8 +180,12 @@ def cmd_run(args):
             print(f"  thread {thread.tid}: {thread.retired} retired")
         return 0
     sim = PipelineSim(program, config)
+    start = time.perf_counter()
     stats = sim.run()
+    wall = time.perf_counter() - start
     print(stats.summary())
+    _ledger_append(args, source="cli.run", workload=args.file, config=config,
+                   stats=stats, program=program, wall_seconds=wall)
     return 0
 
 
@@ -180,14 +232,29 @@ def cmd_stats(args):
     config = _machine_config(args)
     program = _resolve_program(args.prog, args.threads, args.align)
     sim = PipelineSim(program, config)
-    if args.breakdown:
+    if args.breakdown or args.json:
         attr = sim.attach_attribution()
         sim.attach_metrics()
+    start = time.perf_counter()
     stats = sim.run()
+    wall = time.perf_counter() - start
+    if args.breakdown or args.json:
+        attr.verify(stats)
+    if args.json:
+        # One serialization path for everything machine-readable: the
+        # ledger's record shape (full histograms included here).
+        from repro.harness.runner import program_hash
+        from repro.obs import ledger as ledger_mod
+        record = ledger_mod.make_record(
+            source="cli.stats", workload=args.prog, config=config,
+            stats=stats, timestamp=ledger_mod.utc_now_iso(),
+            program_hash=program_hash(program), wall_seconds=wall,
+            keep_interval_metrics=True)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
     print(stats.summary())
     if args.breakdown:
         from repro.obs.attribution import format_breakdown
-        attr.verify(stats)
         print()
         print(format_breakdown(stats.stall_breakdown, stats.cycles))
     return 0
@@ -201,14 +268,108 @@ def cmd_bench(args):
     config = _machine_config(args)
     program = workload.program(args.threads)
     sim = PipelineSim(program, config)
+    start = time.perf_counter()
     stats = sim.run()
+    wall = time.perf_counter() - start
     checksum = sim.mem(workload.checksum_address(args.threads))
     ok = workload.verify(checksum, args.threads)
     print(stats.summary())
     verdict = ("verified" if ok
                else f"MISMATCH vs {workload.expected(args.threads)!r}")
     print(f"checksum:            {checksum!r} ({verdict})")
+    _ledger_append(args, source="cli.bench", workload=workload.name,
+                   config=config, stats=stats, program=program,
+                   checksum=checksum, verified=ok, wall_seconds=wall)
     return 0 if ok else 1
+
+
+def cmd_diff(args):
+    from repro.obs.ledger import LedgerError, RunLedger
+    from repro.obs.report import render_diff
+
+    ledger = RunLedger(args.ledger)
+    try:
+        record_a = ledger.resolve(args.run_a)
+        record_b = ledger.resolve(args.run_b)
+    except LedgerError as error:
+        raise CliError(str(error)) from error
+    print(render_diff(record_a, record_b))
+    return 0
+
+
+def cmd_check(args):
+    from repro.obs import sentry
+    from repro.obs import ledger as ledger_mod
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise CliError(
+            f"cannot read baseline {args.baseline!r}: {error}") from error
+    matrix = sentry.MATRIX
+    if args.entry:
+        known = {label for label, _, _ in sentry.MATRIX}
+        unknown = sorted(set(args.entry) - known)
+        if unknown:
+            raise CliError(f"unknown matrix entr"
+                           f"{'y' if len(unknown) == 1 else 'ies'} "
+                           f"{', '.join(unknown)}; valid: "
+                           f"{', '.join(sorted(known))}")
+        matrix = [m for m in sentry.MATRIX if m[0] in set(args.entry)]
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else sentry.DEFAULT_TOLERANCE)
+    measured = sentry.measure(args.reps, matrix=matrix)
+    cycle_failures, perf_failures = sentry.check_baseline(
+        measured, baseline, tolerance=tolerance)
+    if not args.no_ledger:
+        try:
+            ledger_mod.RunLedger(args.ledger).append_all(
+                sentry.ledger_records(
+                    measured, source="cli.check",
+                    timestamp=ledger_mod.utc_now_iso(), matrix=matrix))
+        except OSError as error:
+            print(f"repro: warning: could not append to run ledger: "
+                  f"{error}", file=sys.stderr)
+    for failure in cycle_failures:
+        print(f"CYCLES: {failure}", file=sys.stderr)
+    for failure in perf_failures:
+        tag = ("THROUGHPUT (advisory)" if args.advisory_throughput
+               else "THROUGHPUT")
+        print(f"{tag}: {failure}", file=sys.stderr)
+    fatal = bool(cycle_failures) or (
+        bool(perf_failures) and not args.advisory_throughput)
+    if fatal:
+        print(f"repro check FAILED: {len(cycle_failures)} cycle-count "
+              f"mismatch(es), {len(perf_failures)} throughput "
+              f"regression(s)", file=sys.stderr)
+        return 1
+    note = (f", {len(perf_failures)} advisory throughput warning(s)"
+            if perf_failures else "")
+    print(f"repro check ok: {len(measured)} matrix entries, simulated "
+          f"cycle counts bit-identical to {args.baseline}{note}")
+    return 0
+
+
+def cmd_report(args):
+    from repro.harness.diskcache import default_path as cache_default
+    from repro.harness.parallel import GridError
+    from repro.obs.ledger import LedgerError
+    from repro.obs.report import run_report
+
+    disk_cache = None if args.fresh else cache_default()
+    try:
+        text = run_report(
+            args.experiment, ledger=args.ledger,
+            workloads=args.workloads or None,
+            threads=tuple(args.threads) if args.threads else None,
+            workers=args.workers, disk_cache=disk_cache,
+            instrument=args.instrument, csv_path=args.csv)
+    except (GridError, LedgerError, ValueError, KeyError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise CliError(str(message)) from error
+    print(text)
+    return 0
 
 
 def cmd_workloads(args):
@@ -246,11 +407,13 @@ def build_parser():
     p_run.add_argument("--functional", action="store_true",
                        help="use the architectural simulator only")
     _machine_args(p_run)
+    _ledger_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser("bench", help="run a paper workload")
     p_bench.add_argument("name")
     _machine_args(p_bench)
+    _ledger_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_trace = sub.add_parser(
@@ -275,9 +438,68 @@ def build_parser():
     p_stats.add_argument("--breakdown", action="store_true",
                          help="print the per-cycle stall-attribution "
                               "table")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the full machine-readable record "
+                              "(stats, attribution, metrics) instead of "
+                              "the text summary")
     p_stats.add_argument("--align", action="store_true")
     _machine_args(p_stats)
     p_stats.set_defaults(func=cmd_stats)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two recorded runs from the ledger")
+    p_diff.add_argument("run_a", metavar="RUNA",
+                        help="'last', 'last~N', or a run-id prefix")
+    p_diff.add_argument("run_b", metavar="RUNB",
+                        help="'last', 'last~N', or a run-id prefix")
+    p_diff.add_argument("--ledger", default=None, metavar="PATH",
+                        help="ledger file (default: REPRO_LEDGER or "
+                             "~/.cache/repro-sdsp/ledger.jsonl)")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_check = sub.add_parser(
+        "check", help="regression sentry over the profiling matrix")
+    p_check.add_argument("--baseline", required=True,
+                        help="committed baseline (BENCH_engine.json)")
+    p_check.add_argument("--reps", type=int, default=3,
+                         help="timed repetitions per entry, best-of "
+                              "(default 3)")
+    p_check.add_argument("--tolerance", type=float, default=None,
+                         help="allowed relative throughput drop "
+                              "(default 0.30)")
+    p_check.add_argument("--advisory-throughput", action="store_true",
+                         help="report throughput regressions as warnings "
+                              "only (shared/noisy runners); cycle-count "
+                              "mismatches stay fatal")
+    p_check.add_argument("--entry", action="append", metavar="LABEL",
+                         help="check only this matrix entry (repeatable)")
+    _ledger_args(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate a paper figure's table from the ledger")
+    p_report.add_argument("--experiment", required=True,
+                          choices=["threads", "fetch", "su", "cache"],
+                          help="which paper experiment to regenerate")
+    p_report.add_argument("--workloads", nargs="+", metavar="NAME",
+                          help="workload subset (default: all paper "
+                               "workloads)")
+    p_report.add_argument("--threads", nargs="+", type=int, metavar="N",
+                          help="thread counts to sweep (experiment-"
+                               "specific default)")
+    p_report.add_argument("--csv", default=None, metavar="PATH",
+                          help="also write the table as CSV")
+    p_report.add_argument("--workers", type=int, default=None,
+                          help="parallel worker processes")
+    p_report.add_argument("--instrument", action="store_true",
+                          help="attach attribution + metrics to every "
+                               "grid point (richer ledger records)")
+    p_report.add_argument("--fresh", action="store_true",
+                          help="bypass the disk result cache")
+    p_report.add_argument("--ledger", default=None, metavar="PATH",
+                          help="ledger file (default: REPRO_LEDGER or "
+                               "~/.cache/repro-sdsp/ledger.jsonl)")
+    p_report.set_defaults(func=cmd_report)
 
     p_list = sub.add_parser("workloads", help="list the paper's workloads")
     p_list.set_defaults(func=cmd_workloads)
@@ -291,6 +513,13 @@ def main(argv=None):
     except CliError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reader went away (`repro diff | head`); die quietly, and hand
+        # the interpreter a dead stdout so its exit-time flush cannot
+        # raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.faults.inject import (
     InjectedFault,
     InjectedHang,
     corrupt_file,
+    perturb_cycles,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "InjectedFault",
     "InjectedHang",
     "corrupt_file",
+    "perturb_cycles",
 ]

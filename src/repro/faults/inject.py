@@ -30,6 +30,7 @@ sensible per-job timeout.
 """
 
 import hashlib
+import json
 import os
 import pathlib
 import time
@@ -187,3 +188,30 @@ def corrupt_file(path, mode="truncate", seed=0):
         raise ValueError(f"unknown corruption mode {mode!r}; "
                          f"expected truncate, garbage, or binary")
     return path
+
+
+def perturb_cycles(path, seed=0, section="cycles"):
+    """Deterministically corrupt one simulated cycle count in ``path``.
+
+    ``path`` is a JSON document with a ``section`` object mapping
+    labels to integer cycle counts (``BENCH_engine.json``'s shape). One
+    label — chosen by a seeded hash — gets its count nudged by a
+    seeded, non-zero delta in ``[-8, +8]``, modelling a silent
+    timing-model drift that the regression sentry (``repro check``)
+    must catch via its bit-identical-cycles assertion. Returns
+    ``(label, old, new)``; same seed, same file → same corruption.
+    """
+    path = pathlib.Path(path)
+    data = json.loads(path.read_text())
+    counts = data[section]
+    if not isinstance(counts, dict) or not counts:
+        raise ValueError(f"{path} has no {section!r} object to corrupt")
+    labels = sorted(counts)
+    label = labels[int(_chance(seed, 0, 0, "perturb-label") * len(labels))]
+    delta = 1 + int(_chance(seed, 0, 0, "perturb-delta") * 8)
+    if _chance(seed, 0, 0, "perturb-sign") < 0.5:
+        delta = -delta
+    old = counts[label]
+    counts[label] = old + delta
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return label, old, counts[label]

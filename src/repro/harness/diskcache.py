@@ -280,7 +280,11 @@ class DiskResultCache:
         """Atomically persist, merging with concurrent writers first.
 
         The re-read + merge + replace runs under an advisory file lock,
-        so two processes saving different keys both survive.
+        so two processes saving different keys both survive. Entries
+        are written sorted by key (and objects with sorted fields), so
+        the file's bytes depend only on its *contents* — never on the
+        completion order of a parallel sweep — and two cache files can
+        be diffed line-for-line.
         """
         if not self._dirty:
             return
@@ -292,14 +296,15 @@ class DiskResultCache:
                     self._entries[key] = payload
                     self._engines[key] = disk_engines.get(key)
             envelopes = {
-                key: {"engine": self._engines.get(key), "payload": payload}
-                for key, payload in self._entries.items()}
+                key: {"engine": self._engines.get(key),
+                      "payload": self._entries[key]}
+                for key in sorted(self._entries)}
             document = {"format": FILE_FORMAT, "entries": envelopes}
             fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
                                        prefix=self.path.name, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(document, handle)
+                    json.dump(document, handle, sort_keys=True)
                 os.replace(tmp, self.path)
             except BaseException:
                 try:

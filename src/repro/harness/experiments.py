@@ -14,6 +14,21 @@ DEFAULT_THREADS = 4
 THREAD_RANGE = (1, 2, 3, 4, 5, 6)
 SU_DEPTHS = (32, 64, 128, 256)
 
+#: Thread counts swept by ``repro report --experiment threads`` — one
+#: wider than the paper's Figures 5-6 range, to show the post-peak
+#: deterioration continuing at 7-8 resident threads.
+REPORT_THREADS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: ``repro report`` experiment name -> the EXPERIMENTS.md section the
+#: regenerated table corresponds to (kept in sync with that file's
+#: headings; see docs/OBSERVABILITY.md).
+FIGURE_INDEX = {
+    "threads": "Figures 5-6, cycles/IPC vs number of threads",
+    "fetch": "Figures 3-4, fetch policies",
+    "su": "Figures 9-10, scheduling-unit depth",
+    "cache": "Figures 7-8 and Table 2, cache study",
+}
+
 
 def base_case(runner, workload):
     """The paper's base case: single-threaded run, default hardware."""

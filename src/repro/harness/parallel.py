@@ -57,7 +57,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import DeadlockError
-from repro.harness.runner import Runner
+from repro.harness.runner import Runner, program_hash
 
 #: Environment variable pinning the worker-pool size (clamped to >= 1).
 ENV_WORKERS = "REPRO_WORKERS"
@@ -455,9 +455,43 @@ class _GridExecutor:
         self.results[job.index] = failure
 
 
+def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
+                   aligned):
+    """Append one ledger record per successful grid result.
+
+    Records are sorted by ``(workload, config_fingerprint)`` — not by
+    completion order, which varies run to run with pool scheduling — so
+    two invocations of the same grid append identical ledgers and the
+    files diff cleanly.
+    """
+    from repro.obs import ledger as ledger_mod
+
+    if not isinstance(ledger, ledger_mod.RunLedger):
+        ledger = ledger_mod.RunLedger(ledger)
+    if timestamp is None:
+        timestamp = ledger_mod.utc_now_iso()
+    keyed = []
+    for index, result in enumerate(results):
+        if result is None or not result.ok:
+            continue
+        workload, config = resolved[index]
+        fingerprint = ledger_mod.config_fingerprint(config)
+        program = workload.program(config.nthreads, aligned=aligned)
+        record = ledger_mod.make_record(
+            source="run_grid", workload=workload.name, config=config,
+            stats=result.stats, timestamp=timestamp,
+            program_hash=program_hash(program), checksum=result.checksum,
+            verified=result.verified, wall_seconds=result.wall_seconds,
+            cached=index in cached_indices)
+        keyed.append(((workload.name, fingerprint), record))
+    keyed.sort(key=lambda pair: pair[0])
+    ledger.append_all([record for _, record in keyed])
+
+
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
              aligned=False, instrument=False, *, timeout=None, retries=2,
-             backoff=0.25, strict=False, fault_plan=None):
+             backoff=0.25, strict=False, fault_plan=None, ledger=None,
+             ledger_timestamp=None):
     """Simulate every ``(workload, config)`` job, in parallel, surviving
     worker crashes, hangs, and transient failures.
 
@@ -500,6 +534,17 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     fault_plan:
         Optional :class:`repro.faults.FaultPlan`; workers fire its
         deterministic fault rules (testing hook).
+    ledger:
+        Optional :class:`repro.obs.ledger.RunLedger` (or path-like).
+        Every successful result — cache hits included, marked
+        ``cached`` — is appended as one durable JSONL record, sorted by
+        ``(workload, config_fingerprint)`` so repeat runs of the same
+        grid produce byte-identical ledger suffixes. Appended even when
+        ``strict`` raises, mirroring the disk cache's
+        partial-persistence guarantee.
+    ledger_timestamp:
+        Timestamp stored on every record this call appends (defaults to
+        UTC now); pass a fixed value for reproducible ledgers.
 
     Returns
     -------
@@ -522,6 +567,7 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
 
     rebuilder = Runner(verify=verify)
     results = [None] * len(resolved)
+    cached_indices = set()
     pending = []  # _Job records for uncached work
     for index, (workload, config) in enumerate(resolved):
         key = None
@@ -532,9 +578,13 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
             if payload is not None:
                 results[index] = rebuilder._from_payload(
                     workload, config, payload)
+                cached_indices.add(index)
                 continue
         pending.append(_Job(index, key, workload.name, config.to_spec()))
     if not pending:
+        if ledger is not None:
+            _ledger_append(ledger, resolved, results, cached_indices,
+                           ledger_timestamp, aligned)
         return results
 
     if workers is None:
@@ -549,6 +599,9 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         failures = executor.run_inline(pending)
     else:
         failures = executor.run_pool(pending)
+    if ledger is not None:
+        _ledger_append(ledger, resolved, results, cached_indices,
+                       ledger_timestamp, aligned)
     if strict and failures:
         raise GridError(failures, results)
     return results

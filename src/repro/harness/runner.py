@@ -11,6 +11,7 @@ The runner caches at two levels:
 """
 
 import hashlib
+import time
 
 from repro.core import MachineConfig, PipelineSim
 from repro.core.pipeline import ENGINE_VERSION
@@ -19,20 +20,29 @@ from repro.harness.diskcache import DiskResultCache
 
 
 class RunResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
 
-    __slots__ = ("workload", "nthreads", "stats", "checksum", "verified")
+    ``wall_seconds`` is the host time the simulation took when it was
+    actually executed (``None`` only for legacy cached payloads); a
+    cache replay keeps the original measurement, so ledger records of
+    cached results still report the throughput of the real run.
+    """
+
+    __slots__ = ("workload", "nthreads", "stats", "checksum", "verified",
+                 "wall_seconds")
 
     #: Discriminator mirrored by ``JobFailure.ok = False``: grid callers
     #: can filter mixed result lists with ``r.ok`` instead of isinstance.
     ok = True
 
-    def __init__(self, workload, nthreads, stats, checksum, verified):
+    def __init__(self, workload, nthreads, stats, checksum, verified,
+                 wall_seconds=None):
         self.workload = workload
         self.nthreads = nthreads
         self.stats = stats
         self.checksum = checksum
         self.verified = verified
+        self.wall_seconds = wall_seconds
 
     @property
     def cycles(self):
@@ -153,7 +163,9 @@ class Runner:
         if self.instrument:
             attr = sim.attach_attribution()
             sim.attach_metrics()
+        start = time.perf_counter()
         stats = sim.run()
+        wall_seconds = time.perf_counter() - start
         if self.instrument:
             attr.verify(stats)  # attribution must reconcile exactly
         checksum = sim.mem(workload.checksum_address(nthreads))
@@ -162,7 +174,8 @@ class Runner:
             raise AssertionError(
                 f"{workload.name} with {nthreads} threads computed "
                 f"{checksum!r}, expected {workload.expected(nthreads)!r}")
-        result = RunResult(workload, nthreads, stats, checksum, verified)
+        result = RunResult(workload, nthreads, stats, checksum, verified,
+                           wall_seconds)
         self._cache[key] = result
         if disk is not None:
             disk.put(disk_key, self._to_payload(result))
@@ -192,6 +205,7 @@ class Runner:
             "stats": result.stats.to_dict(),
             "checksum": result.checksum,
             "verified": result.verified,
+            "wall_seconds": result.wall_seconds,
         }
 
     def _from_payload(self, workload, config, payload):
@@ -202,4 +216,5 @@ class Runner:
                 f"{workload.name}: cached run recorded a checksum "
                 f"mismatch ({payload['checksum']!r})")
         return RunResult(workload, payload["nthreads"], stats,
-                         payload["checksum"], verified)
+                         payload["checksum"], verified,
+                         payload.get("wall_seconds"))

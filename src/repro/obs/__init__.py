@@ -1,16 +1,21 @@
-"""Observability: typed pipeline events, stall attribution, metrics.
+"""Observability: typed pipeline events, stall attribution, metrics,
+and the cross-run ledger/report layer.
 
 Import surface is deliberately small: :mod:`repro.obs.events` and
 :mod:`repro.obs.attribution` are dependency-free plain-data modules, so
-the pipeline can import them without cycles; the heavier sinks live in
-:mod:`repro.obs.metrics` and :mod:`repro.obs.export` and are imported
-on demand (``attach_metrics``, the CLI, the exporters' users).
+the pipeline can import them without cycles; the heavier pieces live in
+:mod:`repro.obs.metrics`, :mod:`repro.obs.export`,
+:mod:`repro.obs.ledger` (append-only JSONL run ledger),
+:mod:`repro.obs.report` (``repro diff`` / ``repro report``), and
+:mod:`repro.obs.sentry` (the noise-aware regression gate) and are
+imported on demand (``attach_metrics``, the CLI, the exporters' users).
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, the stall
-categories, and the zero-overhead contract.
+categories, the zero-overhead contract, and the ledger schema.
 """
 
 from repro.obs.attribution import CATEGORIES, StallAttribution, format_breakdown
+from repro.obs.ledger import RunLedger, make_record
 from repro.obs.events import (
     CommitEvent,
     DecodeEvent,
@@ -35,9 +40,11 @@ __all__ = [
     "FetchEvent",
     "IssueEvent",
     "MaskEvent",
+    "RunLedger",
     "SquashEvent",
     "StallAttribution",
     "StallEvent",
     "WritebackEvent",
     "format_breakdown",
+    "make_record",
 ]

@@ -47,6 +47,18 @@ def pytest_runtest_call(item):
         signal.signal(signal.SIGALRM, previous)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_durable_state(tmp_path, monkeypatch):
+    """Point the run ledger and disk cache at per-test temp files.
+
+    ``repro run``/``bench``/``check``/``report`` write durable state to
+    ``~/.cache/repro-sdsp`` by default; tests must never touch (or be
+    influenced by) the developer's real ledger and cache.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.jsonl"))
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "test-cache.json"))
+
+
 @pytest.fixture
 def quick_config():
     """A default machine config with a small cycle guard."""

@@ -172,3 +172,80 @@ def test_stats_plain_source_file(asm_file, capsys):
     assert main(["stats", asm_file]) == 0
     out = capsys.readouterr().out
     assert "cycles" in out and "cycle attribution" not in out
+
+
+def test_stats_json_is_a_ledger_record(capsys):
+    import json
+
+    assert main(["stats", "LL2", "--threads", "2", "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["source"] == "cli.stats"
+    assert record["workload"] == "LL2"
+    assert record["nthreads"] == 2
+    assert record["schema"] == 1
+    assert record["run_id"] and record["config_fingerprint"]
+    assert sum(record["attribution"].values()) > 0
+    assert record["metrics"]["samples"] > 0
+    # --json keeps the raw histograms alongside the summary.
+    assert record["stats"]["interval_metrics"] is not None
+
+
+def test_run_and_bench_append_ledger(asm_file, tmp_path):
+    from repro.obs.ledger import RunLedger
+
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["run", asm_file, "--ledger", str(ledger)]) == 0
+    assert main(["bench", "LL3", "--threads", "2",
+                 "--ledger", str(ledger)]) == 0
+    run_rec, bench_rec = RunLedger(ledger).records()
+    assert run_rec["source"] == "cli.run"
+    assert run_rec["wall_seconds"] > 0 and run_rec["cycles_per_sec"] > 0
+    assert bench_rec["source"] == "cli.bench"
+    assert bench_rec["workload"] == "LL3"
+    assert bench_rec["verified"] is True
+    assert bench_rec["checksum"]
+
+
+def test_no_ledger_flag_skips_append(tmp_path):
+    from repro.obs.ledger import RunLedger
+
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["bench", "LL2", "--ledger", str(ledger),
+                 "--no-ledger"]) == 0
+    assert len(RunLedger(ledger).records()) == 0
+
+
+def test_report_cli_end_to_end(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    csv = tmp_path / "out.csv"
+    assert main(["report", "--experiment", "threads",
+                 "--workloads", "LL2", "--threads", "1", "2",
+                 "--workers", "1", "--ledger", str(ledger),
+                 "--csv", str(csv), "--fresh"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC vs thread count" in out
+    assert csv.read_text().startswith("benchmark,1T,2T")
+
+
+def test_report_unknown_workload_exits_2(capsys):
+    assert main(["report", "--experiment", "threads",
+                 "--workloads", "Bogus", "--threads", "1"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_diff_cli_on_two_runs(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["bench", "LL2", "--ledger", str(ledger)]) == 0
+    assert main(["bench", "LL2", "--threads", "2",
+                 "--ledger", str(ledger)]) == 0
+    capsys.readouterr()
+    assert main(["diff", "last~1", "last", "--ledger", str(ledger)]) == 0
+    out = capsys.readouterr().out
+    assert "run A:" in out and "run B:" in out
+    assert "counter deltas" in out
+
+
+def test_diff_empty_ledger_exits_2(tmp_path, capsys):
+    ledger = tmp_path / "empty.jsonl"
+    assert main(["diff", "last~1", "last", "--ledger", str(ledger)]) == 2
+    assert "no records" in capsys.readouterr().err

@@ -207,3 +207,18 @@ def test_stats_dict_roundtrip():
     assert rebuilt.to_dict() == stats.to_dict()
     assert rebuilt.ipc == stats.ipc
     assert rebuilt.fu_busy == stats.fu_busy
+
+
+def test_save_is_byte_deterministic(tmp_path):
+    """Same entries, any insertion order -> identical file bytes."""
+    a = DiskResultCache(tmp_path / "a.json", autosave=False)
+    b = DiskResultCache(tmp_path / "b.json", autosave=False)
+    entries = [("k2", {"z": 1, "a": 2}), ("k1", {"m": 3}), ("k0", 7)]
+    for key, value in entries:
+        a.put(key, value)
+    for key, value in reversed(entries):
+        b.put(key, value)
+    a.save()
+    b.save()
+    assert (tmp_path / "a.json").read_bytes() == \
+        (tmp_path / "b.json").read_bytes()

@@ -1,17 +1,22 @@
 #!/usr/bin/env python
 """Engine throughput profiler: simulated cycles per wall-clock second.
 
-Runs a fixed matrix of (workload, configuration) pairs sampled from the
-paper's experiment sweeps — the cache study's small caches with long
+Runs the fixed measurement matrix defined in
+:mod:`repro.obs.sentry` — (workload, configuration) pairs sampled from
+the paper's experiment sweeps: the cache study's small caches with long
 miss penalties, the SU-depth study's 256-entry scheduling unit, and the
 fetch-policy study — plus a default-machine point, and reports how many
 *simulated* cycles the engine retires per second of host time.
 
 ``BENCH_engine.json`` (repo root) records two sets of numbers for this
 matrix: ``seed_cycles_per_sec``, measured once on the pre-fast-path
-engine, and ``cycles_per_sec``, the current engine. The file also pins
-each entry's simulated cycle count, so an accidental timing-model
-change (without an ``ENGINE_VERSION`` bump) fails loudly here too.
+engine, and ``cycles_per_sec``, the current engine — stamped with the
+git SHA and Python version that produced them. The file also pins each
+entry's simulated cycle count, so an accidental timing-model change
+(without an ``ENGINE_VERSION`` bump) fails loudly here too. Every
+profiling run is additionally appended to the run ledger
+(:mod:`repro.obs.ledger`; disable with ``--no-ledger``), so the full
+throughput history survives — the summary file keeps only the latest.
 
 Usage::
 
@@ -28,85 +33,20 @@ Usage::
 
 Timings on shared CI hosts are noisy; the smoke gate therefore measures
 best-of-``--reps`` after a warm-up run and allows a generous 30% band.
+(``repro check`` is the same comparison with per-flag control; both go
+through :func:`repro.obs.sentry.check_baseline`.)
 """
 
 import argparse
 import json
 import math
 import pathlib
+import platform
 import sys
-import time
 
-from repro.core.config import CacheConfig, MachineConfig
-from repro.core.pipeline import PipelineSim
-from repro.workloads import ALL_WORKLOADS
+from repro.obs.sentry import MATRIX, SMOKE_TOLERANCE, measure, check_baseline
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-
-#: Allowed relative cycles/sec drop before ``--smoke`` fails.
-SMOKE_TOLERANCE = 0.30
-
-#: The fixed measurement matrix: name -> (workload, config kwargs).
-#: Keep in sync with the committed ``BENCH_engine.json``.
-MATRIX = [
-    ("LL2-1t-default", "LL2", dict(nthreads=1)),
-    ("LL2-1t-mp64", "LL2",
-     dict(nthreads=1,
-          cache=CacheConfig(size_bytes=256, assoc=1, miss_penalty=64))),
-    ("LL2-4t-mp64", "LL2",
-     dict(nthreads=4,
-          cache=CacheConfig(size_bytes=256, assoc=1, miss_penalty=64))),
-    ("LL5-1t-mp32", "LL5",
-     dict(nthreads=1,
-          cache=CacheConfig(size_bytes=512, assoc=2, miss_penalty=32))),
-    ("Matrix-8t-su256-mp32", "Matrix",
-     dict(nthreads=8, su_entries=256,
-          cache=CacheConfig(size_bytes=512, assoc=2, miss_penalty=32))),
-    ("LL3-8t-icount-su256", "LL3",
-     dict(nthreads=8, fetch_policy="icount", su_entries=256)),
-]
-
-
-def _workload(name):
-    for workload in ALL_WORKLOADS:
-        if workload.name == name:
-            return workload
-    raise KeyError(name)
-
-
-def _null_sink(event):
-    """Cheapest possible event consumer, for overhead measurement."""
-
-
-def measure(reps, instrument=False):
-    """Best-of-``reps`` cycles/sec for every matrix entry.
-
-    With ``instrument=True``, every run carries the full observability
-    load: stall attribution, interval metrics, and an event-bus sink
-    that discards events — the worst realistic case for hot-loop
-    overhead. Cycle counts must match the uninstrumented engine
-    exactly; only wall-clock throughput may differ.
-    """
-    out = {}
-    for label, wname, kwargs in MATRIX:
-        config = MachineConfig(**kwargs)
-        program = _workload(wname).program(config.nthreads)
-        PipelineSim(program, config).run()  # warm caches and JIT-free warmup
-        best = 0.0
-        cycles = None
-        for _ in range(reps):
-            sim = PipelineSim(program, config)
-            if instrument:
-                sim.attach_attribution()
-                sim.attach_metrics()
-                sim.add_sink(_null_sink)
-            start = time.perf_counter()
-            stats = sim.run()
-            elapsed = time.perf_counter() - start
-            cycles = stats.cycles
-            best = max(best, cycles / elapsed)
-        out[label] = {"cycles": cycles, "cycles_per_sec": round(best)}
-    return out
 
 
 def geomean(values):
@@ -150,21 +90,9 @@ def smoke(measured, bench):
     if not bench:
         print(f"error: {BENCH_PATH} missing or unreadable", file=sys.stderr)
         return 2
-    failures = []
-    committed = bench.get("cycles_per_sec", {})
-    cycle_counts = bench.get("cycles", {})
-    for label, entry in measured.items():
-        want_cycles = cycle_counts.get(label)
-        if want_cycles is not None and entry["cycles"] != want_cycles:
-            failures.append(
-                f"{label}: simulated {entry['cycles']} cycles, "
-                f"committed {want_cycles} — timing model changed; "
-                "bump ENGINE_VERSION and re-run --update")
-        base = committed.get(label)
-        if base and entry["cycles_per_sec"] < base * (1 - SMOKE_TOLERANCE):
-            failures.append(
-                f"{label}: {entry['cycles_per_sec']:,} cyc/s is more than "
-                f"{SMOKE_TOLERANCE:.0%} below committed {base:,}")
+    cycle_failures, perf_failures = check_baseline(
+        measured, bench, tolerance=SMOKE_TOLERANCE)
+    failures = cycle_failures + perf_failures
     if failures:
         print("perf smoke FAILED:", file=sys.stderr)
         for failure in failures:
@@ -175,10 +103,19 @@ def smoke(measured, bench):
     return 0
 
 
+def _stamp_provenance(bench):
+    """Record which source tree and interpreter produced the numbers."""
+    from repro.obs.ledger import git_sha
+
+    bench["git_sha"] = git_sha()
+    bench["python"] = platform.python_version()
+
+
 def update(measured, bench):
     from repro.core.pipeline import ENGINE_VERSION
     bench = bench or {}
     bench["engine_version"] = ENGINE_VERSION
+    _stamp_provenance(bench)
     bench["cycles"] = {k: v["cycles"] for k, v in measured.items()}
     bench["cycles_per_sec"] = {k: v["cycles_per_sec"]
                                for k, v in measured.items()}
@@ -187,16 +124,16 @@ def update(measured, bench):
         ratios = [v["cycles_per_sec"] / seed[k]
                   for k, v in measured.items() if k in seed]
         bench["speedup_vs_seed_geomean"] = round(geomean(ratios), 2)
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
     print(f"wrote {BENCH_PATH}")
 
 
 def update_instrumented(measured_off, measured_on, bench):
     """Record instrumentation-off vs -on throughput.
 
-    Writes only the ``instrumentation`` section; the committed
-    ``cycles_per_sec`` baseline (measured on a specific host) is left
-    untouched so the smoke gate keeps comparing like with like.
+    Writes only the ``instrumentation`` section (plus provenance); the
+    committed ``cycles_per_sec`` baseline (measured on a specific host)
+    is left untouched so the smoke gate keeps comparing like with like.
     """
     bench = bench or {}
     for label in measured_off:
@@ -206,6 +143,7 @@ def update_instrumented(measured_off, measured_on, bench):
                   f"{measured_off[label]['cycles']} — observability must "
                   "not change timing", file=sys.stderr)
             return 1
+    _stamp_provenance(bench)
     ratios = [measured_on[k]["cycles_per_sec"] / v["cycles_per_sec"]
               for k, v in measured_off.items()]
     bench["instrumentation"] = {
@@ -215,10 +153,25 @@ def update_instrumented(measured_off, measured_on, bench):
                               for k, v in measured_on.items()},
         "on_over_off_geomean": round(geomean(ratios), 3),
     }
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
     print(f"wrote {BENCH_PATH} (instrumentation section; "
           f"on/off geomean {bench['instrumentation']['on_over_off_geomean']})")
     return 0
+
+
+def append_ledger(measured, ledger_path=None):
+    """Append this profiling run to the durable run ledger."""
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.sentry import ledger_records
+
+    ledger = ledger_mod.RunLedger(ledger_path)
+    try:
+        ledger.append_all(ledger_records(
+            measured, source="perf_profile",
+            timestamp=ledger_mod.utc_now_iso()))
+    except OSError as error:
+        print(f"warning: could not append to run ledger: {error}",
+              file=sys.stderr)
 
 
 def main(argv=None):
@@ -239,14 +192,25 @@ def main(argv=None):
                         help="measure both off and on, record the "
                              "'instrumentation' section in "
                              "BENCH_engine.json")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="run-ledger file (default: REPRO_LEDGER or "
+                             "~/.cache/repro-sdsp/ledger.jsonl)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the ledger")
     args = parser.parse_args(argv)
     if args.update_instrumented:
         measured_off = measure(args.reps)
         measured_on = measure(args.reps, instrument=True)
+        if not args.no_ledger:
+            append_ledger(measured_off, args.ledger)
         return update_instrumented(measured_off, measured_on, load_bench())
     measured = measure(args.reps, instrument=args.instrumented)
+    if not args.no_ledger:
+        append_ledger(measured, args.ledger)
     if args.json:
-        print(json.dumps(measured, indent=1))
+        slim = {label: {k: v for k, v in entry.items() if k != "stats"}
+                for label, entry in measured.items()}
+        print(json.dumps(slim, indent=1, sort_keys=True))
         return 0
     bench = load_bench()
     if args.smoke:
