@@ -82,6 +82,20 @@ class FuPool:
                 return True
         return False
 
+    def next_free(self, fu_index, now):
+        """Next-event horizon: earliest cycle a unit of the class frees.
+
+        Part of the fast-forward protocol (``docs/PERFORMANCE.md``):
+        only unpipelined classes (the dividers) can stay busy across
+        cycles, so this is the minimum of their per-instance release
+        times. Pipelined classes are per-cycle resources — they are
+        always free at the next fresh cycle — and only appear here
+        defensively.
+        """
+        if self._occupancy[fu_index] == 1:
+            return now + 1
+        return min(self._free_at[fu_index])
+
     def flush_stats(self):
         """Copy per-instance busy counters into the stats object."""
         for cls, busy in zip(FU_CLASSES, self._busy):

@@ -77,6 +77,12 @@ class FetchUnit:
         #: Callable tid -> in-flight instruction count, set by the
         #: pipeline; used by the ICOUNT policy.
         self.occupancy_of = None
+        #: Per-tid in-flight counts (the scheduling unit's ``_tid_count``
+        #: list), set by the pipeline. When present, the ICOUNT policy
+        #: reads it directly instead of calling ``occupancy_of`` — valid
+        #: because ``select_thread`` only runs while the fetch buffer is
+        #: empty, when SU occupancy *is* the thread's full occupancy.
+        self.tid_counts = None
         #: Event bus (shared with the pipeline); None unless a sink is
         #: attached, in which case mask transitions are emitted.
         self.bus = None
@@ -85,6 +91,12 @@ class FetchUnit:
         # a squash before the next fetch), so the items can be pooled
         # instead of allocated per instruction.
         self._item_pool = [FetchedInstr(0, None) for _ in range(BLOCK)]
+        # Static decoded-block cache: starting PC -> (items, next_pc,
+        # halts) for blocks whose walk is input-independent (no
+        # conditional branch, no jalr), or None for blocks that must be
+        # re-walked each fetch because they consult predictor state.
+        # ``False`` marks a PC not yet classified.
+        self._static_blocks = {}
 
     # ------------------------------------------------------ thread choice
 
@@ -98,26 +110,48 @@ class FetchUnit:
         periodic commit pattern can phase-lock against the counter and
         starve half the threads indefinitely.
         """
+        # ``thread.fetchable(cycle)`` is inlined below (attribute tests
+        # on the hot path); keep the conditions in sync.
         n = self.config.nthreads
         if self.policy is FetchPolicy.TRUE_RR:
             thread = self.threads[self._rr_counter % n]
             self._rr_counter += 1
-            return thread if thread.fetchable(cycle) else None
+            if (thread.done or thread.fetch_halted
+                    or thread.jalr_wait is not None
+                    or cycle < thread.stall_until):
+                return None
+            return thread
         if self.policy is FetchPolicy.MASKED_RR:
+            masked = self.masked
             for offset in range(n):
                 thread = self.threads[(self._rr_pointer + offset) % n]
-                if thread.fetchable(cycle) and not self.masked[thread.tid]:
+                if not (thread.done or thread.fetch_halted
+                        or thread.jalr_wait is not None
+                        or cycle < thread.stall_until
+                        or masked[thread.tid]):
                     self._rr_pointer = (thread.tid + 1) % n
                     return thread
             return None
         if self.policy is FetchPolicy.ICOUNT:
             best = None
             best_key = None
-            for offset in range(n):
-                thread = self.threads[(self._rr_pointer + offset) % n]
-                if not thread.fetchable(cycle):
+            counts = self.tid_counts
+            occupancy_of = self.occupancy_of
+            pointer = self._rr_pointer
+            # Rotation without a per-candidate modulo: walk the thread
+            # list from the pointer, then wrap once.
+            threads = self.threads
+            for thread in threads[pointer:] + threads[:pointer]:
+                if (thread.done or thread.fetch_halted
+                        or thread.jalr_wait is not None
+                        or cycle < thread.stall_until):
                     continue
-                key = self.occupancy_of(thread.tid) if self.occupancy_of else 0
+                if counts is not None:
+                    key = counts[thread.tid]
+                elif occupancy_of is not None:
+                    key = occupancy_of(thread.tid)
+                else:
+                    key = 0
                 if best is None or key < best_key:
                     best, best_key = thread, key
             if best is not None:
@@ -139,6 +173,40 @@ class FetchUnit:
             if self.threads[candidate].fetchable(cycle):
                 self._current = candidate
                 return
+
+    def fetch_horizon(self, now):
+        """Next-event horizon of the front end (fast-forward protocol).
+
+        Returns ``now`` when some thread could be selected this cycle
+        (the front end is not provably stalled), the earliest
+        ``stall_until`` among otherwise-fetchable threads when every
+        candidate is waiting out an instruction-cache refill, or
+        ``None`` when no *timer* can unblock fetch — the remaining
+        blockers (mask updates, jalr resolution, redirects) all ride
+        writeback or commit events, which the pipeline's horizon covers
+        separately.
+
+        Under masked round-robin a fetchable-but-masked thread is
+        treated as unfetchable: masks only change at commit time, so a
+        span in which every candidate is masked is inert until the next
+        commit-enabling event, and ``select_thread`` provably mutates
+        nothing meanwhile (the rotation pointer moves only on an actual
+        selection).
+        """
+        masked = self.masked if self.policy is FetchPolicy.MASKED_RR else None
+        horizon = None
+        for thread in self.threads:
+            if (thread.done or thread.fetch_halted
+                    or thread.jalr_wait is not None):
+                continue
+            if masked is not None and masked[thread.tid]:
+                continue
+            stall = thread.stall_until
+            if stall <= now:
+                return now
+            if horizon is None or stall < horizon:
+                horizon = stall
+        return horizon
 
     def note_idle_cycles(self, cycles):
         """Replay ``cycles`` consecutive idle :meth:`select_thread` calls.
@@ -185,10 +253,26 @@ class FetchUnit:
         control transfer, at a ``halt``, or at a ``jalr`` whose target
         the BTB cannot supply (the thread then stalls until the ``jalr``
         resolves).
+
+        Blocks that contain no conditional branch and no ``jalr`` are
+        *static*: the walk depends only on the starting PC (``j``/``jal``
+        are always predicted taken with a fixed target), so it is done
+        once per run and memoized — a fetch then costs one dict hit.
+        Blocks that consult predictor state are re-walked every time.
         """
+        pc = thread.pc
+        cached = self._static_blocks.get(pc, False)
+        if cached is False:
+            cached = self._build_static_block(pc)
+            self._static_blocks[pc] = cached
+        if cached is not None:
+            items, next_pc, halts = cached
+            if halts:
+                thread.fetch_halted = True
+            thread.pc = next_pc
+            return items
         instructions = self.program.instructions
         limit = len(instructions)
-        pc = thread.pc
         room = BLOCK - pc % BLOCK
         pool = self._item_pool
         count = 0
@@ -237,3 +321,40 @@ class FetchUnit:
         if thread.jalr_wait is None:
             thread.pc = pc
         return pool[:count]
+
+    def _build_static_block(self, pc):
+        """Memoizable walk from ``pc``, or ``None`` if input-dependent.
+
+        Mirrors the dynamic walk in :meth:`fetch_block` for the static
+        opcode kinds only (plain, ``j``/``jal``, ``halt``, running off
+        the program): the resulting items, next PC, and halt flag are
+        identical every time this PC starts a block. The cached
+        ``FetchedInstr`` objects are immutable once built — decode only
+        reads them — so one list is shared across every fetch.
+        """
+        instructions = self.program.instructions
+        limit = len(instructions)
+        items = []
+        halts = False
+        for _ in range(BLOCK - pc % BLOCK):
+            if not 0 <= pc < limit:
+                halts = True
+                break
+            instr = instructions[pc]
+            kind = instr.info.ctl_kind
+            if kind == 1 or kind == 3:  # branch / jalr: predictor state
+                return None
+            item = FetchedInstr(pc, instr)
+            items.append(item)
+            if kind == 0:
+                pc += 1
+            elif kind == 2:  # j / jal: statically predicted taken
+                item.predicted_taken = True
+                item.predicted_target = instr.imm
+                pc = instr.imm
+                break
+            else:  # halt
+                halts = True
+                pc += 1
+                break
+        return items, pc, halts

@@ -40,18 +40,27 @@ change the outcome:
 * Ordering and occupancy questions are answered by the scheduling
   unit's incremental indexes instead of per-query scans (see
   :mod:`repro.core.scheduler`).
-* ``run()`` fast-forwards across provably idle cycles: when nothing can
-  issue, write back, commit, decode, fetch, or drain, the clock jumps
-  straight to the next event (earliest pending result, store-buffer
-  drain slot, or a thread's instruction-cache refill) and the skipped cycles
-  are charged to the same stall counters the per-cycle loop would have
-  incremented. ``MachineConfig(fast_forward=False)`` disables the jump;
-  both modes produce bit-identical statistics (enforced by
+* ``run()`` fast-forwards across provably inert cycles — every stall
+  class, not just full idle. When nothing can write back, commit,
+  decode, fetch, or drain this cycle, and a side-effect-free mirror of
+  the issue scan proves no ready entry can issue either, the machine
+  state is frozen and the clock jumps straight to the earliest
+  next-event horizon: the writeback calendar's next completion (which
+  subsumes dcache-miss service), the store buffer's drain slot, the
+  earliest divider release, or a thread's instruction-cache refill.
+  Each component exposes its own horizon (``FuPool.next_free``,
+  ``StoreBuffer.next_drain_cycle``, ``FetchUnit.fetch_horizon``,
+  ``DataCache.refill_horizon``); the skipped cycles are charged to the
+  same stall counters — and, via the attribution layer, the same stall
+  *class* — the per-cycle loop would have used.
+  ``MachineConfig(fast_forward=False)`` disables the jump; both modes
+  produce bit-identical statistics (enforced by
   ``tests/test_golden_cycles.py`` and the differential suite).
 
 Bump :data:`ENGINE_VERSION` whenever a change alters any simulated
-cycle count; the persistent result cache (``repro.harness.diskcache``)
-keys on it.
+cycle count — or deliberately, to invalidate persisted results after a
+major engine rework; the persistent result cache
+(``repro.harness.diskcache``) keys on it.
 """
 
 import gc
@@ -62,10 +71,11 @@ from repro.core.branch import BranchPredictor
 from repro.core.config import CommitPolicy, FetchPolicy, MachineConfig
 from repro.core.execute import FuPool
 from repro.core.fetch import FetchUnit, ThreadContext
-from repro.core.scheduler import DONE, ISSUED, SchedulingUnit, SUEntry, WAITING
+from repro.core.scheduler import (DONE, ISSUED, SchedulingUnit, SUBlock,
+                                  SUEntry, WAITING)
 from repro.core.stats import SimStats
 from repro.isa.opcodes import FU_CLASSES, FuClass, Op
-from repro.isa.registers import RegisterFile
+from repro.isa.registers import REG_ZERO, RegisterFile
 from repro.isa.semantics import branch_taken, build_exec
 from repro.mem.cache import DataCache
 from repro.mem.memory import MainMemory
@@ -79,14 +89,24 @@ from repro.obs.events import (CommitEvent, DecodeEvent, FetchEvent,
 
 #: Simulator timing-model version. Bump on ANY change that can alter a
 #: simulated cycle count; persisted results keyed on an older version
-#: are then ignored rather than silently reused.
-ENGINE_VERSION = 2
+#: are then ignored rather than silently reused. Version 3 is the
+#: next-event fast-forward engine — cycle counts are unchanged, but the
+#: bump retires every cache entry produced before its safety nets were
+#: in place.
+ENGINE_VERSION = 3
 
 _NO_FORWARD = object()
 
 _DIV_CLASSES = (FuClass.IDIV, FuClass.FPDIV)
 
 _LOAD_FU_BIT = 1 << FU_CLASSES.index(FuClass.LOAD)
+
+# Issue-condition flags observed by the skip engine's horizon scan.
+# Mirror repro.obs.attribution's _F_SYNC/_F_DCACHE/_F_FU (the pipeline
+# only imports plain-data event types from repro.obs; keep in sync).
+_F_SYNC = 1
+_F_DCACHE = 2
+_F_FU = 4
 
 
 class DeadlockError(RuntimeError):
@@ -146,6 +166,9 @@ class PipelineSim:
         self.su = SchedulingUnit(cfg)
         self.fetch_unit = FetchUnit(cfg, program, self.predictor, self.threads)
         self.fetch_unit.occupancy_of = self._thread_occupancy
+        # ICOUNT fast path: select_thread only runs while the fetch
+        # buffer is empty, when SU occupancy is the full occupancy.
+        self.fetch_unit.tid_counts = self.su._tid_count
         self.fu_pool = FuPool(cfg, self.stats)
         self.fetch_buffer = None  # (ThreadContext, [FetchedInstr])
         self.cycle = 0
@@ -233,6 +256,7 @@ class PipelineSim:
         nthreads = self.config.nthreads
         fast_forward = self._fast_forward
         step = self.step
+        skip = self._skip_inert_cycles
         # No-progress watchdog: a machine where no block commits for
         # hang_cycles is wedged (the longest legitimate commit gap —
         # cache-miss pileups, divide chains, SU drain — is orders of
@@ -244,6 +268,25 @@ class PipelineSim:
         progress_cycle = 0
         # The run loop allocates at a high, steady rate with almost no
         # garbage surviving a cycle; collector passes only add overhead.
+        # The fused loop below pre-binds every per-cycle attribute and
+        # inlines the body of ``step``; it is cycle-for-cycle identical
+        # to calling ``step`` in a loop and is used only when ``step``
+        # is the stock method (tests replace it to model wedges).
+        fused = ("step" not in self.__dict__
+                 and type(self).step is PipelineSim.step)
+        su = self.su
+        store_buffer = self.store_buffer
+        cache = self.cache
+        memory = self.memory
+        attr = self._attr
+        metrics = self._metrics
+        wb_cycles = self._wb_cycles
+        bypassing = self._bypassing
+        commit = self._commit
+        issue = self._issue
+        writeback = self._writeback
+        decode = self._decode
+        fetch = self._fetch
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -254,8 +297,35 @@ class PipelineSim:
                         f"no completion after {max_cycles} cycles; "
                         f"threads: {self.threads}")
                 if fast_forward:
-                    self._skip_idle_cycles()
-                step()
+                    skip()
+                if fused:
+                    # Inlined ``step`` — keep in sync with it.
+                    now = self.cycle
+                    committed = commit(now)
+                    if bypassing:
+                        if wb_cycles and wb_cycles[0] <= now:
+                            writeback(now)
+                        if su.issuable:
+                            issue(now)
+                    else:
+                        if su.issuable:
+                            issue(now)
+                        if wb_cycles and wb_cycles[0] <= now:
+                            writeback(now)
+                    if self.fetch_buffer is not None:
+                        decode(now)
+                    if self.fetch_buffer is None:
+                        fetch(now)
+                    if store_buffer.entries:
+                        store_buffer.drain_one(cache, memory, now)
+                    stats.su_occupancy_sum += su._entry_count
+                    if attr is not None:
+                        attr.close_cycle(self, now, committed)
+                    if metrics is not None:
+                        metrics.on_cycle(self, now)
+                    self.cycle = now + 1
+                else:
+                    step()
                 if hang_limit:
                     committed = stats.committed
                     if committed != last_committed:
@@ -297,7 +367,8 @@ class PipelineSim:
         store_buffer = self.store_buffer
         if store_buffer.entries:
             store_buffer.drain_one(self.cache, self.memory, now)
-        self.stats.su_occupancy_sum += su._entry_count
+        stats = self.stats
+        stats.su_occupancy_sum += su._entry_count
         attr = self._attr
         if attr is not None:
             attr.close_cycle(self, now, committed)
@@ -306,57 +377,69 @@ class PipelineSim:
             metrics.on_cycle(self, now)
         self.cycle = now + 1
 
-    def _skip_idle_cycles(self):
+    def _skip_inert_cycles(self):
         """Jump the clock over cycles in which nothing can happen.
 
-        A cycle is provably idle when the issue stage has no candidate,
-        the earliest pending result is not due, the store buffer cannot
-        drain, no block can commit, and the front end is stalled (fetch
-        buffer blocked on a full SU / scoreboard hazard, or no thread
-        fetchable). Machine state can then only change at the next
-        event: the earliest pending result, the store buffer's drain
-        slot, or a thread's instruction-cache refill completing. The
-        skipped cycles are charged to exactly the stall counters the
-        per-cycle loop would have incremented, so statistics are
-        bit-identical either way (``MachineConfig(fast_forward=False)``
-        runs the slow path).
+        A cycle is provably inert when the earliest pending result is
+        not due, the front end is stalled (fetch buffer blocked on a
+        full SU / scoreboard hazard, or no thread fetchable — masked
+        threads count as unfetchable), the store buffer cannot drain,
+        no block can commit, and :meth:`_issue_horizon` proves no ready
+        entry can issue. Machine state is then frozen: the only
+        time-dependent predicates are the ones the next-event horizon
+        covers — the earliest pending result (which subsumes dcache
+        refill completions), the store buffer's drain slot, the
+        earliest unpipelined-divider release, and a thread's
+        instruction-cache refill. The clock jumps to the minimum of
+        those, for *every* stall class (fu-latency, dcache-miss,
+        commit-wait, sync), and the skipped cycles are charged to
+        exactly the stall counters — and attribution class — the
+        per-cycle loop would have used, so statistics are bit-identical
+        either way (``MachineConfig(fast_forward=False)`` runs the slow
+        path).
         """
-        su = self.su
-        if su.issuable:
-            return
         now = self.cycle
         pending = self._wb_cycles
         if pending and pending[0] <= now:
             return
-        store_buffer = self.store_buffer
-        draining = bool(store_buffer.entries)
-        if draining and store_buffer.next_drain_cycle(now) <= now:
-            return
         fetch_idle = self.fetch_buffer is None
         if fetch_idle:
-            for thread in self.threads:
-                if thread.fetchable(now):
-                    return
-        elif not self._decode_blocked():
-            return
+            fetch_horizon = self.fetch_unit.fetch_horizon(now)
+            if fetch_horizon is not None and fetch_horizon <= now:
+                return  # a thread could be selected this cycle
+        else:
+            fetch_horizon = None
+            if not self._decode_blocked():
+                return
+        store_buffer = self.store_buffer
+        drain_at = None
+        if store_buffer.entries:
+            drain_at = store_buffer.next_drain_cycle(now)
+            if drain_at <= now:
+                return
+        su = self.su
         index = su.choose_commit_block(self._commit_blocks)
         if index is not None:
             block = su.blocks[index]
             free = store_buffer.depth - len(store_buffer.entries)
             if block.store_count <= free:
                 return  # a block will commit this cycle
+        flags = 0
+        fu_free_at = None
+        if su.issuable:
+            blocked = self._issue_horizon(now)
+            if blocked is None:
+                return  # some ready entry can issue this cycle
+            fu_free_at, flags = blocked
         # Nothing can happen before the next event.
         target = pending[0] if pending else None
-        if draining:
-            drain_at = store_buffer.next_drain_cycle(now)
-            if target is None or drain_at < target:
-                target = drain_at
-        if fetch_idle:
-            for thread in self.threads:
-                stall = thread.stall_until
-                if stall > now and not thread.done and (
-                        target is None or stall < target):
-                    target = stall
+        if drain_at is not None and (target is None or drain_at < target):
+            target = drain_at
+        if fu_free_at is not None and (target is None or fu_free_at < target):
+            target = fu_free_at
+        if fetch_horizon is not None and (target is None
+                                          or fetch_horizon < target):
+            target = fetch_horizon
         if target is None or target <= now:
             return
         skipped = target - now
@@ -372,19 +455,114 @@ class PipelineSim:
         stats.su_occupancy_sum += su._entry_count * skipped
         attr = self._attr
         if attr is not None:
-            attr.note_skip(self, skipped, su_full, fetch_idle)
+            attr.note_skip(self, now, skipped, su_full, fetch_idle, flags)
         metrics = self._metrics
         if metrics is not None:
             metrics.note_skip(self, skipped)
         bus = self._bus
         if bus is not None:
-            bus.emit(StallEvent(now, "fetch-idle" if fetch_idle
-                                else "decode-stall", skipped))
+            bus.emit(StallEvent(
+                now, self._span_reason(now, su_full, fetch_idle, flags),
+                skipped))
         self.cycle = target
+
+    def _issue_horizon(self, now):
+        """Prove no ready entry can issue at ``now``, without issuing.
+
+        A side-effect-free mirror of one :meth:`_issue` scan: it visits
+        exactly the candidates issue would visit and applies the same
+        per-entry checks against pristine cycle-start state (the first
+        issuing candidate exists for :meth:`_issue` iff it exists
+        here). Returns ``None`` as soon as any candidate could issue;
+        otherwise ``(fu_free_at, flags)``, where ``fu_free_at`` is the
+        earliest release among blocking unpipelined units (``None`` if
+        no candidate is FU-blocked) and ``flags`` carries the stall
+        classes observed. Pipelined classes are always free at a fresh
+        cycle, as is cache port arbitration, so the only cross-cycle FU
+        state is the dividers' — which is exactly what
+        :meth:`FuPool.next_free` reports.
+        """
+        pool = self.fu_pool
+        fu_free_at = None
+        flags = 0
+        remaining = self.su.issuable
+        for entry in self.su.ready_entries():
+            info = entry.info
+            fu_index = info.fu_index
+            if not pool.available(fu_index, now):
+                flags |= _F_FU
+                free_at = pool.next_free(fu_index, now)
+                if fu_free_at is None or free_at < fu_free_at:
+                    fu_free_at = free_at
+            elif not info.is_load:
+                return None
+            else:
+                why = self._load_blocked(entry, now)
+                if not why:
+                    return None
+                flags |= why
+            remaining -= 1
+            if remaining == 0:
+                break
+        return fu_free_at, flags
+
+    def _load_blocked(self, entry, now):
+        """Why a ready load cannot issue at ``now`` — 0 when it can.
+
+        Mirrors the decision chain of :meth:`_issue_load` (including
+        the address computation, which issue would redo identically)
+        without performing the access. The cache-port checks can never
+        fail at a fresh cycle — ports are per-cycle state — and are
+        kept only to stay textually parallel with the issue path.
+        """
+        entry.addr = addr = int(entry.vals[0]) + entry.instr.imm
+        su = self.su
+        if su.older_mem_unissued(entry):
+            return _F_SYNC
+        if entry.instr.op is Op.TAS:
+            if not su.all_older_done(entry):
+                return _F_SYNC
+            if self.store_buffer.has_match(addr):
+                return _F_SYNC
+            if not self.cache.can_access(now):
+                return _F_DCACHE
+            return 0
+        if su.older_store_conflict(entry):
+            return _F_SYNC
+        if self._forward_value(entry) is not _NO_FORWARD:
+            return 0
+        if not 0 <= addr < self.memory.size:
+            return 0
+        if not self.cache.can_access(now):
+            return _F_DCACHE
+        return 0
+
+    def _span_reason(self, now, su_full, fetch_idle, flags):
+        """Stall-class label for a skipped span's :class:`StallEvent`.
+
+        Same priority order as the attribution layer's
+        ``close_cycle``/``note_skip``, computed from engine state alone
+        so event sinks see per-class reasons even without attribution
+        attached.
+        """
+        if su_full:
+            return "su-full"
+        if flags & _F_SYNC:
+            return "sync"
+        if flags & _F_DCACHE or self.cache.refill_horizon(now) is not None:
+            return "dcache-miss"
+        if flags & _F_FU:
+            return "fu-contention"
+        if self._wb_cycles and not self.su.issuable:
+            return "fu-contention"
+        if fetch_idle:
+            return "fetch-idle"
+        return "decode-stall"
 
     def _decode_blocked(self):
         """Would :meth:`_decode` stall this cycle (no state change)?"""
-        if self.su.full:
+        su = self.su
+        if len(su.blocks) >= su.capacity_blocks:
             return True
         if self._renaming:
             return False
@@ -417,60 +595,115 @@ class PipelineSim:
         slot was lost to a full scheduling unit, 0 otherwise (the stall
         attribution's ``commit_status``)."""
         su = self.su
-        index = su.choose_commit_block(self._commit_blocks)
-        if index is not None:
-            block = su.blocks[index]
-            # A block additionally needs store-buffer room for its stores.
-            store_buffer = self.store_buffer
-            if block.store_count > store_buffer.depth - len(store_buffer.entries):
-                index = None
+        blocks = su.blocks
+        # Flexible Result Commit, inlined from su.choose_commit_block
+        # (keep in sync): the first ready bottom block whose thread is
+        # not represented among the lower, uncommitted blocks.
+        limit = len(blocks)
+        commit_blocks = self._commit_blocks
+        if commit_blocks < limit:
+            limit = commit_blocks
+        index = None
+        blocked = 0  # bitmask of thread ids seen in lower blocks
+        for i in range(limit):
+            block = blocks[i]
+            bit = 1 << block.tid
+            if not block.not_done and not blocked & bit:
+                # A block additionally needs store-buffer room for its
+                # stores.
+                store_buffer = self.store_buffer
+                if block.store_count <= (store_buffer.depth
+                                         - len(store_buffer.entries)):
+                    index = i
+                break
+            blocked |= bit
         if index is None:
-            if su.full:
+            if len(blocks) >= su.capacity_blocks:
                 self.stats.su_stall_cycles += 1
                 status = 2
             else:
                 status = 0
         else:
-            self._commit_block(su.pop_block(index))
+            self._commit_block(index)
             status = 1
         if self._masked:
             self._update_masks(now)
         return status
 
-    def _commit_block(self, block):
+    def _commit_block(self, index):
+        """Retire the block at ``index``: one walk does both the
+        scheduling-unit removal (inlined from ``SchedulingUnit.pop_block``
+        — keep in sync) and the architectural commit actions."""
+        su = self.su
+        block = su.blocks.pop(index)
+        tid = block.tid
+        entries = block.entries
         now = self.cycle
         bus = self._bus
         if bus is not None:
-            bus.emit(CommitEvent(now, block.tid,
-                                 [entry.tag for entry in block.entries]))
+            bus.emit(CommitEvent(now, tid, [entry.tag for entry in entries]))
         stats = self.stats
         regs = self.regs
+        # Register-write fast path: commit-time destinations come from
+        # validated programs, so the bounds checks of ``regs.write``
+        # reduce to the r0 discard and the 32-bit integer wrap. Keep in
+        # sync with RegisterFile.write.
+        regs_arr = regs._regs
+        reg_base = tid * regs.k
         predictor = self.predictor
-        per_thread = stats.committed_per_thread
-        for entry in block.entries:
-            if entry.dest is not None and entry.result is not None:
-                regs.write(entry.tid, entry.dest, entry.result)
+        by_tag = su.by_tag
+        stores = su._tid_stores[tid]
+        writers = su._writers[tid]
+        for entry in entries:
+            by_tag.pop(entry.tag, None)
+            dest = entry.dest
+            if dest is not None:
+                stack = writers[dest]
+                if stack:
+                    # Per-thread in-order commit: the committed entry is
+                    # the oldest surviving writer, i.e. the stack head.
+                    if stack[0] is entry:
+                        del stack[0]
+                    else:
+                        try:
+                            stack.remove(entry)
+                        except ValueError:
+                            pass
+                result = entry.result
+                if result is not None and dest != REG_ZERO:
+                    if isinstance(result, int):
+                        result &= 0xFFFFFFFF
+                        if result >= 0x80000000:
+                            result -= 0x100000000
+                    regs_arr[reg_base + dest] = result
             info = entry.info
-            if info.is_store and not info.is_load:
-                sbe = self.store_buffer.allocate(entry.tag, entry.tid,
-                                                 entry.addr, entry.vals[1])
-                sbe.committed = True
+            if info.is_store:
+                stores.remove(entry)
+                if not info.is_load:
+                    sbe = self.store_buffer.allocate(entry.tag, tid,
+                                                     entry.addr,
+                                                     entry.vals[1])
+                    sbe.committed = True
             elif info.is_control:
                 if info.is_branch:
-                    predictor.update(entry.pc, entry.actual_taken, entry.tid)
+                    predictor.update(entry.pc, entry.actual_taken, tid)
                 else:
                     op = entry.instr.op
                     if op is Op.JALR:
                         predictor.btb_update(entry.pc, entry.actual_target,
-                                             entry.tid)
+                                             tid)
                     elif op is Op.HALT:
-                        thread = self.threads[entry.tid]
+                        thread = self.threads[tid]
                         if not thread.done:
                             thread.done = True
                             self._halted += 1
-                        stats.finish_cycle[entry.tid] = now
-            per_thread[entry.tid] += 1
-        stats.committed += len(block.entries)
+                        stats.finish_cycle[tid] = now
+            entry.block = None  # break the entry<->block reference cycle
+        count = len(entries)
+        su._entry_count -= count
+        su._tid_count[tid] -= count
+        stats.committed_per_thread[tid] += count
+        stats.committed += count
         stats.commit_blocks += 1
 
     def _update_masks(self, now):
@@ -502,6 +735,8 @@ class PipelineSim:
         buckets = self._wb_buckets
         cycles = self._wb_cycles
         heappop = heapq.heappop
+        bus = self._bus
+        su = self.su
         while cycles and cycles[0] <= now:
             cyc = cycles[0]
             bucket = buckets[cyc]
@@ -513,7 +748,37 @@ class PipelineSim:
                 if entry.squashed:
                     continue  # squashed results vanish; no budget spent
                 budget -= 1
-                self._complete(entry, now)
+                # Completion, inlined from the former _complete helper
+                # (this loop is its only caller).
+                entry.state = DONE
+                entry.block.not_done -= 1
+                if bus is not None:
+                    bus.emit(WritebackEvent(now, entry.tag, entry.tid))
+                waiters = entry.waiters
+                if waiters:
+                    entry.waiters = None
+                    result = entry.result
+                    for waiter, index in waiters:
+                        if waiter.squashed:
+                            continue
+                        waiter.vals[index] = result
+                        pending = waiter.pending - 1
+                        waiter.pending = pending
+                        if not pending:
+                            # The waiter is necessarily still WAITING:
+                            # it could not have issued with an operand
+                            # outstanding.
+                            su.issuable += 1
+                            winfo = waiter.info
+                            wblock = waiter.block
+                            wblock.ready += 1
+                            wblock.ready_fu_mask |= 1 << winfo.fu_index
+                            if winfo.is_load:
+                                wblock.ready_loads += 1
+                            elif winfo.is_store:
+                                wblock.ready_stores += 1
+                if entry.info.is_control:
+                    self._resolve_control(entry, now)
                 if budget == 0:
                     break
             if i >= n:
@@ -525,34 +790,6 @@ class PipelineSim:
                 buckets[cyc] = bucket[i:]
             if budget == 0:
                 return
-
-    def _complete(self, entry, now):
-        entry.state = DONE
-        entry.block.not_done -= 1
-        bus = self._bus
-        if bus is not None:
-            bus.emit(WritebackEvent(now, entry.tag, entry.tid))
-        waiters = entry.waiters
-        if waiters:
-            entry.waiters = None
-            su = self.su
-            result = entry.result
-            for waiter, index in waiters:
-                if waiter.squashed:
-                    continue
-                waiter.vals[index] = result
-                pending = waiter.pending - 1
-                waiter.pending = pending
-                if not pending:
-                    # The waiter is necessarily still WAITING: it could
-                    # not have issued with an operand outstanding.
-                    su.issuable += 1
-                    wblock = waiter.block
-                    wblock.ready += 1
-                    if waiter.info.is_load:
-                        wblock.ready_loads += 1
-        if entry.info.is_control:
-            self._resolve_control(entry, now)
 
     def _resolve_control(self, entry, now):
         op = entry.instr.op
@@ -590,10 +827,25 @@ class PipelineSim:
         # Local count of candidates lets the scan stop as soon as every
         # issuable entry has been visited instead of walking the whole SU.
         remaining = self.su.issuable
+        su = self.su
         pool = self.fu_pool
         latency = self._latency
         nthreads = self._nthreads
         attr = self._attr
+        stats = self.stats
+        bus = self._bus
+        wb_buckets = self._wb_buckets
+        wb_cycles = self._wb_cycles
+        heappush = heapq.heappush
+        # FuPool internals, inlined for the pipelined-class fast path.
+        # Pipelined classes (occupancy 1) are fully described by the
+        # per-cycle acquire counter; only the dividers take the generic
+        # ``acquire`` path. Keep in sync with FuPool.acquire/available.
+        occupancy = pool._occupancy
+        used_cycle = pool._used_cycle
+        used = pool._used
+        fu_counts = pool._counts
+        fu_busy = pool._busy
         # Per-cycle short-circuit masks. A functional-unit class with no
         # free unit stays exhausted for the rest of the cycle, and once a
         # thread's oldest waiting memory op fails to issue, every younger
@@ -602,7 +854,7 @@ class PipelineSim:
         # would have concluded, without paying for them.
         fu_blocked = 0  # bitmask over fu_index
         mem_blocked = 0  # bitmask over tid
-        for block in self.su.blocks:
+        for block in su.blocks:
             ready = block.ready
             if not ready:
                 continue
@@ -610,9 +862,23 @@ class PipelineSim:
             # this thread are already doomed (no load unit free, or an
             # older memory op failed), the whole block can be skipped.
             ready_loads = block.ready_loads
+            block_tbit = 1 << block.tid
             if ready_loads == ready and (
                     fu_blocked & _LOAD_FU_BIT
-                    or mem_blocked & (1 << block.tid)):
+                    or mem_blocked & block_tbit):
+                remaining -= ready
+                if remaining == 0:
+                    return
+                continue
+            if not block.ready_fu_mask & ~fu_blocked:
+                # Every candidate's unit class is already exhausted this
+                # cycle (the mask is a conservative superset), so the
+                # per-entry visits could only re-conclude "blocked"
+                # without setting new flags. Mirror their one side
+                # effect: a doomed ready memory op blocks the thread's
+                # younger loads for the rest of the scan.
+                if ready_loads or block.ready_stores:
+                    mem_blocked |= block_tbit
                 remaining -= ready
                 if remaining == 0:
                     return
@@ -621,15 +887,20 @@ class PipelineSim:
                 if entry.state != WAITING or entry.pending:
                     continue
                 remaining -= 1
+                ready -= 1
                 issued = False
                 info = entry.info
                 fu_index = info.fu_index
                 bit = 1 << fu_index
                 if info.is_load:
+                    # The load/store class is always pipelined, so its
+                    # availability is just the per-cycle counter.
                     tbit = 1 << entry.tid
                     if mem_blocked & tbit:
                         pass
-                    elif fu_blocked & bit or not pool.available(fu_index, now):
+                    elif fu_blocked & bit or (
+                            used_cycle[fu_index] == now
+                            and used[fu_index] >= fu_counts[fu_index]):
                         if not fu_blocked & bit and attr is not None:
                             attr.flag_fu()
                         fu_blocked |= bit
@@ -644,7 +915,18 @@ class PipelineSim:
                         # loads (in-order memory issue), not its stores.
                         mem_blocked |= 1 << entry.tid
                 else:
-                    unit = pool.acquire(fu_index, now)
+                    if occupancy[fu_index] == 1:
+                        if used_cycle[fu_index] != now:
+                            used_cycle[fu_index] = now
+                            used[fu_index] = 0
+                        unit = used[fu_index]
+                        if unit < fu_counts[fu_index]:
+                            used[fu_index] = unit + 1
+                            fu_busy[fu_index][unit] += 1
+                        else:
+                            unit = None
+                    else:
+                        unit = pool.acquire(fu_index, now)
                     if unit is None:
                         fu_blocked |= bit
                         if info.is_store:
@@ -663,7 +945,31 @@ class PipelineSim:
                             if fn is None:
                                 fn = build_exec(instr)
                             entry.result = fn(entry.vals, entry.tid, nthreads)
-                        self._schedule(entry, now + latency[fu_index], unit)
+                        # Inlined from _schedule (keep in sync). Loads
+                        # never reach this arm, so the only memory ops
+                        # here are stores.
+                        ready_cycle = now + latency[fu_index]
+                        entry.state = ISSUED
+                        su.issuable -= 1
+                        block.ready -= 1
+                        if info.is_mem:
+                            su._tid_mem_waiting[entry.tid].remove(entry)
+                            block.ready_stores -= 1
+                        wb_bucket = wb_buckets.get(ready_cycle)
+                        if wb_bucket is None:
+                            wb_buckets[ready_cycle] = [entry]
+                            heappush(wb_cycles, ready_cycle)
+                        else:
+                            wb_bucket.append(entry)
+                        stats.issued += 1
+                        if bus is not None:
+                            instr = entry.instr
+                            text = instr._text
+                            if text is None:
+                                text = instr.text()
+                            bus.emit(IssueEvent(now, entry.tag, entry.tid,
+                                                entry.pc, fu_index, unit,
+                                                ready_cycle, text))
                         issued = True
                 if issued:
                     budget -= 1
@@ -671,14 +977,17 @@ class PipelineSim:
                         return
                 if remaining == 0:
                     return
-            if remaining == 0:
-                return
+                if ready == 0:
+                    break  # no more candidates in this block
 
     def _issue_load(self, entry, now, latency):
-        entry.addr = int(entry.vals[0]) + entry.instr.imm
+        entry.addr = addr = int(entry.vals[0]) + entry.instr.imm
         su = self.su
         attr = self._attr
-        if su.older_mem_unissued(entry):
+        # In-order memory issue, inlined from su.older_mem_unissued:
+        # the thread's oldest waiting memory op must be this entry.
+        head = su._tid_mem_waiting[entry.tid][0]
+        if head is not entry and head.order < entry.order:
             if attr is not None:
                 attr.flag_sync()
             return False
@@ -687,7 +996,7 @@ class PipelineSim:
                 if attr is not None:
                     attr.flag_sync()
                 return False
-            if self.store_buffer.has_match(entry.addr):
+            if self.store_buffer.has_match(addr):
                 if attr is not None:
                     attr.flag_sync()
                 return False
@@ -696,41 +1005,63 @@ class PipelineSim:
                     attr.flag_dcache()
                 return False
             unit = self.fu_pool.acquire(entry.info.fu_index, now)
-            ready = self.cache.access(entry.addr, now) + latency
+            ready = self.cache.access(addr, now) + latency
             if attr is not None and ready > now + latency:
                 attr.note_miss(ready)
-            entry.result = self.memory.read(entry.addr)
-            self.memory.write(entry.addr, 1)
+            entry.result = self.memory.read(addr)
+            self.memory.write(addr, 1)
             self._schedule(entry, ready, unit)
             return True
-        if su.older_store_conflict(entry):
-            if attr is not None:
-                attr.flag_sync()
-            return False
-        forwarded = self._forward_value(entry)
-        if forwarded is not _NO_FORWARD:
-            unit = self.fu_pool.acquire(entry.info.fu_index, now)
-            entry.result = forwarded
-            self._schedule(entry, now + latency, unit)
+        # One walk over the thread's older in-flight stores covers both
+        # the restricted load/store conflict check and the SU leg of
+        # store-to-load forwarding (inlined from older_store_conflict
+        # and _forward_value; keep in sync). A store that matches the
+        # address and has not executed — or whose address is still
+        # unresolved — blocks the load; otherwise the youngest match
+        # forwards its value and is guaranteed DONE.
+        order = entry.order
+        best = None
+        for store in su._tid_stores[entry.tid]:
+            if store.order >= order:
+                break  # program-ordered: the rest are younger
+            st_addr = store.addr
+            if store.state != DONE and (st_addr is None or st_addr == addr):
+                if attr is not None:
+                    attr.flag_sync()
+                return False
+            if st_addr == addr:
+                best = store
+        pool = self.fu_pool
+        fu_index = entry.info.fu_index
+        if best is not None:
+            entry.result = best.vals[1]
+            self._schedule(entry, now + latency, pool.acquire(fu_index, now))
             return True
-        if not 0 <= entry.addr < self.memory.size:
+        for sbe in reversed(self.store_buffer.entries):
+            if sbe.addr == addr:
+                entry.result = sbe.value
+                self._schedule(entry, now + latency,
+                               pool.acquire(fu_index, now))
+                return True
+        memory = self.memory
+        if not 0 <= addr < memory.size:
             # A wrong-path load may compute a garbage address; hardware
             # does not fault speculatively, so return a dummy value. A
             # wild load on the *correct* path is a program bug that the
             # functional simulator reports as a MemoryFault.
-            unit = self.fu_pool.acquire(entry.info.fu_index, now)
             entry.result = 0
-            self._schedule(entry, now + latency, unit)
+            self._schedule(entry, now + latency, pool.acquire(fu_index, now))
             return True
-        if not self.cache.can_access(now):
+        cache = self.cache
+        if not cache.can_access(now):
             if attr is not None:
                 attr.flag_dcache()
             return False
-        unit = self.fu_pool.acquire(entry.info.fu_index, now)
-        ready = self.cache.access(entry.addr, now) + latency
+        unit = pool.acquire(fu_index, now)
+        ready = cache.access(addr, now) + latency
         if attr is not None and ready > now + latency:
             attr.note_miss(ready)
-        entry.result = self.memory.read(entry.addr)
+        entry.result = memory.read(addr)
         self._schedule(entry, ready, unit)
         return True
 
@@ -785,6 +1116,8 @@ class PipelineSim:
             su._tid_mem_waiting[entry.tid].remove(entry)
             if info.is_load:
                 block.ready_loads -= 1
+            else:
+                block.ready_stores -= 1
         bucket = self._wb_buckets.get(ready_cycle)
         if bucket is None:
             self._wb_buckets[ready_cycle] = [entry]
@@ -794,9 +1127,12 @@ class PipelineSim:
         self.stats.issued += 1
         bus = self._bus
         if bus is not None:
+            instr = entry.instr
+            text = instr._text
+            if text is None:
+                text = instr.text()
             bus.emit(IssueEvent(self.cycle, entry.tag, entry.tid, entry.pc,
-                                info.fu_index, unit, ready_cycle,
-                                entry.instr.text()))
+                                info.fu_index, unit, ready_cycle, text))
 
     # ------------------------------------------------------------- decode
 
@@ -804,7 +1140,7 @@ class PipelineSim:
         if self.fetch_buffer is None:
             return
         su = self.su
-        if su.full:
+        if len(su.blocks) >= su.capacity_blocks:
             self.stats.decode_stall_cycles += 1
             return
         thread, items = self.fetch_buffer
@@ -812,18 +1148,34 @@ class PipelineSim:
         if not self._renaming and self._scoreboard_hazard(tid, items):
             self.stats.decode_stall_cycles += 1
             return
-        block = su.new_block(tid)
+        # Inlined from su.new_block / SUBlock.__init__ (keep in sync);
+        # the capacity check above already guarantees room.
+        block = SUBlock.__new__(SUBlock)
+        block.seq = seq = su._next_seq
+        su._next_seq = seq + 1
+        block.tid = tid
+        block.entries = []
+        block.ready = 0
+        block.ready_loads = 0
+        block.ready_stores = 0
+        block.ready_fu_mask = 0
+        block.not_done = 0
+        block.store_count = 0
+        su.blocks.append(block)
         next_tag = self._next_tag
-        rename = self._rename_operands
-        # ``su.add`` and ``SUEntry.__init__`` are inlined here (the
-        # per-instruction method calls are measurable); keep them in
-        # sync with their scheduler counterparts.
+        # ``su.add``, ``SUEntry.__init__`` and ``_rename_operands`` are
+        # inlined here (the per-instruction method calls are
+        # measurable); keep them in sync with their scheduler
+        # counterparts and with the standalone rename method.
         new_entry = SUEntry.__new__
         entries = block.entries
         by_tag = su.by_tag
         tid_stores = su._tid_stores[tid]
         mem_waiting = su._tid_mem_waiting[tid]
         writers = su._writers[tid]
+        regs = self.regs
+        regs_arr = regs._regs
+        reg_base = tid * regs.k
         seq8 = block.seq << 3
         issuable_add = 0
         for item in items:
@@ -848,7 +1200,34 @@ class PipelineSim:
             entry.predicted_taken = item.predicted_taken
             entry.predicted_target = item.predicted_target
             next_tag += 1
-            rename(entry)  # sets vals and pending
+            # Operand rename, inlined from _rename_operands: pick up
+            # each source from the youngest in-flight writer (value if
+            # DONE, a wakeup subscription otherwise) or the register
+            # file (r0 reads as zero).
+            sources = instr._sources
+            if sources is None:
+                sources = instr.sources()
+            entry.vals = vals = [None] * len(sources)
+            pending = 0
+            for index, reg in enumerate(sources):
+                if reg == 0:
+                    vals[index] = 0
+                    continue
+                stack = writers[reg]
+                if not stack:
+                    vals[index] = regs_arr[reg_base + reg]
+                    continue
+                producer = stack[-1]
+                if producer.state == DONE:
+                    vals[index] = producer.result
+                else:
+                    pending += 1
+                    waiters = producer.waiters
+                    if waiters is None:
+                        producer.waiters = [(entry, index)]
+                    else:
+                        waiters.append((entry, index))
+            entry.pending = pending
             entry.order = seq8 | len(entries)
             entry.block = block
             entries.append(entry)
@@ -861,8 +1240,11 @@ class PipelineSim:
                 mem_waiting.append(entry)
             if not entry.pending:
                 issuable_add += 1
+                block.ready_fu_mask |= 1 << info.fu_index
                 if info.is_load:
                     block.ready_loads += 1
+                elif info.is_store:
+                    block.ready_stores += 1
             if dest is not None:
                 writers[dest].append(entry)
             if info.switch_trigger:
@@ -882,7 +1264,9 @@ class PipelineSim:
             bus.emit(DecodeEvent(now, tid, block.seq,
                                  [e.tag for e in entries],
                                  [e.pc for e in entries],
-                                 [e.instr.text() for e in entries]))
+                                 [i._text if i._text is not None
+                                  else i.text()
+                                  for i in (e.instr for e in entries)]))
 
     def _scoreboard_hazard(self, tid, items):
         """Without full renaming, stall on in-flight destination writers."""
@@ -893,6 +1277,12 @@ class PipelineSim:
         return False
 
     def _rename_operands(self, entry):
+        """Reference copy of the rename logic inlined in :meth:`_decode`.
+
+        Kept for clarity and for unit-level use; the decode loop carries
+        an inlined duplicate (see the comment there) — keep both in
+        sync.
+        """
         sources = entry.instr.sources()
         nsources = len(sources)
         entry.vals = vals = [None] * nsources

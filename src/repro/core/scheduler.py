@@ -112,7 +112,7 @@ class SUBlock:
     """
 
     __slots__ = ("seq", "tid", "entries", "ready", "ready_loads",
-                 "not_done", "store_count")
+                 "ready_stores", "ready_fu_mask", "not_done", "store_count")
 
     def __init__(self, seq, tid):
         self.seq = seq
@@ -120,6 +120,14 @@ class SUBlock:
         self.entries = []
         self.ready = 0
         self.ready_loads = 0  # the subset of ``ready`` that are loads
+        self.ready_stores = 0  # the subset that are pure stores
+        #: Bitmask (over ``fu_index``) of classes that have had a ready
+        #: entry. Bits are set when an entry becomes ready and never
+        #: cleared, so the mask is a conservative superset of the
+        #: classes currently represented — good enough for the issue
+        #: stage's whole-block skip, which only needs "every candidate's
+        #: class is exhausted" to be implied by mask coverage.
+        self.ready_fu_mask = 0
         self.not_done = 0
         self.store_count = 0
 
@@ -204,8 +212,11 @@ class SchedulingUnit:
             if not entry.pending:
                 self.issuable += 1
                 block.ready += 1
+                block.ready_fu_mask |= 1 << info.fu_index
                 if info.is_load:
                     block.ready_loads += 1
+                elif info.is_store:
+                    block.ready_stores += 1
         if state != DONE:
             block.not_done += 1
         dest = entry.dest
@@ -221,6 +232,8 @@ class SchedulingUnit:
             self._tid_mem_waiting[entry.tid].remove(entry)
             if info.is_load:
                 entry.block.ready_loads -= 1
+            else:
+                entry.block.ready_stores -= 1
 
     def note_done(self, entry):
         """Bookkeeping for an ISSUED -> DONE transition (writeback)."""
@@ -305,6 +318,23 @@ class SchedulingUnit:
                     return False
         return True
 
+    def ready_entries(self):
+        """Yield the issue candidates in scan order (fast-forward protocol).
+
+        Exactly the entries the pipeline's issue stage would visit:
+        WAITING, operands complete, inside blocks with a non-zero ready
+        count. The skip engine's horizon scan replays issue's per-entry
+        checks over this sequence without issuing anything; ``issuable``
+        bounds its length, so a caller can stop early once every
+        candidate has been seen.
+        """
+        for block in self.blocks:
+            if not block.ready:
+                continue
+            for entry in block.entries:
+                if entry.state == WAITING and not entry.pending:
+                    yield entry
+
     def fu_class_pressure(self):
         """WAITING-entry count per functional-unit class.
 
@@ -362,6 +392,8 @@ class SchedulingUnit:
                     block.ready -= 1
                     if entry.info.is_load:
                         block.ready_loads -= 1
+                    elif entry.info.is_store:
+                        block.ready_stores -= 1
                 if state != DONE:
                     block.not_done -= 1
                 info = entry.info

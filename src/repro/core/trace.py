@@ -62,6 +62,11 @@ class Tracer:
         self.order = []
         #: (first skipped cycle, span) per fast-forward jump.
         self.idle_spans = []
+        #: Skipped cycles per stall-class reason ("sync", "dcache-miss",
+        #: "fu-contention", "su-full", "fetch-idle", "decode-stall") —
+        #: the skip engine labels every jumped span with the class the
+        #: attribution layer would have charged those cycles to.
+        self.skip_reasons = {}
 
     @classmethod
     def attach(cls, sim, limit=1000):
@@ -109,6 +114,9 @@ class Tracer:
                     record.squashed = cycle
         elif kind == "stall":
             self.idle_spans.append((event.cycle, event.span))
+            reasons = self.skip_reasons
+            reason = event.reason
+            reasons[reason] = reasons.get(reason, 0) + event.span
 
     # ---------------------------------------------------------- rendering
 

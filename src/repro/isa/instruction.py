@@ -26,7 +26,7 @@ class Instruction:
     """
 
     __slots__ = ("op", "rd", "rs1", "rs2", "imm", "info",
-                 "_sources", "_dest", "_exec")
+                 "_sources", "_dest", "_exec", "_text")
 
     def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0):
         self.op = op
@@ -38,6 +38,7 @@ class Instruction:
         self._sources = None
         self._dest = False  # sentinel: not yet computed (None is valid)
         self._exec = None  # lazily built by repro.isa.semantics.build_exec
+        self._text = None
 
     def sources(self):
         """Architectural registers this instruction reads, in order.
@@ -96,7 +97,16 @@ class Instruction:
         return f"Instruction({self.text()})"
 
     def text(self):
-        """Assembly text for this instruction."""
+        """Assembly text for this instruction.
+
+        Cached: instructions are immutable, and event emission formats
+        the same instruction once per issue/decode.
+        """
+        if self._text is None:
+            self._text = self._format_text()
+        return self._text
+
+    def _format_text(self):
         m = self.info.mnemonic
         fmt = self.info.fmt
         if fmt is Format.R:

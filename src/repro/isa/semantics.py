@@ -141,6 +141,43 @@ def build_exec(instr):
     from repro.isa.opcodes import Format
     op = instr.op
     fmt = instr.info.fmt
+    # Flattened closures for the hottest integer ops: one frame instead
+    # of exec_fn -> table lambda -> to_int32. The wrap arithmetic is
+    # to_int32 inlined, so results are bit-identical to the table path.
+    if op is Op.ADDI:
+        def exec_fn(vals, tid, nthreads, _imm=instr.imm):
+            r = (int(vals[0]) + _imm) & 0xFFFFFFFF
+            return r - 0x100000000 if r >= 0x80000000 else r
+        instr._exec = exec_fn
+        return exec_fn
+    if op is Op.ADD:
+        def exec_fn(vals, tid, nthreads):
+            r = (int(vals[0]) + int(vals[1])) & 0xFFFFFFFF
+            return r - 0x100000000 if r >= 0x80000000 else r
+        instr._exec = exec_fn
+        return exec_fn
+    if op is Op.SUB:
+        def exec_fn(vals, tid, nthreads):
+            r = (int(vals[0]) - int(vals[1])) & 0xFFFFFFFF
+            return r - 0x100000000 if r >= 0x80000000 else r
+        instr._exec = exec_fn
+        return exec_fn
+    if op is Op.MUL:
+        def exec_fn(vals, tid, nthreads):
+            r = (int(vals[0]) * int(vals[1])) & 0xFFFFFFFF
+            return r - 0x100000000 if r >= 0x80000000 else r
+        instr._exec = exec_fn
+        return exec_fn
+    if op is Op.SLT:
+        def exec_fn(vals, tid, nthreads):
+            return int(int(vals[0]) < int(vals[1]))
+        instr._exec = exec_fn
+        return exec_fn
+    if op is Op.SLTI:
+        def exec_fn(vals, tid, nthreads, _imm=instr.imm):
+            return int(int(vals[0]) < _imm)
+        instr._exec = exec_fn
+        return exec_fn
     fn = _BINOP_LIST[op]
     if fn is not None:
         if fmt is Format.I:

@@ -80,12 +80,14 @@ class StoreBuffer:
         return any(entry.addr == addr for entry in self.entries)
 
     def next_drain_cycle(self, now):
-        """Earliest cycle at or after ``now`` when a drain could succeed.
+        """Next-event horizon: earliest cycle at or after ``now`` when a
+        drain could succeed.
 
-        Only meaningful while the buffer is non-empty; used by the
-        pipeline's idle-cycle fast-forward. The head entry is always
-        committed (stores enter the buffer at commit), so the only wait
-        is for the previous drain's refill to release the port.
+        Only meaningful while the buffer is non-empty; part of the
+        fast-forward protocol (``docs/PERFORMANCE.md``). The head entry
+        is always committed (stores enter the buffer at commit), so the
+        only wait is for the previous drain's refill to release the
+        drain port — a cycle this object knows exactly.
         """
         return self._busy_until if self._busy_until > now else now
 

@@ -38,7 +38,13 @@ Categories (first matching rule wins, evaluated per executed cycle):
     non-zero with ``fast_forward=True``). The sub-counters
     ``ff_su_full`` / ``ff_fetch_idle`` / ``ff_decode_stall`` record
     which legacy stall counters the skipped span was charged to, which
-    is what keeps :meth:`verify` exact in both engine modes.
+    is what keeps :meth:`verify` exact in both engine modes. In
+    addition, :attr:`StallAttribution.ff_classes` charges every skipped
+    cycle to the executed-cycle category :meth:`close_cycle` would have
+    picked — the skip engine passes the condition flags its horizon
+    scan observed, and the span is classified with the same priority
+    order — so ``counts[cat] + ff_classes[cat]`` reproduces the slow
+    engine's breakdown exactly (see ``tests/test_obs_attribution.py``).
 
 The attribution object is attached with
 ``PipelineSim.attach_attribution()`` **before** ``run()``; when it is
@@ -59,6 +65,7 @@ class StallAttribution:
 
     __slots__ = ("counts", "flags", "miss_until",
                  "ff_su_full", "ff_fetch_idle", "ff_decode_stall",
+                 "ff_classes",
                  "_last_fetch_idle", "_last_decode_stall")
 
     def __init__(self):
@@ -71,6 +78,9 @@ class StallAttribution:
         self.ff_su_full = 0
         self.ff_fetch_idle = 0
         self.ff_decode_stall = 0
+        #: Executed-cycle category each fast-forwarded span would have
+        #: been charged to; sums to ``counts["idle-ff"]``.
+        self.ff_classes = dict.fromkeys(CATEGORIES[1:-1], 0)
         self._last_fetch_idle = 0
         self._last_decode_stall = 0
 
@@ -130,16 +140,41 @@ class StallAttribution:
         self._last_fetch_idle = stats.fetch_idle_cycles
         self._last_decode_stall = stats.decode_stall_cycles
 
-    def note_skip(self, sim, skipped, su_full, fetch_idle):
-        """Charge a fast-forwarded idle span of ``skipped`` cycles.
+    def note_skip(self, sim, start, skipped, su_full, fetch_idle, flags=0):
+        """Charge a fast-forwarded inert span of ``skipped`` cycles.
 
-        Mirrors exactly how ``_skip_idle_cycles`` charged the legacy
-        stall counters, so :meth:`verify` stays exact under
-        ``fast_forward=True``.
+        ``start`` is the first skipped cycle and ``flags`` the issue
+        condition flags the skip engine's horizon scan observed (same
+        bit meanings as :attr:`flags`). Mirrors exactly how
+        ``_skip_inert_cycles`` charged the legacy stall counters, so
+        :meth:`verify` stays exact under ``fast_forward=True``; the
+        span additionally lands in :attr:`ff_classes` under the
+        category :meth:`close_cycle` would have charged every one of
+        its cycles to, using the identical priority order. (A state
+        frozen for the whole span yields the same flags every cycle,
+        and a span never crosses ``miss_until`` — the missed load's
+        writeback bounds the jump — so one classification covers the
+        span exactly.)
         """
         self.counts["idle-ff"] += skipped
+        classes = self.ff_classes
         if su_full:
             self.ff_su_full += skipped
+            classes["su-full"] += skipped
+        elif flags & _F_SYNC:
+            classes["sync"] += skipped
+        elif flags & _F_DCACHE or start < self.miss_until:
+            classes["dcache-miss"] += skipped
+        elif flags & _F_FU:
+            classes["fu-contention"] += skipped
+        elif sim._wb_cycles and not sim.su.issuable:
+            # Everything in flight is waiting out result latency.
+            classes["fu-contention"] += skipped
+        elif fetch_idle:
+            classes["fetch-idle"] += skipped
+        else:
+            # Scoreboard RAW wait (renaming off) — a result-latency wait.
+            classes["fu-contention"] += skipped
         if fetch_idle:
             self.ff_fetch_idle += skipped
             self._last_fetch_idle += skipped
@@ -176,6 +211,24 @@ class StallAttribution:
             raise AssertionError(
                 f"fetch-idle attribution {fetch_idle} exceeds "
                 f"fetch_idle_cycles {stats.fetch_idle_cycles}")
+        ff_classified = sum(self.ff_classes.values())
+        if ff_classified != self.counts["idle-ff"]:
+            raise AssertionError(
+                f"per-class skip accounting {ff_classified} != idle-ff "
+                f"{self.counts['idle-ff']}: {self.ff_classes}")
+
+    def folded(self):
+        """Breakdown with skipped spans folded into their stall classes.
+
+        ``idle-ff`` is redistributed according to :attr:`ff_classes`,
+        so the result is directly comparable with (and, cycle for
+        cycle, equal to) a ``fast_forward=False`` run's :meth:`to_dict`.
+        """
+        out = dict(self.counts)
+        for key, extra in self.ff_classes.items():
+            out[key] += extra
+        out["idle-ff"] = 0
+        return out
 
     def to_dict(self):
         """Plain-data snapshot (stored on ``SimStats.stall_breakdown``)."""

@@ -21,8 +21,9 @@ The contract mirrors ``docs/PERFORMANCE.md``:
 
 import time
 
-from repro.core.config import CacheConfig, MachineConfig
+from repro.core.config import CacheConfig, FU_LATENCY, MachineConfig
 from repro.core.pipeline import PipelineSim
+from repro.isa.opcodes import FuClass
 from repro.workloads import by_name
 
 #: Allowed relative cycles/sec drop before a throughput check fails.
@@ -52,6 +53,17 @@ MATRIX = [
           cache=CacheConfig(size_bytes=512, assoc=2, miss_penalty=32))),
     ("LL3-8t-icount-su256", "LL3",
      dict(nthreads=8, fetch_policy="icount", su_entries=256)),
+    # Stall-heavy points for the next-event fast-forward: long divide
+    # latencies exercise the fu-latency skip, a thrashing 128-byte
+    # direct-mapped cache with a 96-cycle penalty the dcache-miss and
+    # commit-wait skips. Same configs as the golden-cycle fixtures, so
+    # the smoke gate pins their cycle counts bit-exactly too.
+    ("Water-2t-divheavy", "Water",
+     dict(nthreads=2, fu_latency={**FU_LATENCY,
+                                  FuClass.FPDIV: 40, FuClass.IDIV: 40})),
+    ("LL2-2t-missheavy", "LL2",
+     dict(nthreads=2, cache=CacheConfig(size_bytes=128, line_words=4,
+                                        assoc=1, miss_penalty=96))),
 ]
 
 
@@ -106,6 +118,53 @@ def measure(reps=3, instrument=False, matrix=None):
             "stats": stats.to_dict(),
         }
     return out
+
+
+def measure_overhead(reps=3, matrix=None):
+    """Drift-resistant instrumentation-overhead measurement.
+
+    Measuring the uninstrumented and instrumented sweeps back-to-back
+    (two :func:`measure` calls) lets host speed drift between them
+    corrupt the on/off ratio — slow phases land entirely on one side.
+    This routine instead *interleaves* the timed reps per entry
+    (off, on, off, on, ...), so both sides sample the same host
+    conditions, and returns ``(measured_off, measured_on)`` in the
+    :func:`measure` format. Simulated cycle counts must agree pairwise
+    — observability must never change timing.
+    """
+    out_off = {}
+    out_on = {}
+    for label, wname, kwargs in (matrix or MATRIX):
+        config = MachineConfig(**kwargs)
+        program = by_name(wname).program(config.nthreads)
+        PipelineSim(program, config).run()  # warm caches, JIT-free warmup
+        best = {False: 0.0, True: 0.0}
+        best_elapsed = {False: None, True: None}
+        stats = {False: None, True: None}
+        for _ in range(reps):
+            for instrument in (False, True):
+                sim = PipelineSim(program, config)
+                if instrument:
+                    sim.attach_attribution()
+                    sim.attach_metrics()
+                    sim.add_sink(_null_sink)
+                start = time.perf_counter()
+                run_stats = sim.run()
+                elapsed = time.perf_counter() - start
+                stats[instrument] = run_stats
+                rate = run_stats.cycles / elapsed
+                if rate > best[instrument]:
+                    best[instrument] = rate
+                    best_elapsed[instrument] = elapsed
+        for instrument, out in ((False, out_off), (True, out_on)):
+            run_stats = stats[instrument]
+            out[label] = {
+                "cycles": run_stats.cycles,
+                "cycles_per_sec": round(best[instrument]),
+                "wall_seconds": best_elapsed[instrument],
+                "stats": run_stats.to_dict(),
+            }
+    return out_off, out_on
 
 
 def check_baseline(measured, baseline, tolerance=DEFAULT_TOLERANCE):

@@ -153,6 +153,36 @@ def test_stale_engine_entries_dropped(tmp_path):
     assert cache.get("fresh") == {"cycles": 2}
 
 
+def test_engine_version_bump_never_serves_stale_cycles(tmp_path):
+    """A version bump turns every cached entry into a miss, not a lie.
+
+    Simulate once under the current ENGINE_VERSION, then rewrite the
+    cache file as if a *previous* engine had produced it — with
+    poisoned cycle counts. A fresh Runner must drop the stale entries
+    and re-simulate, returning the true cycles; serving the poisoned
+    payload would mean a timing-model change could leak through the
+    cache.
+    """
+    from repro.core.pipeline import ENGINE_VERSION
+
+    workload = by_name("LL2")
+    config = MachineConfig(nthreads=2)
+    path = tmp_path / "cache.json"
+    baseline = Runner(disk_cache=path).run(workload, config)
+
+    document = json.loads(path.read_text())
+    for entry in document["entries"].values():
+        entry["engine"] = ENGINE_VERSION - 1
+        entry["payload"]["cycles"] = 1  # poison: must never be served
+    path.write_text(json.dumps(document))
+
+    fresh = Runner(disk_cache=path)
+    with pytest.warns(CacheCorruptionWarning, match="stale"):
+        result = fresh.run(workload, config)
+    assert fresh.disk_cache.hits == 0
+    assert result.cycles == baseline.cycles != 1
+
+
 def test_runner_disk_cache_skips_simulation(tmp_path, monkeypatch):
     workload = by_name("LL2")
     config = MachineConfig(nthreads=2)

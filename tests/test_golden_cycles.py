@@ -17,6 +17,8 @@ import pathlib
 import pytest
 
 from repro.core import MachineConfig, PipelineSim
+from repro.core.config import FU_LATENCY
+from repro.isa.opcodes import FuClass
 from repro.mem.cache import CacheConfig
 from repro.workloads import by_name
 
@@ -38,6 +40,14 @@ CASES = {
     "LL1-4t-smalldirect": dict(nthreads=4, cache=CacheConfig(
         size_bytes=256, assoc=1)),
     "LL3-2t-su32-norename": dict(nthreads=2, su_entries=32, renaming=False),
+    # Stall-heavy points for the generalized (next-event) fast-forward:
+    # a divide-dominated run exercises the fu-latency skip path, a
+    # thrashing direct-mapped cache with a long penalty the dcache-miss
+    # and commit-wait paths. Both must be bit-identical ff-on vs ff-off.
+    "Water-2t-divheavy": dict(nthreads=2, fu_latency={
+        **FU_LATENCY, FuClass.FPDIV: 40, FuClass.IDIV: 40}),
+    "LL2-2t-missheavy": dict(nthreads=2, cache=CacheConfig(
+        size_bytes=128, line_words=4, assoc=1, miss_penalty=96)),
 }
 
 

@@ -54,6 +54,32 @@ def test_ff_modes_agree_where_attribution_is_comparable():
         == off.counts["su-full"] + off.ff_su_full
 
 
+@pytest.mark.parametrize("label", ["LL2-1t-default", "LL2-4t-maskedrr",
+                                   "LL3-2t-su32-norename",
+                                   "Water-2t-divheavy", "LL2-2t-missheavy"])
+def test_folded_breakdown_equals_slow_path_exactly(label):
+    """Per-class attribution of skipped spans is exact, not approximate.
+
+    Folding the ff-on account (``idle-ff`` redistributed over
+    ``ff_classes``) must reproduce the ff-off per-cycle account
+    bit-for-bit on every category — including the stall-heavy
+    fu-latency and dcache-miss cases the next-event fast-forward
+    engine now skips through.
+    """
+    __, on, stats_on = instrumented_run(label, True)
+    __, off, stats_off = instrumented_run(label, False)
+    assert stats_on.cycles == stats_off.cycles
+    assert on.folded() == off.to_dict()
+
+
+@pytest.mark.parametrize("label", ["Water-2t-divheavy", "LL2-2t-missheavy"])
+def test_ff_classes_account_for_every_skipped_cycle(label):
+    __, attr, __ = instrumented_run(label, True)
+    assert attr.counts["idle-ff"] > 0, \
+        "stall-heavy config should fast-forward at least once"
+    assert sum(attr.ff_classes.values()) == attr.counts["idle-ff"]
+
+
 def test_breakdown_lands_on_stats():
     __, attr, stats = instrumented_run("LL2-1t-default", True)
     assert stats.stall_breakdown == attr.to_dict()

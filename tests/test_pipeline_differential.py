@@ -171,3 +171,50 @@ def test_differential_fast_forward_stall_heavy(seed):
                            cache=CacheConfig(size_bytes=256, assoc=1,
                                              miss_penalty=64))
     assert_fast_forward_invisible(program, 2, config)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_skip_spans_never_cross_a_state_change(seed):
+    """Every fast-forwarded span is provably inert, cycle by cycle.
+
+    The ff-on run reports each jump as a ``stall`` event ``(cycle,
+    span)``. Replaying the same machine ff-off one cycle at a time and
+    fingerprinting every state-change counter (commits, issues,
+    fetches, squashes, store-buffer drains and occupancy, SU occupancy,
+    halts) must show the fingerprint frozen across each skipped span —
+    a skip that crossed a state-change cycle would desynchronize the
+    two engines even if the final totals happened to collide.
+    """
+    from repro.mem.cache import CacheConfig
+    rng = random.Random(0x5CA + seed)
+    program = assemble(random_program(rng))
+    nthreads = 2
+    config = MachineConfig(nthreads=nthreads, max_cycles=1_000_000,
+                           cache=CacheConfig(size_bytes=256, assoc=1,
+                                             miss_penalty=64))
+    fast = PipelineSim(program, config.replace(fast_forward=True))
+    spans = []
+    fast.add_sink(lambda event: spans.append((event.cycle, event.span))
+                  if event.kind == "stall" else None)
+    fast_stats = fast.run()
+    assert spans, "stall-heavy config should fast-forward at least once"
+
+    slow = PipelineSim(program, config.replace(fast_forward=False))
+    stats = slow.stats
+    store_buffer = slow.store_buffer
+    fingerprints = []  # fingerprints[c] == state after executing cycle c
+    for _ in range(fast_stats.cycles):
+        if slow._halted >= nthreads:
+            break
+        slow.step()
+        fingerprints.append((
+            stats.committed, stats.issued, stats.fetched_blocks,
+            stats.squashed, store_buffer.drained,
+            len(store_buffer.entries), slow.su.occupancy(), slow._halted))
+    initial = (0, 0, 0, 0, 0, 0, 0, 0)
+    for start, span in spans:
+        entering = fingerprints[start - 1] if start else initial
+        for cycle in range(start, start + span):
+            assert fingerprints[cycle] == entering, (
+                f"skip span ({start}, {span}) crossed a state change "
+                f"at cycle {cycle}")

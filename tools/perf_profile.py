@@ -44,7 +44,8 @@ import pathlib
 import platform
 import sys
 
-from repro.obs.sentry import MATRIX, SMOKE_TOLERANCE, measure, check_baseline
+from repro.obs.sentry import (MATRIX, SMOKE_TOLERANCE, check_baseline,
+                              measure, measure_overhead)
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -199,8 +200,9 @@ def main(argv=None):
                         help="do not append this run to the ledger")
     args = parser.parse_args(argv)
     if args.update_instrumented:
-        measured_off = measure(args.reps)
-        measured_on = measure(args.reps, instrument=True)
+        # Interleaved off/on reps per entry: host speed drift between
+        # two separate sweeps would otherwise corrupt the ratio.
+        measured_off, measured_on = measure_overhead(args.reps)
         if not args.no_ledger:
             append_ledger(measured_off, args.ledger)
         return update_instrumented(measured_off, measured_on, load_bench())
