@@ -308,26 +308,41 @@ def cmd_check(args):
         raise CliError(
             f"cannot read baseline {args.baseline!r}: {error}") from error
     matrix = sentry.MATRIX
+    want_sweep = False
     if args.entry:
+        wanted = set(args.entry)
+        # The batch-sweep label is not a matrix entry: it pins the
+        # aggregate of the interleaved scalar/batch sweep measurement.
+        want_sweep = sentry.BATCH_SWEEP_LABEL in wanted
+        wanted.discard(sentry.BATCH_SWEEP_LABEL)
         known = {label for label, _, _ in sentry.MATRIX}
-        unknown = sorted(set(args.entry) - known)
+        unknown = sorted(wanted - known)
         if unknown:
+            valid = sorted(known) + [sentry.BATCH_SWEEP_LABEL]
             raise CliError(f"unknown matrix entr"
                            f"{'y' if len(unknown) == 1 else 'ies'} "
                            f"{', '.join(unknown)}; valid: "
-                           f"{', '.join(sorted(known))}")
-        matrix = [m for m in sentry.MATRIX if m[0] in set(args.entry)]
+                           f"{', '.join(valid)}")
+        matrix = [m for m in sentry.MATRIX if m[0] in wanted]
     tolerance = (args.tolerance if args.tolerance is not None
                  else sentry.DEFAULT_TOLERANCE)
-    measured = sentry.measure(args.reps, matrix=matrix)
+    measured = (sentry.measure(args.reps, matrix=matrix,
+                               backend=args.backend) if matrix else {})
+    sweep_measured = {}
+    if want_sweep:
+        # Interleaved sweep: asserts scalar/batch bit-identity itself;
+        # the pinned entry is the batch side's aggregate throughput.
+        _scalar_entry, batch_entry = sentry.measure_backends(args.reps)
+        sweep_measured = {sentry.BATCH_SWEEP_LABEL: batch_entry}
     cycle_failures, perf_failures = sentry.check_baseline(
-        measured, baseline, tolerance=tolerance)
-    if not args.no_ledger:
+        {**measured, **sweep_measured}, baseline, tolerance=tolerance)
+    if not args.no_ledger and measured:
         try:
             ledger_mod.RunLedger(args.ledger).append_all(
                 sentry.ledger_records(
                     measured, source="cli.check",
-                    timestamp=ledger_mod.utc_now_iso(), matrix=matrix))
+                    timestamp=ledger_mod.utc_now_iso(), matrix=matrix,
+                    backend=args.backend))
         except OSError as error:
             print(f"repro: warning: could not append to run ledger: "
                   f"{error}", file=sys.stderr)
@@ -346,7 +361,9 @@ def cmd_check(args):
         return 1
     note = (f", {len(perf_failures)} advisory throughput warning(s)"
             if perf_failures else "")
-    print(f"repro check ok: {len(measured)} matrix entries, simulated "
+    checked = len(measured) + len(sweep_measured)
+    backend_note = " via batch backend" if args.backend == "batch" else ""
+    print(f"repro check ok: {checked} entries{backend_note}, simulated "
           f"cycle counts bit-identical to {args.baseline}{note}")
     return 0
 
@@ -364,7 +381,8 @@ def cmd_report(args):
             workloads=args.workloads or None,
             threads=tuple(args.threads) if args.threads else None,
             workers=args.workers, disk_cache=disk_cache,
-            instrument=args.instrument, csv_path=args.csv)
+            instrument=args.instrument, csv_path=args.csv,
+            backend=args.backend)
     except (GridError, LedgerError, ValueError, KeyError) as error:
         message = error.args[0] if error.args else str(error)
         raise CliError(str(message)) from error
@@ -472,7 +490,16 @@ def build_parser():
                               "only (shared/noisy runners); cycle-count "
                               "mismatches stay fatal")
     p_check.add_argument("--entry", action="append", metavar="LABEL",
-                         help="check only this matrix entry (repeatable)")
+                         help="check only this matrix entry (repeatable); "
+                              "the batch-sweep label runs the interleaved "
+                              "scalar/batch sweep and pins its aggregate "
+                              "throughput instead")
+    p_check.add_argument("--backend", default="scalar",
+                         choices=["scalar", "batch"],
+                         help="simulation backend for the matrix: 'batch' "
+                              "routes every entry through a one-member "
+                              "BatchEngine group — cycle counts must stay "
+                              "bit-identical to the committed baseline")
     _ledger_args(p_check)
     p_check.set_defaults(func=cmd_check)
 
@@ -494,6 +521,12 @@ def build_parser():
     p_report.add_argument("--instrument", action="store_true",
                           help="attach attribution + metrics to every "
                                "grid point (richer ledger records)")
+    p_report.add_argument("--backend", default="scalar",
+                          choices=["scalar", "batch", "auto"],
+                          help="grid backend: 'batch' advances same-"
+                               "program jobs in one fused BatchEngine "
+                               "loop, 'auto' batches groups of 4+ "
+                               "(results are bit-identical)")
     p_report.add_argument("--fresh", action="store_true",
                           help="bypass the disk result cache")
     p_report.add_argument("--ledger", default=None, metavar="PATH",

@@ -1,0 +1,286 @@
+"""Batch simulation engine: N independent sims of one program, one loop.
+
+Every figure in the evaluation is a sweep — many configurations of the
+*same* workload. The scalar path simulates them one
+:meth:`PipelineSim.run` at a time, paying per-run interpreter setup and
+letting each run's idle spans serialize behind the previous run's hot
+spans. :class:`BatchEngine` instead owns N fully independent
+:class:`PipelineSim` instances built from one shared, already-decoded
+:class:`~repro.asm.program.Program` (instruction objects and their
+execution closures are read-only and shared across all members) and
+advances them inside a single fused driver loop.
+
+Scheduling is event-driven across members: a min-heap orders the
+members by their next due cycle, and each heap pop advances one member
+by up to :data:`CHUNK` cycles through the same inlined cycle body as
+:meth:`PipelineSim.run` — including the next-event fast-forward, whose
+jumps push a stalled member's re-queue point past its whole inert span,
+so the scheduler naturally spends its iterations on whichever member
+has real work due (the PR-5 horizon protocol, applied across sims
+instead of within one).
+
+Correctness contract (the same one the fast-forward engine carries):
+members share no mutable state — each sim owns its memory image,
+register file, caches, predictor, and scheduling unit — so interleaving
+their cycles in *any* order produces bit-identical statistics, stall
+attribution, and checksums versus running each alone. Enforced by
+``tests/test_batch.py`` over the full regression matrix in both
+fast-forward modes.
+
+Fault isolation: one member raising (deadlock, watchdog hang,
+verification assertion, injected fault) is captured in its
+:class:`SimOutcome` slot; the remaining members keep running to
+completion. The harness maps failed slots back onto its per-job
+retry/failure bookkeeping (see :mod:`repro.harness.parallel`).
+"""
+
+import gc
+import heapq
+
+from repro.core.pipeline import DeadlockError, PipelineSim
+
+#: Cycle budget one member receives per scheduler slot before returning
+#: to the heap. Large enough to amortize the per-slot local re-binding,
+#: small enough that members interleave through the sweep instead of
+#: running to completion serially (which would forfeit the scheduler's
+#: cache-warm sharing of the program's instruction objects).
+CHUNK = 256
+
+
+class SimOutcome:
+    """Terminal state of one batch member; aligned with the input configs.
+
+    ``ok`` members carry their finished ``sim`` (for checksum reads) and
+    ``stats``; failed members carry the exception in ``error`` (``sim``
+    is present when construction succeeded, ``None`` when the
+    configuration itself was rejected).
+    """
+
+    __slots__ = ("index", "sim", "stats", "error")
+
+    def __init__(self, index):
+        self.index = index
+        self.sim = None
+        self.stats = None
+        self.error = None
+
+    @property
+    def ok(self):
+        return self.error is None and self.stats is not None
+
+    def __repr__(self):
+        state = (f"cycles={self.stats.cycles}" if self.ok
+                 else f"error={type(self.error).__name__}: {self.error}")
+        return f"SimOutcome(index={self.index}, {state})"
+
+
+class _Slot:
+    """Scheduler-side bookkeeping for one live batch member."""
+
+    __slots__ = ("index", "sim", "attr", "last_committed", "progress_cycle")
+
+    def __init__(self, index, sim, attr):
+        self.index = index
+        self.sim = sim
+        self.attr = attr
+        # No-progress watchdog state, one per member (PipelineSim.run
+        # keeps these in locals; the batch driver must persist them
+        # across heap slots).
+        self.last_committed = -1
+        self.progress_cycle = 0
+
+
+class BatchEngine:
+    """Drive N independent simulations of ``program`` to completion.
+
+    Parameters
+    ----------
+    program:
+        One assembled :class:`~repro.asm.program.Program`, shared
+        read-only by every member (all configs must therefore agree on
+        ``nthreads`` — the program is compiled per register partition).
+    configs:
+        Iterable of :class:`~repro.core.config.MachineConfig`, one per
+        member. Members are mutually independent; fast-forward may be
+        on for some and off for others.
+    instrument:
+        Attach stall attribution and interval metrics to every member
+        (mirrors ``Runner(instrument=True)``); attribution is verified
+        against the final stats on completion, and a reconciliation
+        failure is captured as that member's error.
+    chunk:
+        Override the per-slot cycle budget (tests use tiny values to
+        force deep interleavings).
+    """
+
+    def __init__(self, program, configs, instrument=False, chunk=CHUNK):
+        self.program = program
+        self.instrument = instrument
+        self.chunk = chunk
+        configs = list(configs)
+        self.outcomes = [SimOutcome(i) for i in range(len(configs))]
+        self._slots = []
+        for index, config in enumerate(configs):
+            outcome = self.outcomes[index]
+            try:
+                sim = PipelineSim(program, config)
+                attr = None
+                if instrument:
+                    attr = sim.attach_attribution()
+                    sim.attach_metrics()
+            except Exception as exc:
+                outcome.error = exc
+                continue
+            outcome.sim = sim
+            self._slots.append(_Slot(index, sim, attr))
+
+    def run(self):
+        """Run every member to completion; returns the outcome list.
+
+        Members that raise are recorded and skipped; everyone else
+        finishes. Scheduling order is deterministic: the heap breaks
+        due-cycle ties by submission order.
+        """
+        heap = [(0, slot.index, slot) for slot in self._slots]
+        heapq.heapify(heap)
+        chunk = self.chunk
+        # Same rationale as PipelineSim.run: the cycle body allocates at
+        # a high, steady rate with almost no garbage surviving a cycle,
+        # and what little survives is acyclic and refcount-freed — so
+        # the collector stays off for the whole batch. (Measured: a
+        # full gc.collect() after each member completion mostly scans
+        # the *live* outcome graphs — every finished sim is kept for
+        # checksum reads — and costs ~0.5s per 8-member sweep while
+        # reclaiming nothing; without it the batch matches the scalar
+        # engine cycle-for-cycle.)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                due, index, slot = heapq.heappop(heap)
+                outcome = self.outcomes[index]
+                try:
+                    halted = self._advance(slot, due + chunk)
+                except Exception as exc:
+                    outcome.error = exc
+                    continue
+                if not halted:
+                    heapq.heappush(heap, (slot.sim.cycle, index, slot))
+                    continue
+                try:
+                    self._finish(slot, outcome)
+                except Exception as exc:
+                    outcome.error = exc
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return self.outcomes
+
+    def _finish(self, slot, outcome):
+        """Post-run epilogue of one halted member (mirrors ``run()``)."""
+        sim = slot.sim
+        # Drain remaining (all committed) stores so memory is final.
+        now = sim.cycle
+        store_buffer = sim.store_buffer
+        while store_buffer.entries:
+            store_buffer.drain_one(sim.cache, sim.memory, now)
+            now += 1
+        sim._finalize_stats()
+        if slot.attr is not None:
+            slot.attr.verify(sim.stats)  # attribution must reconcile
+        outcome.stats = sim.stats
+
+    def _advance(self, slot, until):
+        """Advance one member to ``until`` (or its halt / its error).
+
+        Returns True when every thread of the member has halted. The
+        loop body is the fused cycle of :meth:`PipelineSim.run` — keep
+        in sync with it (and with :meth:`PipelineSim.step`) — with the
+        same ``step()`` fallback when a test has replaced the method.
+        """
+        sim = slot.sim
+        config = sim.config
+        max_cycles = config.max_cycles
+        nthreads = config.nthreads
+        hang_limit = config.hang_cycles
+        fast_forward = sim._fast_forward
+        step = sim.step
+        skip = sim._skip_inert_cycles
+        stats = sim.stats
+        fused = ("step" not in sim.__dict__
+                 and type(sim).step is PipelineSim.step)
+        su = sim.su
+        store_buffer = sim.store_buffer
+        cache = sim.cache
+        memory = sim.memory
+        attr = sim._attr
+        metrics = sim._metrics
+        wb_cycles = sim._wb_cycles
+        bypassing = sim._bypassing
+        commit = sim._commit
+        issue = sim._issue
+        writeback = sim._writeback
+        decode = sim._decode
+        fetch = sim._fetch
+        last_committed = slot.last_committed
+        progress_cycle = slot.progress_cycle
+        # One boundary comparison per cycle, exactly like the scalar
+        # loop's max_cycles check: the chunk budget and the deadlock
+        # guard share it, and which one tripped is decided on exit.
+        limit = until if until < max_cycles else max_cycles
+        try:
+            while sim._halted < nthreads:
+                if sim.cycle >= limit:
+                    if sim.cycle < max_cycles:
+                        return False
+                    raise DeadlockError(
+                        f"no completion after {max_cycles} cycles; "
+                        f"threads: {sim.threads}")
+                if fast_forward:
+                    skip()
+                if fused:
+                    # Inlined ``step`` — keep in sync with it.
+                    now = sim.cycle
+                    committed = commit(now)
+                    if bypassing:
+                        if wb_cycles and wb_cycles[0] <= now:
+                            writeback(now)
+                        if su.issuable:
+                            issue(now)
+                    else:
+                        if su.issuable:
+                            issue(now)
+                        if wb_cycles and wb_cycles[0] <= now:
+                            writeback(now)
+                    if sim.fetch_buffer is not None:
+                        decode(now)
+                    if sim.fetch_buffer is None:
+                        fetch(now)
+                    if store_buffer.entries:
+                        store_buffer.drain_one(cache, memory, now)
+                    stats.su_occupancy_sum += su._entry_count
+                    if attr is not None:
+                        attr.close_cycle(sim, now, committed)
+                    if metrics is not None:
+                        metrics.on_cycle(sim, now)
+                    sim.cycle = now + 1
+                else:
+                    step()
+                if hang_limit:
+                    committed = stats.committed
+                    if committed != last_committed:
+                        last_committed = committed
+                        progress_cycle = sim.cycle
+                    elif sim.cycle - progress_cycle >= hang_limit:
+                        raise sim._hang_error(hang_limit)
+        finally:
+            slot.last_committed = last_committed
+            slot.progress_cycle = progress_cycle
+        return True
+
+
+def run_batch(program, configs, instrument=False, chunk=CHUNK):
+    """Convenience wrapper: build a :class:`BatchEngine` and run it."""
+    return BatchEngine(program, configs, instrument=instrument,
+                       chunk=chunk).run()

@@ -137,6 +137,94 @@ def _run_job(job):
     return Runner._to_payload(result)
 
 
+def _member_failure(kind, exc_or_message):
+    """Per-member failure envelope of a batch group.
+
+    ``retryable`` is decided here, in the worker, from the live
+    exception type — the parent only sees the envelope (a pickled
+    exception would not survive every transport).
+    """
+    retryable = (isinstance(exc_or_message, BaseException)
+                 and _retryable(exc_or_message))
+    return {"ok": False, "kind": kind, "message": str(exc_or_message),
+            "retryable": retryable}
+
+
+def _run_batch_job(job):
+    """Worker entry point: simulate one same-program batch group.
+
+    ``job`` carries parallel lists (``specs``, ``indices``,
+    ``attempts``) describing the members. Returns a list aligned with
+    them: ``{"ok": True, "payload": ...}`` per completed member (the
+    payload is :meth:`Runner._to_payload` with ``backend="batch"`` and
+    an amortized ``wall_seconds``) or a :func:`_member_failure`
+    envelope. One member raising — at fault injection, configuration
+    parse, simulation, or verification — never poisons its batch-mates:
+    every other member still returns its own outcome.
+    """
+    from repro.core.batch import BatchEngine
+    from repro.harness.runner import RunResult, decoded_program
+    from repro.workloads import by_name
+
+    (wname, specs, aligned, verify, instrument,
+     plan, indices, attempts, inline) = job
+    workload = by_name(wname)
+    outs = [None] * len(specs)
+    live = []       # positions whose config parsed (and faults passed)
+    configs = []
+    nthreads = None
+    for pos, spec in enumerate(specs):
+        try:
+            if plan is not None:
+                plan.apply(indices[pos], attempts[pos], inline=inline)
+            config = MachineConfig.from_spec(spec)
+            if nthreads is None:
+                nthreads = config.nthreads
+            elif config.nthreads != nthreads:
+                # Grouping keys on the program hash, and programs are
+                # compiled per register partition — a mixed group would
+                # silently simulate the wrong binary. Refuse the member.
+                raise ValueError(
+                    f"batch member nthreads={config.nthreads} does not "
+                    f"match the group's program (nthreads={nthreads})")
+        except Exception as exc:
+            outs[pos] = _member_failure("exception", exc)
+            continue
+        live.append(pos)
+        configs.append(config)
+    if not live:
+        return outs
+    program, _ = decoded_program(workload, nthreads, aligned=aligned)
+    engine = BatchEngine(program, configs, instrument=instrument)
+    start = time.perf_counter()
+    outcomes = engine.run()
+    wall = time.perf_counter() - start
+    total_cycles = sum(o.stats.cycles for o in outcomes if o.ok)
+    checksum_addr = workload.checksum_address(nthreads)
+    for pos, outcome in zip(live, outcomes):
+        if not outcome.ok:
+            outs[pos] = _member_failure("exception", outcome.error)
+            continue
+        stats = outcome.stats
+        # Amortized per-member share of the batch wall clock: the
+        # members ran interleaved, so exclusive per-member time does
+        # not exist; weight by simulated cycles (the work actually
+        # done), falling back to an even split for zero-cycle batches.
+        share = (wall * stats.cycles / total_cycles if total_cycles
+                 else wall / len(live))
+        checksum = outcome.sim.mem(checksum_addr)
+        verified = workload.verify(checksum, nthreads)
+        if verify and not verified:
+            outs[pos] = _member_failure("exception", AssertionError(
+                f"{workload.name} with {nthreads} threads computed "
+                f"{checksum!r}, expected {workload.expected(nthreads)!r}"))
+            continue
+        result = RunResult(workload, nthreads, stats, checksum, verified,
+                           share, backend="batch")
+        outs[pos] = {"ok": True, "payload": Runner._to_payload(result)}
+    return outs
+
+
 def default_workers():
     """Worker count: all cores minus one, at least one.
 
@@ -168,6 +256,60 @@ class _Job:
         self.attempts = 0       # attempts charged (begun and accounted)
         self.eligible_at = 0.0  # monotonic time before which not to submit
         self.deadline = None    # monotonic deadline of the running attempt
+
+
+class _BatchJob:
+    """A group of same-program `_Job`\\ s dispatched as one batch task.
+
+    Quacks enough like a :class:`_Job` for the executor's scheduling
+    predicates (``index``/``eligible_at``/``deadline``); attempt
+    accounting stays on the member jobs. A batch gets exactly one shot
+    as a batch — any member that fails out of it (or the whole group,
+    on a crash or timeout) re-enters the queue as scalar singles, which
+    keeps every retry/timeout/suspect-isolation path the battle-tested
+    scalar one.
+    """
+
+    __slots__ = ("members", "wname", "eligible_at", "deadline")
+
+    def __init__(self, members):
+        self.members = members
+        self.wname = members[0].wname
+        self.eligible_at = 0.0
+        self.deadline = None
+
+    @property
+    def index(self):
+        return self.members[0].index
+
+
+def _group_batches(pending, resolved, aligned, instrument, min_group):
+    """Partition pending jobs into batch groups and scalar leftovers.
+
+    Groups key on ``(workload, nthreads, program hash, instrument)`` —
+    members of a group share one decoded program, which is what the
+    batch engine amortizes. Groups smaller than ``min_group`` stay
+    scalar (the amortization would not cover the batch envelope).
+    Returns the work-unit list in first-member order, so result slots
+    and ledger output stay deterministic.
+    """
+    from repro.harness.runner import decoded_program
+
+    groups = {}
+    for job in pending:
+        workload, config = resolved[job.index]
+        _, phash = decoded_program(workload, config.nthreads,
+                                   aligned=aligned)
+        key = (workload.name, config.nthreads, phash, instrument)
+        groups.setdefault(key, []).append(job)
+    units = []
+    for members in groups.values():
+        if len(members) >= min_group:
+            units.append(_BatchJob(members))
+        else:
+            units.extend(members)
+    units.sort(key=lambda unit: unit.index)
+    return units
 
 
 def _retryable(exc):
@@ -221,11 +363,19 @@ class _GridExecutor:
 
     # -------------------------------------------------------- inline path
 
-    def run_inline(self, jobs):
-        """Execute every job in-process (``workers=1``): no pool, no
-        per-job timeout enforcement, but identical retry/backoff and
-        failure-record semantics."""
-        for job in jobs:
+    def run_inline(self, units):
+        """Execute every work unit in-process (``workers=1``): no pool,
+        no per-job timeout enforcement, but identical retry/backoff and
+        failure-record semantics. A batch group runs through the batch
+        engine exactly once; members that fail out of it re-enter the
+        queue as scalar singles."""
+        queue = deque(units)
+        while queue:
+            unit = queue.popleft()
+            if isinstance(unit, _BatchJob):
+                queue.extend(self._batch_inline(unit))
+                continue
+            job = unit
             while True:
                 job.attempts += 1
                 try:
@@ -237,6 +387,19 @@ class _GridExecutor:
                                              sleep=True):
                         break
         return self.failures
+
+    def _batch_inline(self, batch):
+        """One inline batch attempt; returns the members to retry."""
+        for member in batch.members:
+            member.attempts += 1
+        try:
+            outs = _run_batch_job(self._batch_args(batch, inline=True))
+        except Exception as exc:
+            # The group raised outside per-member isolation (worker
+            # setup, a malformed group): every member shares the outcome.
+            outs = [_member_failure("exception", exc)] * len(batch.members)
+        return [member for member, out in zip(batch.members, outs)
+                if self._absorb_member(member, out, sleep=True)]
 
     # ---------------------------------------------------------- pool path
 
@@ -264,10 +427,17 @@ class _GridExecutor:
                 self.instrument, self.fault_plan, job.index,
                 job.attempts - 1, inline)
 
-    def _submit_eligible(self):
-        """Fill free pool slots with eligible queued jobs.
+    def _batch_args(self, batch, inline):
+        members = batch.members
+        return (batch.wname, [m.spec for m in members], self.aligned,
+                self.verify, self.instrument, self.fault_plan,
+                [m.index for m in members],
+                [m.attempts - 1 for m in members], inline)
 
-        During suspect isolation only one job runs at a time, and
+    def _submit_eligible(self):
+        """Fill free pool slots with eligible queued work units.
+
+        During suspect isolation only one unit runs at a time, and
         suspects go first, so the culprit of an unattributed crash is
         identified (or exonerated) as quickly as possible.
         """
@@ -284,18 +454,34 @@ class _GridExecutor:
             if job.eligible_at > now:
                 continue
             self.queue.remove(job)
-            job.attempts += 1
+            batch = isinstance(job, _BatchJob)
+            if batch:
+                for member in job.members:
+                    member.attempts += 1
+                task, args = _run_batch_job, self._batch_args(job,
+                                                              inline=False)
+            else:
+                job.attempts += 1
+                task, args = _run_job, self._args(job, inline=False)
             try:
-                future = self.pool.submit(_run_job,
-                                          self._args(job, inline=False))
+                future = self.pool.submit(task, args)
             except (BrokenProcessPool, RuntimeError):
                 # Pool died between collections; undo and recover.
-                job.attempts -= 1
+                if batch:
+                    for member in job.members:
+                        member.attempts -= 1
+                else:
+                    job.attempts -= 1
                 self.queue.appendleft(job)
                 self._recover_broken()
                 return
-            job.deadline = (now + self.timeout
-                            if self.timeout is not None else None)
+            if self.timeout is None:
+                job.deadline = None
+            else:
+                # A batch is N simulations in one task; its wall-clock
+                # allowance scales with the member count.
+                scale = len(job.members) if batch else 1
+                job.deadline = now + self.timeout * scale
             self.inflight[future] = job
 
     def _sleep_until_eligible(self):
@@ -331,7 +517,17 @@ class _GridExecutor:
             if isinstance(exc, BrokenProcessPool):
                 return True
             del self.inflight[future]
-            if exc is None:
+            if isinstance(job, _BatchJob):
+                if exc is None:
+                    for member, out in zip(job.members, future.result()):
+                        self._absorb_member(member, out, sleep=False)
+                else:
+                    # The whole group raised outside per-member
+                    # isolation: each member is charged its attempt and
+                    # retried (as a scalar single) on its own budget.
+                    for member in job.members:
+                        self._maybe_retry(member, "exception", exc)
+            elif exc is None:
                 try:
                     self._record(job, future.result())
                 except Exception as rebuild_exc:
@@ -348,24 +544,33 @@ class _GridExecutor:
         victims = []
         for future, job in list(self.inflight.items()):
             if future.done() and future.exception() is None:
-                try:
-                    self._record(job, future.result())
-                except Exception as rebuild_exc:
-                    self._fail(job, "exception", str(rebuild_exc))
-                self.suspects.discard(job.index)
+                if isinstance(job, _BatchJob):
+                    for member, out in zip(job.members, future.result()):
+                        self._absorb_member(member, out, sleep=False)
+                else:
+                    try:
+                        self._record(job, future.result())
+                    except Exception as rebuild_exc:
+                        self._fail(job, "exception", str(rebuild_exc))
+                    self.suspects.discard(job.index)
             else:
                 victims.append(job)
         self.inflight.clear()
         _kill_pool(self.pool)
         self.pool = ProcessPoolExecutor(max_workers=self.width)
-        if len(victims) == 1:
+        if len(victims) == 1 and not isinstance(victims[0], _BatchJob):
             job = victims[0]
             self.suspects.discard(job.index)
             self._maybe_retry(job, "crash",
                               "worker process died (BrokenProcessPool)")
         else:
-            # Culprit unknown: requeue uncharged, isolate until resolved.
+            # Culprit unknown — several victims, or a batch whose dying
+            # member cannot be identified: requeue uncharged, isolate
+            # until resolved.
             for job in victims:
+                if isinstance(job, _BatchJob):
+                    self._disband(job)
+                    continue
                 job.attempts -= 1
                 job.deadline = None
                 self.suspects.add(job.index)
@@ -386,7 +591,16 @@ class _GridExecutor:
             if future.done():
                 del self.inflight[future]
                 exc = future.exception()
-                if exc is None:
+                if isinstance(job, _BatchJob):
+                    if exc is None:
+                        for member, out in zip(job.members, future.result()):
+                            self._absorb_member(member, out, sleep=False)
+                    elif isinstance(exc, BrokenProcessPool):
+                        self._disband(job)  # member of record unknown
+                    else:
+                        for member in job.members:
+                            self._maybe_retry(member, "exception", exc)
+                elif exc is None:
                     try:
                         self._record(job, future.result())
                     except Exception as rebuild_exc:
@@ -404,16 +618,74 @@ class _GridExecutor:
         self.pool = ProcessPoolExecutor(max_workers=self.width)
         self.inflight.clear()
         for job in innocents:
-            job.attempts -= 1  # uncharged: their workers were collateral
-            job.deadline = None
-            self.queue.append(job)
+            # Uncharged: their workers were collateral of the teardown.
+            if isinstance(job, _BatchJob):
+                for member in job.members:
+                    member.attempts -= 1
+                job.deadline = None
+                self.queue.append(job)  # still a batch; nothing failed
+            else:
+                job.attempts -= 1
+                job.deadline = None
+                self.queue.append(job)
         for _, job in overdue:
+            if isinstance(job, _BatchJob):
+                # Some member hung, but which one is unknowable from
+                # outside the process — the timeout cannot be charged
+                # to anyone. Disband; the hanger will time out alone.
+                self._disband(job)
+                continue
             self.suspects.discard(job.index)
             self._maybe_retry(
                 job, "timeout",
                 f"exceeded per-job timeout of {self.timeout:g}s")
 
     # -------------------------------------------------------- accounting
+
+    def _absorb_member(self, member, out, sleep):
+        """Absorb one member outcome of a finished batch group.
+
+        Mirrors :meth:`_maybe_retry`'s retry condition and backoff
+        schedule exactly, against the worker-computed ``retryable``
+        flag. Returns True when the member retries as a scalar single
+        (``sleep=True``, the inline path, blocks for the backoff and
+        lets the caller requeue; otherwise the member is requeued here
+        with its backoff as eligibility time).
+        """
+        if out["ok"]:
+            try:
+                self._record(member, out["payload"])
+            except Exception as rebuild_exc:
+                self._fail(member, "exception", str(rebuild_exc))
+            return False
+        if not out.get("retryable") or member.attempts > self.retries:
+            self._fail(member, out.get("kind", "exception"), out["message"])
+            return False
+        delay = (self.backoff * (2.0 ** (member.attempts - 1))
+                 if self.backoff else 0.0)
+        if sleep:
+            if delay:
+                time.sleep(delay)
+        else:
+            member.eligible_at = time.monotonic() + delay
+            member.deadline = None
+            self.queue.append(member)
+        return True
+
+    def _disband(self, batch):
+        """Requeue a batch's members uncharged as scalar suspects.
+
+        Used when the batch died as a unit (worker crash, wall-clock
+        timeout) and the culprit member is unknown — exactly the
+        multi-victim ``BrokenProcessPool`` shape: innocents must not be
+        charged, and suspect isolation re-runs everyone one at a time
+        until the culprit fails alone (and only then is charged).
+        """
+        for member in batch.members:
+            member.attempts -= 1
+            member.deadline = None
+            self.suspects.add(member.index)
+            self.queue.append(member)
 
     def _record(self, job, payload):
         workload, config = self.resolved[job.index]
@@ -482,16 +754,23 @@ def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
             stats=result.stats, timestamp=timestamp,
             program_hash=program_hash(program), checksum=result.checksum,
             verified=result.verified, wall_seconds=result.wall_seconds,
-            cached=index in cached_indices)
+            cached=index in cached_indices,
+            backend=getattr(result, "backend", "scalar"))
         keyed.append(((workload.name, fingerprint), record))
     keyed.sort(key=lambda pair: pair[0])
     ledger.append_all([record for _, record in keyed])
 
 
+#: ``backend="auto"``: smallest same-program group routed to the batch
+#: engine. Below this the amortization does not cover the batch
+#: envelope (group assembly, per-member payload mapping).
+AUTO_BATCH_MIN = 4
+
+
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
-             aligned=False, instrument=False, *, timeout=None, retries=2,
-             backoff=0.25, strict=False, fault_plan=None, ledger=None,
-             ledger_timestamp=None):
+             aligned=False, instrument=False, *, backend="scalar",
+             timeout=None, retries=2, backoff=0.25, strict=False,
+             fault_plan=None, ledger=None, ledger_timestamp=None):
     """Simulate every ``(workload, config)`` job, in parallel, surviving
     worker crashes, hangs, and transient failures.
 
@@ -516,6 +795,18 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         Attach stall attribution and interval metrics in every worker;
         the serialized stats then carry ``stall_breakdown`` and
         ``interval_metrics`` (and use a distinct disk-cache key).
+    backend:
+        ``"scalar"`` (default) simulates one job per work unit, exactly
+        as before. ``"batch"`` groups uncached jobs that share a
+        decoded program — key ``(workload, nthreads, program hash,
+        instrument)`` — and advances each group inside one
+        :class:`~repro.core.batch.BatchEngine`; ``"auto"`` batches only
+        groups of :data:`AUTO_BATCH_MIN` or more and leaves the rest
+        scalar. Results are bit-identical across backends (enforced by
+        ``tests/test_batch.py``); per-job failure, retry, and timeout
+        semantics are preserved per member — one member failing never
+        poisons its batch-mates, whose results are kept and whose retry
+        budgets are not charged for the culprit's faults.
     timeout:
         Per-job wall-clock seconds. A job past its deadline is presumed
         hung: its worker pool is torn down, innocents are requeued
@@ -555,6 +846,9 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     from repro.harness.diskcache import DiskResultCache
     from repro.workloads import by_name
 
+    if backend not in ("scalar", "batch", "auto"):
+        raise ValueError(f"unknown backend {backend!r}; expected "
+                         f"'scalar', 'batch', or 'auto'")
     if disk_cache is not None and not isinstance(disk_cache,
                                                  DiskResultCache):
         disk_cache = DiskResultCache(disk_cache, schema=Runner.RESULT_SCHEMA)
@@ -587,18 +881,24 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
                            ledger_timestamp, aligned)
         return results
 
+    if backend == "scalar":
+        units = pending
+    else:
+        units = _group_batches(pending, resolved, aligned, instrument,
+                               min_group=(AUTO_BATCH_MIN
+                                          if backend == "auto" else 1))
     if workers is None:
         workers = default_workers()
     executor = _GridExecutor(
-        width=min(max(1, workers), len(pending)), timeout=timeout,
+        width=min(max(1, workers), len(units)), timeout=timeout,
         retries=max(0, retries), backoff=backoff, verify=verify,
         aligned=aligned, instrument=instrument, fault_plan=fault_plan,
         disk_cache=disk_cache, rebuilder=rebuilder, resolved=resolved,
         results=results)
-    if workers <= 1 or len(pending) == 1:
-        failures = executor.run_inline(pending)
+    if workers <= 1 or len(units) == 1:
+        failures = executor.run_inline(units)
     else:
-        failures = executor.run_pool(pending)
+        failures = executor.run_pool(units)
     if ledger is not None:
         _ledger_append(ledger, resolved, results, cached_indices,
                        ledger_timestamp, aligned)

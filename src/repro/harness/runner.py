@@ -25,24 +25,28 @@ class RunResult:
     ``wall_seconds`` is the host time the simulation took when it was
     actually executed (``None`` only for legacy cached payloads); a
     cache replay keeps the original measurement, so ledger records of
-    cached results still report the throughput of the real run.
+    cached results still report the throughput of the real run. For a
+    result produced by a batch group (``backend="batch"``) it is the
+    amortized per-member share of the batch wall clock — the members
+    ran interleaved, so no exclusive per-member time exists.
     """
 
     __slots__ = ("workload", "nthreads", "stats", "checksum", "verified",
-                 "wall_seconds")
+                 "wall_seconds", "backend")
 
     #: Discriminator mirrored by ``JobFailure.ok = False``: grid callers
     #: can filter mixed result lists with ``r.ok`` instead of isinstance.
     ok = True
 
     def __init__(self, workload, nthreads, stats, checksum, verified,
-                 wall_seconds=None):
+                 wall_seconds=None, backend="scalar"):
         self.workload = workload
         self.nthreads = nthreads
         self.stats = stats
         self.checksum = checksum
         self.verified = verified
         self.wall_seconds = wall_seconds
+        self.backend = backend
 
     @property
     def cycles(self):
@@ -88,6 +92,43 @@ def program_hash(program):
     digest.update(repr(program.data).encode())
     digest.update(str(program.entry).encode())
     return digest.hexdigest()
+
+
+#: Process-level decoded-program cache:
+#: ``(workload, nthreads, aligned) -> (Program, program_hash)``.
+#: Keyed by workload object identity — the registry
+#: (:func:`repro.workloads.by_name`) hands out module singletons, so
+#: every grid job and batch group resolving the same name in one
+#: process shares one entry (and ad-hoc test workloads can never
+#: collide by name alone).
+_DECODE_CACHE = {}
+
+
+def decoded_program(workload, nthreads, aligned=False):
+    """Assembled program plus its content hash, decoded once per process.
+
+    Workload objects already memoize *compilation* per ``(nthreads,
+    aligned)``; this cache additionally pins the program's content hash
+    (otherwise recomputed for every disk-cache key and ledger record of
+    a sweep) and pre-builds every ALU/FP execution closure and
+    disassembly line, so all later consumers — each scalar job of a
+    sweep, each member of a :class:`~repro.core.batch.BatchEngine`
+    group — share the same warm, read-only instruction objects.
+    """
+    key = (workload, nthreads, bool(aligned))
+    hit = _DECODE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    from repro.isa.semantics import build_exec
+    program = workload.program(nthreads, aligned=aligned)
+    for instr in program.instructions:
+        try:
+            build_exec(instr)
+        except ValueError:
+            pass  # not an ALU/FP op: executes in a pipeline stage instead
+    hit = (program, program_hash(program))
+    _DECODE_CACHE[key] = hit
+    return hit
 
 
 class Runner:
@@ -149,11 +190,11 @@ class Runner:
         if key in self._cache:
             return self._cache[key]
         nthreads = config.nthreads
-        program = workload.program(nthreads, aligned=aligned)
+        program, phash = decoded_program(workload, nthreads, aligned=aligned)
         disk = self.disk_cache
         disk_key = None
         if disk is not None:
-            disk_key = self._disk_key(key, program)
+            disk_key = self._disk_key(key, program, phash)
             payload = disk.get(disk_key)
             if payload is not None:
                 result = self._from_payload(workload, config, payload)
@@ -194,9 +235,10 @@ class Runner:
         return (workload.name, aligned, _config_key(config))
 
     @staticmethod
-    def _disk_key(key, program):
+    def _disk_key(key, program, phash=None):
         from repro.harness.diskcache import hash_key
-        return hash_key(ENGINE_VERSION, key, program_hash(program))
+        return hash_key(ENGINE_VERSION, key,
+                        phash if phash is not None else program_hash(program))
 
     @staticmethod
     def _to_payload(result):
@@ -206,6 +248,7 @@ class Runner:
             "checksum": result.checksum,
             "verified": result.verified,
             "wall_seconds": result.wall_seconds,
+            "backend": result.backend,
         }
 
     def _from_payload(self, workload, config, payload):
@@ -215,6 +258,9 @@ class Runner:
             raise AssertionError(
                 f"{workload.name}: cached run recorded a checksum "
                 f"mismatch ({payload['checksum']!r})")
+        # Legacy payloads (and the seed's) predate the backend field;
+        # everything they recorded came from the scalar engine.
         return RunResult(workload, payload["nthreads"], stats,
                          payload["checksum"], verified,
-                         payload.get("wall_seconds"))
+                         payload.get("wall_seconds"),
+                         backend=payload.get("backend", "scalar"))

@@ -161,7 +161,7 @@ def summarize_metrics(interval_metrics):
 def make_record(*, source, workload, config, stats, timestamp,
                 program_hash=None, checksum=None, verified=None,
                 wall_seconds=None, cached=False, engine_version=None,
-                keep_interval_metrics=False):
+                keep_interval_metrics=False, backend="scalar"):
     """Build one ledger record (a plain JSON-serializable dict).
 
     ``stats`` is a :class:`~repro.core.stats.SimStats` or its
@@ -171,6 +171,14 @@ def make_record(*, source, workload, config, stats, timestamp,
     raw histograms too — used by ``repro stats --json``). ``timestamp``
     is caller-supplied (see :func:`utc_now_iso`); the record id is a
     content fingerprint over everything else.
+
+    ``backend`` names the engine path that produced the result
+    (``"scalar"`` — one :meth:`PipelineSim.run` — or ``"batch"`` — a
+    :class:`~repro.core.batch.BatchEngine` group). For batch members,
+    ``wall_seconds`` must be the amortized per-member share of the
+    batch wall clock (the members ran interleaved; see
+    ``docs/PERFORMANCE.md``), which keeps the derived
+    ``cycles_per_sec`` a *per-member* rate, comparable across backends.
     """
     spec = config.to_spec() if hasattr(config, "to_spec") else dict(config)
     counters = dict(stats if isinstance(stats, dict) else stats.to_dict())
@@ -204,6 +212,7 @@ def make_record(*, source, workload, config, stats, timestamp,
         "checksum": checksum,
         "verified": verified,
         "cached": bool(cached),
+        "backend": backend,
     }
     record["run_id"] = fingerprint(record)
     return record
@@ -284,6 +293,9 @@ class RunLedger:
                     field not in record for field in REQUIRED_FIELDS):
                 skipped += 1
                 continue
+            # Records written before the batch backend existed carry no
+            # backend field; everything they measured was scalar.
+            record.setdefault("backend", "scalar")
             out.append(record)
         self.skipped = skipped
         if skipped:

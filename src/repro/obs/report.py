@@ -183,7 +183,7 @@ def _value(record, kind):
 
 def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
                disk_cache=None, instrument=False, timestamp=None,
-               csv_path=None):
+               csv_path=None, backend="scalar"):
     """Run one experiment grid and render its table from the ledger.
 
     The grid goes through :func:`run_grid` with ``ledger=`` attached,
@@ -191,7 +191,8 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
     built from :meth:`RunLedger.latest_by_key` — *not* from the
     in-memory results — which is the property the regression acceptance
     test pins. Returns the rendered text; writes ``csv_path`` when
-    given.
+    given. ``backend`` is forwarded to :func:`run_grid` — the batch
+    backend changes only wall-clock cost, never a single table cell.
     """
     from repro.harness.parallel import run_grid
 
@@ -201,7 +202,8 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
         name, workloads=workloads, threads=threads)
     run_grid([(wname, config) for wname, config, _ in jobs],
              workers=workers, disk_cache=disk_cache, instrument=instrument,
-             ledger=ledger, ledger_timestamp=timestamp, strict=True)
+             backend=backend, ledger=ledger, ledger_timestamp=timestamp,
+             strict=True)
 
     latest = ledger.latest_by_key()
     wanted = {}

@@ -67,6 +67,38 @@ MATRIX = [
 ]
 
 
+#: Label under which the batch-backend sweep is pinned in
+#: ``BENCH_engine.json``'s ``cycles`` / ``cycles_per_sec`` maps.
+#: Aggregate numbers: the sum of the sweep's simulated cycles, and that
+#: sum over the sweep's wall clock.
+BATCH_SWEEP_LABEL = "batch:LL2-2t-sweep8"
+
+#: Workload every batch-sweep member simulates.
+BATCH_SWEEP_WORKLOAD = "LL2"
+
+#: The batch-backend sweep: one workload, eight two-thread
+#: configurations — the shape of every paper experiment (SU depths,
+#: cache pressure, fetch policies, bypassing) — run as one same-program
+#: group. Keep in sync with the committed ``BENCH_engine.json``.
+BATCH_SWEEP = [
+    dict(nthreads=2, su_entries=32),
+    dict(nthreads=2),
+    dict(nthreads=2, su_entries=128),
+    dict(nthreads=2,
+         cache=CacheConfig(size_bytes=256, assoc=1, miss_penalty=64)),
+    dict(nthreads=2, cache=CacheConfig(size_bytes=128, line_words=4,
+                                       assoc=1, miss_penalty=96)),
+    dict(nthreads=2, fetch_policy="icount"),
+    dict(nthreads=2, fetch_policy="masked_rr"),
+    dict(nthreads=2, bypassing=False),
+]
+
+
+def batch_sweep_configs():
+    """Fresh :class:`MachineConfig` list for the batch-backend sweep."""
+    return [MachineConfig(**kwargs) for kwargs in BATCH_SWEEP]
+
+
 def matrix_configs(matrix=None):
     """``{label: (workload_name, MachineConfig)}`` for ``matrix``."""
     return {label: (wname, MachineConfig(**kwargs))
@@ -77,7 +109,32 @@ def _null_sink(event):
     """Cheapest possible event consumer, for overhead measurement."""
 
 
-def measure(reps=3, instrument=False, matrix=None):
+def _run_once(program, config, instrument, backend):
+    """One simulation of ``program`` under ``config`` via ``backend``.
+
+    The scalar backend is a plain :class:`PipelineSim` run (with the
+    full observability load, null event sink included, when
+    instrumented); the batch backend wraps the same simulation in a
+    one-member :class:`~repro.core.batch.BatchEngine` group, so
+    ``repro check --backend batch`` pins the whole golden matrix
+    through the batch advance loop. Cycle counts must be identical
+    either way.
+    """
+    if backend == "batch":
+        from repro.core.batch import run_batch
+        outcome = run_batch(program, [config], instrument=instrument)[0]
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.stats
+    sim = PipelineSim(program, config)
+    if instrument:
+        sim.attach_attribution()
+        sim.attach_metrics()
+        sim.add_sink(_null_sink)
+    return sim.run()
+
+
+def measure(reps=3, instrument=False, matrix=None, backend="scalar"):
     """Best-of-``reps`` cycles/sec for every matrix entry.
 
     Returns ``{label: entry}`` where each entry carries ``cycles``,
@@ -85,27 +142,31 @@ def measure(reps=3, instrument=False, matrix=None):
     final rep's full ``stats`` dict (for ledger records).
 
     With ``instrument=True``, every run carries the full observability
-    load: stall attribution, interval metrics, and an event-bus sink
-    that discards events — the worst realistic case for hot-loop
-    overhead. Cycle counts must match the uninstrumented engine
-    exactly; only wall-clock throughput may differ.
+    load: stall attribution, interval metrics, and (scalar backend
+    only) an event-bus sink that discards events — the worst realistic
+    case for hot-loop overhead. Cycle counts must match the
+    uninstrumented engine exactly; only wall-clock throughput may
+    differ.
+
+    ``backend="batch"`` routes every run through a one-member
+    :class:`~repro.core.batch.BatchEngine` group instead of a plain
+    :class:`PipelineSim` — the regression gate's way of pinning the
+    golden matrix's cycle counts through the batch advance loop.
     """
+    if backend not in ("scalar", "batch"):
+        raise ValueError(f"unknown backend {backend!r}; expected "
+                         f"'scalar' or 'batch'")
     out = {}
     for label, wname, kwargs in (matrix or MATRIX):
         config = MachineConfig(**kwargs)
         program = by_name(wname).program(config.nthreads)
-        PipelineSim(program, config).run()  # warm caches, JIT-free warmup
+        _run_once(program, config, False, backend)  # warm-up, untimed
         best = 0.0
         best_elapsed = None
         stats = None
         for _ in range(reps):
-            sim = PipelineSim(program, config)
-            if instrument:
-                sim.attach_attribution()
-                sim.attach_metrics()
-                sim.add_sink(_null_sink)
             start = time.perf_counter()
-            stats = sim.run()
+            stats = _run_once(program, config, instrument, backend)
             elapsed = time.perf_counter() - start
             rate = stats.cycles / elapsed
             if rate > best:
@@ -118,6 +179,56 @@ def measure(reps=3, instrument=False, matrix=None):
             "stats": stats.to_dict(),
         }
     return out
+
+
+def measure_backends(reps=3):
+    """Drift-resistant scalar-vs-batch sweep throughput measurement.
+
+    Runs the fixed single-workload eight-configuration sweep
+    (:data:`BATCH_SWEEP`) through ``run_grid(workers=1, backend=...)``
+    with the timed reps *interleaved* — scalar, batch, scalar, batch —
+    so host speed drift lands on both sides (the
+    :func:`measure_overhead` methodology), and asserts the two backends
+    return bit-identical per-member stats on every rep. Returns
+    ``(scalar_entry, batch_entry)``: each carries the aggregate
+    ``cycles`` (sum over the sweep — identical on both sides by
+    construction), best-of-reps aggregate ``cycles_per_sec`` (sweep
+    cycles over sweep wall clock), and that rep's ``wall_seconds``.
+    """
+    from repro.harness.parallel import run_grid
+
+    jobs = [(BATCH_SWEEP_WORKLOAD, config)
+            for config in batch_sweep_configs()]
+    run_grid(jobs, workers=1)  # warm the decode cache, untimed
+    best = {"scalar": 0.0, "batch": 0.0}
+    best_elapsed = {"scalar": None, "batch": None}
+    cycles = None
+    for _ in range(reps):
+        rep_stats = {}
+        for backend in ("scalar", "batch"):
+            start = time.perf_counter()
+            results = run_grid(jobs, workers=1, backend=backend)
+            elapsed = time.perf_counter() - start
+            bad = [r for r in results if not r.ok]
+            if bad:
+                raise AssertionError(
+                    f"{backend} sweep failed: {bad}")
+            rep_stats[backend] = [r.stats.to_dict() for r in results]
+            cycles = sum(r.stats.cycles for r in results)
+            rate = cycles / elapsed
+            if rate > best[backend]:
+                best[backend] = rate
+                best_elapsed[backend] = elapsed
+        if rep_stats["scalar"] != rep_stats["batch"]:
+            raise AssertionError(
+                "batch backend diverged from scalar on the sweep — "
+                "simulated stats must be bit-identical")
+    scalar_entry, batch_entry = ({
+        "cycles": cycles,
+        "cycles_per_sec": round(best[backend]),
+        "wall_seconds": best_elapsed[backend],
+    } for backend in ("scalar", "batch"))
+    return scalar_entry, batch_entry
 
 
 def measure_overhead(reps=3, matrix=None):
@@ -199,7 +310,8 @@ def check_baseline(measured, baseline, tolerance=DEFAULT_TOLERANCE):
     return cycle_failures, perf_failures
 
 
-def ledger_records(measured, *, source, timestamp, matrix=None):
+def ledger_records(measured, *, source, timestamp, matrix=None,
+                   backend="scalar"):
     """Ledger records for a :func:`measure` result, sorted by label.
 
     Sorted so two runs of the same matrix append in the same order —
@@ -215,5 +327,5 @@ def ledger_records(measured, *, source, timestamp, matrix=None):
         records.append(ledger_mod.make_record(
             source=source, workload=wname, config=config,
             stats=entry["stats"], timestamp=timestamp,
-            wall_seconds=entry["wall_seconds"]))
+            wall_seconds=entry["wall_seconds"], backend=backend))
     return records

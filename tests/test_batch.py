@@ -1,0 +1,272 @@
+"""Batch-backend suite: bit-identity with the scalar engine, member
+fault isolation, and the harness/ledger integration (see
+docs/PERFORMANCE.md, "Batch backend").
+
+The batch engine's whole contract is "same numbers, different loop":
+every statistic, stall attribution, and checksum must match a plain
+:meth:`PipelineSim.run` of the same configuration bit-for-bit, under
+any member interleaving, in both fast-forward modes — and one member
+failing (deadlock, watchdog hang, injected fault) must never perturb
+or charge its batch-mates.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim, run_batch
+from repro.core.config import CacheConfig
+from repro.core.pipeline import DeadlockError, SimulationHang
+from repro.faults import FaultPlan
+from repro.harness import JobFailure, run_grid
+from repro.obs import sentry
+from repro.workloads import by_name
+
+
+def _scalar_stats(program, config, instrument=False):
+    sim = PipelineSim(program, config)
+    if instrument:
+        attr = sim.attach_attribution()
+        sim.attach_metrics()
+    stats = sim.run()
+    if instrument:
+        attr.verify(stats)
+    return stats.to_dict()
+
+
+def _sweep_jobs():
+    """Four same-program jobs — one batchable group for run_grid."""
+    return [(by_name("LL2"), MachineConfig(nthreads=2, su_entries=su))
+            for su in (32, 64, 128, 256)]
+
+
+# ------------------------------------------------------- bit-identity
+
+
+@pytest.mark.parametrize("fast_forward", [True, False],
+                         ids=["ff", "no-ff"])
+def test_batch_matches_scalar_on_regression_matrix(fast_forward):
+    """Every golden-matrix entry, through a one-member batch group."""
+    for label, wname, kwargs in sentry.MATRIX:
+        config = MachineConfig(fast_forward=fast_forward, **kwargs)
+        program = by_name(wname).program(config.nthreads)
+        want = _scalar_stats(program, config)
+        outcome = run_batch(program, [config])[0]
+        assert outcome.ok, f"{label}: {outcome.error!r}"
+        assert outcome.stats.to_dict() == want, label
+
+
+@pytest.mark.parametrize("fast_forward", [True, False],
+                         ids=["ff", "no-ff"])
+def test_batch_sweep_deep_interleaving_bit_identical(fast_forward):
+    """The 8-config sweep as one group, with a tiny chunk so members
+    interleave hundreds of times."""
+    program = by_name(sentry.BATCH_SWEEP_WORKLOAD).program(2)
+    configs = [MachineConfig(fast_forward=fast_forward, **kwargs)
+               for kwargs in sentry.BATCH_SWEEP]
+    want = [_scalar_stats(program, config) for config in configs]
+    outcomes = run_batch(program, configs, chunk=17)
+    assert [o.stats.to_dict() for o in outcomes] == want
+
+
+def test_randomized_configs_batch_matches_scalar_instrumented():
+    """Property test: random config sets (mixed fast-forward modes,
+    random chunk) with full instrumentation — stats including the
+    folded stall attribution must match member-for-member."""
+    rng = random.Random(1996)
+    program = by_name("LL2").program(2)
+    caches = [None,
+              CacheConfig(size_bytes=256, assoc=1, miss_penalty=64),
+              CacheConfig(size_bytes=128, line_words=4, assoc=1,
+                          miss_penalty=96)]
+    configs = []
+    for _ in range(5):
+        kwargs = dict(
+            nthreads=2,
+            su_entries=rng.choice([32, 64, 128]),
+            fetch_policy=rng.choice(["true_rr", "icount", "masked_rr"]),
+            bypassing=rng.choice([True, False]),
+            fast_forward=rng.choice([True, False]),
+        )
+        cache = rng.choice(caches)
+        if cache is not None:
+            kwargs["cache"] = cache
+        configs.append(MachineConfig(**kwargs))
+    want = [_scalar_stats(program, config, instrument=True)
+            for config in configs]
+    chunk = rng.choice([13, 97, 256])
+    outcomes = run_batch(program, configs, instrument=True, chunk=chunk)
+    for outcome, want_stats in zip(outcomes, want):
+        assert outcome.ok, repr(outcome.error)
+        assert outcome.stats.to_dict() == want_stats
+
+
+# --------------------------------------------- engine fault isolation
+
+
+def test_member_deadlock_isolated():
+    program = by_name("LL2").program(2)
+    good = MachineConfig(nthreads=2)
+    outcomes = run_batch(program, [good,
+                                   good.replace(max_cycles=50),
+                                   good.replace(su_entries=32)])
+    assert isinstance(outcomes[1].error, DeadlockError)
+    assert not outcomes[1].ok
+    for index in (0, 2):
+        assert outcomes[index].ok
+    assert outcomes[0].stats.to_dict() == _scalar_stats(program, good)
+
+
+def test_member_watchdog_hang_isolated():
+    program = by_name("LL2").program(2)
+    good = MachineConfig(nthreads=2)
+    outcomes = run_batch(program, [good.replace(hang_cycles=1), good])
+    assert isinstance(outcomes[0].error, SimulationHang)
+    assert outcomes[1].ok
+    assert outcomes[1].stats.to_dict() == _scalar_stats(program, good)
+
+
+# --------------------------------------------------- harness routing
+
+
+def test_run_grid_batch_backend_bit_identical_and_tagged():
+    jobs = _sweep_jobs()
+    want = run_grid(jobs, workers=1)
+    got = run_grid(jobs, workers=1, backend="batch")
+    for scalar, batch in zip(want, got):
+        assert batch.ok
+        assert scalar.backend == "scalar"
+        assert batch.backend == "batch"
+        assert batch.stats.to_dict() == scalar.stats.to_dict()
+        assert batch.checksum == scalar.checksum
+        # Amortized per-member share of the batch wall clock.
+        assert batch.wall_seconds and batch.wall_seconds > 0
+
+
+def test_run_grid_auto_batches_large_groups_only():
+    jobs = _sweep_jobs() + [(by_name("LL5"), MachineConfig(nthreads=1))]
+    results = run_grid(jobs, workers=1, backend="auto")
+    assert [r.backend for r in results] == ["batch"] * 4 + ["scalar"]
+    for result, want in zip(results, run_grid(jobs, workers=1)):
+        assert result.stats.to_dict() == want.stats.to_dict()
+
+
+def test_run_grid_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        run_grid(_sweep_jobs(), workers=1, backend="vector")
+
+
+# --------------------------------------- harness fault semantics
+
+
+def test_batch_member_fault_isolated_mates_uncharged():
+    """A persistently failing member exhausts *its own* retry budget
+    (one batch attempt, then scalar retries); its batch-mates complete
+    inside the original batch with correct results."""
+    jobs = _sweep_jobs()
+    plan = FaultPlan().fail(indices=[1], attempts=99)
+    results = run_grid(jobs, workers=1, backend="batch", fault_plan=plan,
+                       retries=2, backoff=0.0)
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "exception"
+    assert failure.attempts == 3  # 1 batch attempt + 2 scalar retries
+    expected = run_grid(jobs, workers=1)
+    for index in (0, 2, 3):
+        assert results[index].ok
+        assert results[index].backend == "batch"
+        assert (results[index].stats.to_dict()
+                == expected[index].stats.to_dict())
+
+
+def test_batch_member_fault_heals_as_scalar_retry():
+    """A transient member failure degrades that member to a scalar
+    re-run; the mates keep their batch results."""
+    jobs = _sweep_jobs()
+    plan = FaultPlan().fail(indices=[2], attempts=1)
+    results = run_grid(jobs, workers=1, backend="batch", fault_plan=plan,
+                       backoff=0.0)
+    assert all(r.ok for r in results)
+    assert results[2].backend == "scalar"  # re-ran solo after the fault
+    assert [results[i].backend for i in (0, 1, 3)] == ["batch"] * 3
+
+
+def test_batch_hanging_member_isolated():
+    """A wedged member (no-progress watchdog) fails deterministically —
+    never retried — and the mates complete in the batch."""
+    jobs = _sweep_jobs()
+    workload, config = jobs[1]
+    jobs[1] = (workload, config.replace(hang_cycles=1))
+    results = run_grid(jobs, workers=1, backend="batch",
+                       retries=2, backoff=0.0)
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert failure.attempts == 1  # deterministic error: no retries
+    for index in (0, 2, 3):
+        assert results[index].ok
+        assert results[index].backend == "batch"
+
+
+# ------------------------------------------------- decode cache, ledger
+
+
+def test_decoded_program_is_cached_and_prebuilt():
+    from repro.harness.runner import decoded_program, program_hash
+
+    workload = by_name("LL2")
+    program_a, hash_a = decoded_program(workload, 2)
+    program_b, hash_b = decoded_program(workload, 2)
+    assert program_a is program_b
+    assert hash_a == hash_b == program_hash(program_a)
+    # Execution closures were prebuilt for the ALU/FP instructions.
+    assert any(getattr(instr, "_exec", None) is not None
+               for instr in program_a.instructions)
+
+
+def test_ledger_records_carry_backend_and_amortized_wall(tmp_path):
+    from repro.obs.ledger import RunLedger
+
+    path = tmp_path / "ledger.jsonl"
+    jobs = _sweep_jobs()
+    run_grid(jobs, workers=1, backend="batch", ledger=path)
+    records = RunLedger(path).records()
+    assert len(records) == len(jobs)
+    for record in records:
+        assert record["backend"] == "batch"
+        assert record["wall_seconds"] > 0
+        assert record["cycles_per_sec"] > 0
+
+
+def test_ledger_legacy_record_defaults_to_scalar_backend(tmp_path):
+    from repro.obs import ledger as ledger_mod
+
+    workload = by_name("LL5")
+    config = MachineConfig(nthreads=1)
+    stats = PipelineSim(workload.program(1), config).run()
+    record = ledger_mod.make_record(
+        source="test", workload=workload.name, config=config, stats=stats,
+        timestamp=ledger_mod.utc_now_iso())
+    assert record["backend"] == "scalar"
+    record.pop("backend")  # pre-batch ledgers have no backend field
+    path = tmp_path / "ledger.jsonl"
+    path.write_text(json.dumps(record) + "\n")
+    loaded = ledger_mod.RunLedger(path).records()
+    assert loaded[0]["backend"] == "scalar"
+
+
+# ------------------------------------------------------ sentry plumbing
+
+
+def test_sentry_measure_batch_backend_matches_cycles():
+    matrix = [sentry.MATRIX[0]]
+    scalar = sentry.measure(reps=1, matrix=matrix)
+    batch = sentry.measure(reps=1, matrix=matrix, backend="batch")
+    label = matrix[0][0]
+    assert scalar[label]["cycles"] == batch[label]["cycles"]
+
+
+def test_sentry_measure_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        sentry.measure(reps=1, matrix=[sentry.MATRIX[0]],
+                       backend="vector")
