@@ -33,11 +33,22 @@ Commands
 ``report --experiment {threads,fetch,su,cache}``
     Re-run one paper experiment grid through the ledger and render the
     corresponding EXPERIMENTS.md table from ledger data (``--csv`` for
-    a machine-readable copy).
+    a machine-readable copy). ``--live`` shows a one-line progress
+    view, ``--events``/``--trace`` record the sweep's telemetry as a
+    JSONL event log and a Perfetto timeline, and ``--sweep ID``
+    renders a *finished* sweep's table without re-simulating.
+``sweep LOG``
+    Summarize a finished sweep from its JSONL event log (see
+    ``--events``): lifecycle accounting, cache/batch counters, backend
+    mix, ``--waterfall`` per-job timelines, and failure forensics.
+    Exits 1 if the accounting invariant is violated (a job without
+    exactly one queued + one terminal event).
 
 ``run``, ``bench``, ``check``, and ``report`` append durable records
 to the run ledger (``~/.cache/repro-sdsp/ledger.jsonl``, overridden by
 ``REPRO_LEDGER`` or ``--ledger``; disabled by ``--no-ledger``).
+``--sweep-id`` stamps appended records as one sweep; ``repro diff``
+and ``repro report`` scope to a recorded sweep with ``--sweep``.
 """
 
 import argparse
@@ -97,26 +108,77 @@ def _ledger_args(parser):
                              "~/.cache/repro-sdsp/ledger.jsonl)")
     parser.add_argument("--no-ledger", action="store_true",
                         help="do not append records to the run ledger")
+    parser.add_argument("--sweep-id", default=None, metavar="ID",
+                        help="stamp appended ledger records with this "
+                             "sweep id (see 'repro sweep' and "
+                             "report/diff --sweep)")
 
 
 def _ledger_append(args, *, source, workload, config, stats, program=None,
-                   checksum=None, verified=None, wall_seconds=None):
+                   checksum=None, verified=None, wall_seconds=None,
+                   sweep_id=None):
     """Append one record to the run ledger; never fails the command."""
     if getattr(args, "no_ledger", False):
         return
     from repro.harness.runner import program_hash
     from repro.obs import ledger as ledger_mod
 
+    if sweep_id is None:
+        sweep_id = getattr(args, "sweep_id", None)
     record = ledger_mod.make_record(
         source=source, workload=workload, config=config, stats=stats,
         timestamp=ledger_mod.utc_now_iso(),
         program_hash=program_hash(program) if program is not None else None,
-        checksum=checksum, verified=verified, wall_seconds=wall_seconds)
+        checksum=checksum, verified=verified, wall_seconds=wall_seconds,
+        sweep_id=sweep_id)
     try:
         ledger_mod.RunLedger(args.ledger).append(record)
     except OSError as error:
         print(f"repro: warning: could not append to run ledger: {error}",
               file=sys.stderr)
+
+
+def _open_telemetry(args):
+    """Build a sweep-telemetry hub from ``--live/--events/--trace``.
+
+    Returns ``(telemetry, finish)``: ``telemetry`` is ``None`` when no
+    flag asked for one (so commands stay on their zero-overhead path),
+    and ``finish()`` flushes the file-backed sinks — the JSONL event
+    log and the Perfetto sweep trace — after the sweep ends.
+    """
+    live = getattr(args, "live", False)
+    events_path = getattr(args, "events", None)
+    trace_path = getattr(args, "trace", None)
+    if not live and not events_path and not trace_path:
+        return None, lambda: None
+    from repro.obs.export import JsonlSink, SweepTraceCollector
+    from repro.obs.telemetry import LiveProgress, SweepTelemetry
+
+    telemetry = SweepTelemetry(sweep_id=getattr(args, "sweep_id", None))
+    handle = None
+    collector = None
+    if live:
+        telemetry.subscribe(LiveProgress())
+    if events_path:
+        handle = open(events_path, "w")
+        telemetry.subscribe(JsonlSink(handle))
+    if trace_path:
+        collector = SweepTraceCollector()
+        telemetry.subscribe(collector)
+
+    def finish():
+        if handle is not None:
+            handle.close()
+            print(f"sweep events -> {events_path} "
+                  f"(sweep {telemetry.sweep_id}; inspect with "
+                  f"'repro sweep {events_path}')", file=sys.stderr)
+        if collector is not None:
+            with open(trace_path, "w") as out:
+                collector.write(out)
+            print(f"sweep trace -> {trace_path} (perfetto)",
+                  file=sys.stderr)
+
+    return telemetry, finish
 
 
 def _machine_config(args):
@@ -180,12 +242,41 @@ def cmd_run(args):
             print(f"  thread {thread.tid}: {thread.retired} retired")
         return 0
     sim = PipelineSim(program, config)
+    telemetry, finish = _open_telemetry(args)
+    beat_stop = beat_thread = None
+    if telemetry is not None:
+        # Degenerate one-job sweep: the same lifecycle events a grid
+        # emits, with heartbeats carrying the live simulated cycle.
+        import threading
+        telemetry.sweep_start(total=1, workers=1)
+        telemetry.job_queued(0, args.file)
+        telemetry.job_started(0, args.file, 1)
+        beat_stop = threading.Event()
+
+        def _beat():
+            while not beat_stop.wait(telemetry.heartbeat):
+                telemetry.maybe_heartbeat(running=1, queued=0,
+                                          cycle=sim.cycle)
+
+        beat_thread = threading.Thread(target=_beat, daemon=True)
+        beat_thread.start()
     start = time.perf_counter()
-    stats = sim.run()
+    try:
+        stats = sim.run()
+    finally:
+        if beat_stop is not None:
+            beat_stop.set()
+            beat_thread.join(timeout=2.0)
     wall = time.perf_counter() - start
+    if telemetry is not None:
+        telemetry.job_done(0, args.file, cycles=stats.cycles,
+                           wall_seconds=wall)
+        telemetry.sweep_end()
+        finish()
     print(stats.summary())
     _ledger_append(args, source="cli.run", workload=args.file, config=config,
-                   stats=stats, program=program, wall_seconds=wall)
+                   stats=stats, program=program, wall_seconds=wall,
+                   sweep_id=telemetry.sweep_id if telemetry else None)
     return 0
 
 
@@ -260,12 +351,45 @@ def cmd_stats(args):
     return 0
 
 
+def _bench_grid(args, workload, config, telemetry, finish):
+    """``repro bench --live``: a one-job sweep through ``run_grid`` so
+    the progress line / event log come from the exact telemetry hooks
+    every grid sweep uses (``verify=False``: a checksum mismatch is
+    reported as MISMATCH + exit 1, not an exception)."""
+    from repro.harness.parallel import run_grid
+
+    try:
+        results = run_grid([(workload, config)], workers=1, verify=False,
+                           telemetry=telemetry)
+    finally:
+        finish()
+    result = results[0]
+    if not result.ok:
+        raise CliError(f"{workload.name}: {result.kind} after "
+                       f"{result.attempts} attempt(s): {result.message}")
+    ok = result.verified
+    print(result.stats.summary())
+    verdict = ("verified" if ok
+               else f"MISMATCH vs {workload.expected(args.threads)!r}")
+    print(f"checksum:            {result.checksum!r} ({verdict})")
+    _ledger_append(args, source="cli.bench", workload=workload.name,
+                   config=config, stats=result.stats,
+                   program=workload.program(args.threads),
+                   checksum=result.checksum, verified=ok,
+                   wall_seconds=result.wall_seconds,
+                   sweep_id=telemetry.sweep_id)
+    return 0 if ok else 1
+
+
 def cmd_bench(args):
     workload = BY_NAME.get(args.name)
     if workload is None:
         raise CliError(f"unknown workload {args.name!r}; valid "
                        f"workloads: {_workload_choices()}")
     config = _machine_config(args)
+    telemetry, finish = _open_telemetry(args)
+    if telemetry is not None:
+        return _bench_grid(args, workload, config, telemetry, finish)
     program = workload.program(args.threads)
     sim = PipelineSim(program, config)
     start = time.perf_counter()
@@ -289,8 +413,8 @@ def cmd_diff(args):
 
     ledger = RunLedger(args.ledger)
     try:
-        record_a = ledger.resolve(args.run_a)
-        record_b = ledger.resolve(args.run_b)
+        record_a = ledger.resolve(args.run_a, sweep=args.sweep)
+        record_b = ledger.resolve(args.run_b, sweep=args.sweep)
     except LedgerError as error:
         raise CliError(str(error)) from error
     print(render_diff(record_a, record_b))
@@ -342,7 +466,8 @@ def cmd_check(args):
                 sentry.ledger_records(
                     measured, source="cli.check",
                     timestamp=ledger_mod.utc_now_iso(), matrix=matrix,
-                    backend=args.backend))
+                    backend=args.backend,
+                    sweep_id=getattr(args, "sweep_id", None)))
         except OSError as error:
             print(f"repro: warning: could not append to run ledger: "
                   f"{error}", file=sys.stderr)
@@ -374,6 +499,10 @@ def cmd_report(args):
     from repro.obs.ledger import LedgerError
     from repro.obs.report import run_report
 
+    telemetry, finish = _open_telemetry(args)
+    if args.sweep is not None and telemetry is not None:
+        raise CliError("--live/--events/--trace instrument a fresh grid; "
+                       "--sweep renders an already-finished one")
     disk_cache = None if args.fresh else cache_default()
     try:
         text = run_report(
@@ -382,12 +511,31 @@ def cmd_report(args):
             threads=tuple(args.threads) if args.threads else None,
             workers=args.workers, disk_cache=disk_cache,
             instrument=args.instrument, csv_path=args.csv,
-            backend=args.backend)
+            backend=args.backend, sweep=args.sweep, telemetry=telemetry,
+            sweep_id=getattr(args, "sweep_id", None))
     except (GridError, LedgerError, ValueError, KeyError) as error:
         message = error.args[0] if error.args else str(error)
         raise CliError(str(message)) from error
+    finally:
+        finish()
     print(text)
     return 0
+
+
+def cmd_sweep(args):
+    from repro.obs.telemetry import load_events, render_summary
+
+    try:
+        events = load_events(args.log)
+    except OSError as error:
+        raise CliError(f"cannot read {args.log!r}: "
+                       f"{error.strerror or error}") from error
+    if not events:
+        raise CliError(f"{args.log!r} contains no sweep events")
+    text, ok = render_summary(events, waterfall=args.waterfall,
+                              show_failures=not args.no_failures)
+    print(text)
+    return 0 if ok else 1
 
 
 def cmd_workloads(args):
@@ -424,12 +572,21 @@ def build_parser():
     p_run.add_argument("--align", action="store_true")
     p_run.add_argument("--functional", action="store_true",
                        help="use the architectural simulator only")
+    p_run.add_argument("--live", action="store_true",
+                       help="single-line live progress (cycle heartbeats) "
+                            "on stderr while simulating")
     _machine_args(p_run)
     _ledger_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser("bench", help="run a paper workload")
     p_bench.add_argument("name")
+    p_bench.add_argument("--live", action="store_true",
+                         help="single-line live progress on stderr "
+                              "(routes through the grid harness)")
+    p_bench.add_argument("--events", default=None, metavar="PATH",
+                         help="record the sweep's JSONL event log "
+                              "(inspect with 'repro sweep PATH')")
     _machine_args(p_bench)
     _ledger_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
@@ -473,6 +630,9 @@ def build_parser():
     p_diff.add_argument("--ledger", default=None, metavar="PATH",
                         help="ledger file (default: REPRO_LEDGER or "
                              "~/.cache/repro-sdsp/ledger.jsonl)")
+    p_diff.add_argument("--sweep", default=None, metavar="ID",
+                        help="resolve RUNA/RUNB within this sweep's "
+                             "records only ('last' = last of the sweep)")
     p_diff.set_defaults(func=cmd_diff)
 
     p_check = sub.add_parser(
@@ -532,7 +692,35 @@ def build_parser():
     p_report.add_argument("--ledger", default=None, metavar="PATH",
                           help="ledger file (default: REPRO_LEDGER or "
                                "~/.cache/repro-sdsp/ledger.jsonl)")
+    p_report.add_argument("--live", action="store_true",
+                          help="single-line live sweep progress on stderr")
+    p_report.add_argument("--events", default=None, metavar="PATH",
+                          help="record the sweep's JSONL event log "
+                               "(inspect with 'repro sweep PATH')")
+    p_report.add_argument("--trace", default=None, metavar="PATH",
+                          help="export the sweep timeline as a Perfetto "
+                               "trace (one track per worker lane)")
+    p_report.add_argument("--sweep-id", default=None, metavar="ID",
+                          help="stamp this sweep's ledger records with a "
+                               "fixed id (default: a fresh one when "
+                               "telemetry is attached)")
+    p_report.add_argument("--sweep", default=None, metavar="ID",
+                          help="render the table from an already-finished "
+                               "sweep's ledger records (no simulation)")
     p_report.set_defaults(func=cmd_report)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="summarize a finished sweep from its event log")
+    p_sweep.add_argument("log", metavar="LOG",
+                         help="JSONL sweep-event log (bench/report "
+                              "--events, or a JsonlSink on a "
+                              "SweepTelemetry hub)")
+    p_sweep.add_argument("--waterfall", action="store_true",
+                         help="per-job lifecycle waterfall (queued time, "
+                              "attempts, outcome, timeline bar)")
+    p_sweep.add_argument("--no-failures", action="store_true",
+                         help="omit the failure-forensics event dump")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_list = sub.add_parser("workloads", help="list the paper's workloads")
     p_list.set_defaults(func=cmd_workloads)

@@ -145,6 +145,8 @@ class DiskResultCache:
         self.misses = 0
         #: Entries dropped for schema/engine mismatch (diagnostics).
         self.dropped = 0
+        #: Corrupt files moved aside to ``<name>.corrupt-<n>``.
+        self.quarantined = 0
         self._entries, self._engines = self._load()
         self._dirty = False
 
@@ -238,6 +240,7 @@ class DiskResultCache:
             os.replace(self.path, target)
         except OSError:
             return  # concurrently removed/quarantined; nothing to keep
+        self.quarantined += 1
         warnings.warn(
             f"cache file {self.path} is corrupt ({reason}); quarantined "
             f"to {target} and starting empty",
@@ -314,10 +317,24 @@ class DiskResultCache:
                 raise
         self._dirty = False
 
+    def counters(self):
+        """Session counters as a plain dict.
+
+        The shape sweep telemetry embeds in its ``sweep-end`` event and
+        ``repro sweep`` renders in its cache-accounting table; also
+        handy for tests that want exact numbers without parsing
+        :meth:`stats_line`.
+        """
+        return {"hits": self.hits, "misses": self.misses,
+                "dropped": self.dropped, "quarantined": self.quarantined,
+                "entries": len(self._entries)}
+
     def stats_line(self):
         """One-line hit/miss summary for end-of-session reporting."""
         total = self.hits + self.misses
         dropped = f", {self.dropped} dropped" if self.dropped else ""
+        quarantined = (f", {self.quarantined} quarantined"
+                       if self.quarantined else "")
         return (f"disk result cache: {self.hits}/{total} hits, "
                 f"{self.misses} misses, {len(self._entries)} entries"
-                f"{dropped} ({self.path})")
+                f"{dropped}{quarantined} ({self.path})")

@@ -46,6 +46,18 @@ Faults themselves are injectable: pass a
 fire deterministic crashes/hangs/exceptions, which is how
 ``tests/test_faults.py`` proves each recovery path. See
 ``docs/ROBUSTNESS.md``.
+
+Sweep telemetry
+---------------
+Pass ``telemetry=`` (a :class:`repro.obs.telemetry.SweepTelemetry`) or
+``progress=`` and the event loop narrates itself: one typed event per
+job-lifecycle transition (``queued``, ``cache-hit``, ``batched``,
+``started``, ``retry``, ``timeout``, ``worker-crash``,
+``degraded-to-scalar``, ``done``, ``failed``) plus throttled worker
+heartbeats and a final metrics snapshot. Every hook below is a bare
+``is None`` predicate — with no hub attached nothing is imported and
+nothing is called (the PR-2 zero-overhead contract, enforced by
+``tests/test_obs_overhead.py``). See ``docs/OBSERVABILITY.md``.
 """
 
 import os
@@ -342,7 +354,7 @@ class _GridExecutor:
 
     def __init__(self, *, width, timeout, retries, backoff, verify,
                  aligned, instrument, fault_plan, disk_cache, rebuilder,
-                 resolved, results):
+                 resolved, results, telemetry=None):
         self.width = width
         self.timeout = timeout
         self.retries = retries
@@ -355,6 +367,7 @@ class _GridExecutor:
         self.rebuilder = rebuilder
         self.resolved = resolved
         self.results = results
+        self.telemetry = telemetry  # None => every hook is one predicate
         self.failures = []
         self.queue = deque()
         self.inflight = {}       # future -> _Job
@@ -378,6 +391,9 @@ class _GridExecutor:
             job = unit
             while True:
                 job.attempts += 1
+                if self.telemetry is not None:
+                    self.telemetry.job_started(job.index, job.wname,
+                                               job.attempts)
                 try:
                     payload = _run_job(self._args(job, inline=True))
                     self._record(job, payload)
@@ -392,6 +408,9 @@ class _GridExecutor:
         """One inline batch attempt; returns the members to retry."""
         for member in batch.members:
             member.attempts += 1
+            if self.telemetry is not None:
+                self.telemetry.job_started(member.index, member.wname,
+                                           member.attempts, batched=True)
         try:
             outs = _run_batch_job(self._batch_args(batch, inline=True))
         except Exception as exc:
@@ -409,6 +428,9 @@ class _GridExecutor:
         try:
             while self.queue or self.inflight:
                 self._submit_eligible()
+                if self.telemetry is not None:
+                    self.telemetry.maybe_heartbeat(
+                        running=len(self.inflight), queued=len(self.queue))
                 if not self.inflight:
                     self._sleep_until_eligible()
                     continue
@@ -483,6 +505,15 @@ class _GridExecutor:
                 scale = len(job.members) if batch else 1
                 job.deadline = now + self.timeout * scale
             self.inflight[future] = job
+            if self.telemetry is not None:
+                if batch:
+                    for member in job.members:
+                        self.telemetry.job_started(
+                            member.index, member.wname, member.attempts,
+                            batched=True)
+                else:
+                    self.telemetry.job_started(job.index, job.wname,
+                                               job.attempts)
 
     def _sleep_until_eligible(self):
         now = time.monotonic()
@@ -558,6 +589,14 @@ class _GridExecutor:
         self.inflight.clear()
         _kill_pool(self.pool)
         self.pool = ProcessPoolExecutor(max_workers=self.width)
+        if self.telemetry is not None and victims:
+            indices = []
+            for job in victims:
+                if isinstance(job, _BatchJob):
+                    indices.extend(m.index for m in job.members)
+                else:
+                    indices.append(job.index)
+            self.telemetry.worker_crash(indices)
         if len(victims) == 1 and not isinstance(victims[0], _BatchJob):
             job = victims[0]
             self.suspects.discard(job.index)
@@ -633,9 +672,12 @@ class _GridExecutor:
                 # Some member hung, but which one is unknowable from
                 # outside the process — the timeout cannot be charged
                 # to anyone. Disband; the hanger will time out alone.
-                self._disband(job)
+                self._disband(job, reason="batch exceeded wall clock")
                 continue
             self.suspects.discard(job.index)
+            if self.telemetry is not None:
+                self.telemetry.job_timeout(job.index, job.wname,
+                                           job.attempts)
             self._maybe_retry(
                 job, "timeout",
                 f"exceeded per-job timeout of {self.timeout:g}s")
@@ -663,6 +705,14 @@ class _GridExecutor:
             return False
         delay = (self.backoff * (2.0 ** (member.attempts - 1))
                  if self.backoff else 0.0)
+        if self.telemetry is not None:
+            self.telemetry.degraded_to_scalar(
+                member.index, member.wname,
+                reason=f"batch member {out.get('kind', 'exception')}; "
+                       f"retrying scalar")
+            self.telemetry.job_retry(member.index, member.wname,
+                                     out.get("kind", "exception"),
+                                     member.attempts, delay)
         if sleep:
             if delay:
                 time.sleep(delay)
@@ -672,7 +722,7 @@ class _GridExecutor:
             self.queue.append(member)
         return True
 
-    def _disband(self, batch):
+    def _disband(self, batch, reason="batch died as a unit"):
         """Requeue a batch's members uncharged as scalar suspects.
 
         Used when the batch died as a unit (worker crash, wall-clock
@@ -680,20 +730,32 @@ class _GridExecutor:
         multi-victim ``BrokenProcessPool`` shape: innocents must not be
         charged, and suspect isolation re-runs everyone one at a time
         until the culprit fails alone (and only then is charged).
+        The attempt being uncharged, members emit ``degraded-to-scalar``
+        but no ``retry`` event.
         """
         for member in batch.members:
             member.attempts -= 1
             member.deadline = None
             self.suspects.add(member.index)
             self.queue.append(member)
+            if self.telemetry is not None:
+                self.telemetry.degraded_to_scalar(
+                    member.index, member.wname,
+                    reason=f"{reason}; suspect isolation")
 
     def _record(self, job, payload):
         workload, config = self.resolved[job.index]
-        self.results[job.index] = self.rebuilder._from_payload(
-            workload, config, payload)
+        result = self.rebuilder._from_payload(workload, config, payload)
+        self.results[job.index] = result
         if self.disk_cache is not None and job.key is not None:
             # Persist immediately: a later crash loses nothing finished.
             self.disk_cache.put(job.key, payload)
+        if self.telemetry is not None:
+            self.telemetry.job_done(
+                job.index, job.wname, cycles=result.stats.cycles,
+                wall_seconds=result.wall_seconds,
+                backend=getattr(result, "backend", "scalar"),
+                attempts=job.attempts)
 
     def _maybe_retry(self, job, kind, exc_or_message, sleep=False):
         """Requeue ``job`` with backoff, or convert it to a failure.
@@ -710,6 +772,9 @@ class _GridExecutor:
             return False
         delay = (self.backoff * (2.0 ** (job.attempts - 1))
                  if self.backoff else 0.0)
+        if self.telemetry is not None:
+            self.telemetry.job_retry(job.index, job.wname, kind,
+                                     job.attempts, delay)
         if sleep:
             if delay:
                 time.sleep(delay)
@@ -725,10 +790,13 @@ class _GridExecutor:
                              job.attempts)
         self.failures.append(failure)
         self.results[job.index] = failure
+        if self.telemetry is not None:
+            self.telemetry.job_failed(job.index, job.wname, kind,
+                                      job.attempts, message)
 
 
 def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
-                   aligned):
+                   aligned, sweep_id=None):
     """Append one ledger record per successful grid result.
 
     Records are sorted by ``(workload, config_fingerprint)`` — not by
@@ -755,7 +823,8 @@ def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
             program_hash=program_hash(program), checksum=result.checksum,
             verified=result.verified, wall_seconds=result.wall_seconds,
             cached=index in cached_indices,
-            backend=getattr(result, "backend", "scalar"))
+            backend=getattr(result, "backend", "scalar"),
+            sweep_id=sweep_id)
         keyed.append(((workload.name, fingerprint), record))
     keyed.sort(key=lambda pair: pair[0])
     ledger.append_all([record for _, record in keyed])
@@ -770,7 +839,8 @@ AUTO_BATCH_MIN = 4
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
              aligned=False, instrument=False, *, backend="scalar",
              timeout=None, retries=2, backoff=0.25, strict=False,
-             fault_plan=None, ledger=None, ledger_timestamp=None):
+             fault_plan=None, ledger=None, ledger_timestamp=None,
+             telemetry=None, progress=None, sweep_id=None):
     """Simulate every ``(workload, config)`` job, in parallel, surviving
     worker crashes, hangs, and transient failures.
 
@@ -836,6 +906,24 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     ledger_timestamp:
         Timestamp stored on every record this call appends (defaults to
         UTC now); pass a fixed value for reproducible ledgers.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.SweepTelemetry` hub. The
+        event loop emits one typed :class:`SweepEvent` per job-lifecycle
+        transition through it, plus throttled heartbeats and a final
+        metrics/cache snapshot (``sweep-end``). ``None`` (the default)
+        emits nothing and imports nothing — every hook is a bare
+        ``is None`` predicate.
+    progress:
+        Live terminal progress: ``True`` attaches a
+        :class:`~repro.obs.telemetry.LiveProgress` on stderr, a stream
+        attaches one there, and any callable is subscribed as a raw
+        event sink. Builds a fresh hub when ``telemetry`` is not given.
+    sweep_id:
+        Identifier stamped into this sweep's ledger records (and used
+        for the hub built by ``progress=``). Defaults to the attached
+        hub's id when one exists, else ``None`` — ledger-only runs are
+        never assigned a random id, keeping repeat appends of the same
+        grid byte-identical.
 
     Returns
     -------
@@ -852,12 +940,29 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     if disk_cache is not None and not isinstance(disk_cache,
                                                  DiskResultCache):
         disk_cache = DiskResultCache(disk_cache, schema=Runner.RESULT_SCHEMA)
+    if progress is not None and progress is not False:
+        from repro.obs.telemetry import LiveProgress, SweepTelemetry
+
+        sink = (progress if callable(progress)
+                else LiveProgress() if progress is True
+                else LiveProgress(progress))
+        if telemetry is None:
+            telemetry = SweepTelemetry(sweep_id=sweep_id)
+        telemetry.subscribe(sink)
+    if telemetry is not None and sweep_id is None:
+        sweep_id = telemetry.sweep_id
+
     resolved = []
     for workload, config in jobs:
         if isinstance(workload, str):
             workload = by_name(workload)
         config.validate()
         resolved.append((workload, config))
+    if workers is None:
+        workers = default_workers()
+    if telemetry is not None:
+        telemetry.sweep_start(total=len(resolved), workers=workers,
+                              backend=backend)
 
     rebuilder = Runner(verify=verify)
     results = [None] * len(resolved)
@@ -865,6 +970,8 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     pending = []  # _Job records for uncached work
     for index, (workload, config) in enumerate(resolved):
         key = None
+        if telemetry is not None:
+            telemetry.job_queued(index, workload.name)
         if disk_cache is not None:
             program = workload.program(config.nthreads, aligned=aligned)
             key = _job_key(workload, config, aligned, program, instrument)
@@ -873,12 +980,17 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
                 results[index] = rebuilder._from_payload(
                     workload, config, payload)
                 cached_indices.add(index)
+                if telemetry is not None:
+                    telemetry.cache_hit(index, workload.name)
                 continue
         pending.append(_Job(index, key, workload.name, config.to_spec()))
     if not pending:
         if ledger is not None:
             _ledger_append(ledger, resolved, results, cached_indices,
-                           ledger_timestamp, aligned)
+                           ledger_timestamp, aligned, sweep_id)
+        if telemetry is not None:
+            telemetry.sweep_end(cache=(disk_cache.counters()
+                                       if disk_cache is not None else None))
         return results
 
     if backend == "scalar":
@@ -887,21 +999,27 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         units = _group_batches(pending, resolved, aligned, instrument,
                                min_group=(AUTO_BATCH_MIN
                                           if backend == "auto" else 1))
-    if workers is None:
-        workers = default_workers()
+        if telemetry is not None:
+            for unit in units:
+                if isinstance(unit, _BatchJob):
+                    telemetry.batch_formed(
+                        [m.index for m in unit.members], unit.wname)
     executor = _GridExecutor(
         width=min(max(1, workers), len(units)), timeout=timeout,
         retries=max(0, retries), backoff=backoff, verify=verify,
         aligned=aligned, instrument=instrument, fault_plan=fault_plan,
         disk_cache=disk_cache, rebuilder=rebuilder, resolved=resolved,
-        results=results)
+        results=results, telemetry=telemetry)
     if workers <= 1 or len(units) == 1:
         failures = executor.run_inline(units)
     else:
         failures = executor.run_pool(units)
     if ledger is not None:
         _ledger_append(ledger, resolved, results, cached_indices,
-                       ledger_timestamp, aligned)
+                       ledger_timestamp, aligned, sweep_id)
+    if telemetry is not None:
+        telemetry.sweep_end(cache=(disk_cache.counters()
+                                   if disk_cache is not None else None))
     if strict and failures:
         raise GridError(failures, results)
     return results

@@ -6,9 +6,12 @@ Import surface is deliberately small: :mod:`repro.obs.events` and
 the pipeline can import them without cycles; the heavier pieces live in
 :mod:`repro.obs.metrics`, :mod:`repro.obs.export`,
 :mod:`repro.obs.ledger` (append-only JSONL run ledger),
-:mod:`repro.obs.report` (``repro diff`` / ``repro report``), and
-:mod:`repro.obs.sentry` (the noise-aware regression gate) and are
-imported on demand (``attach_metrics``, the CLI, the exporters' users).
+:mod:`repro.obs.report` (``repro diff`` / ``repro report``),
+:mod:`repro.obs.sentry` (the noise-aware regression gate), and
+:mod:`repro.obs.telemetry` (harness-level sweep events for
+``run_grid``; stdlib-only at import, so re-exporting it here stays
+cycle-free) and are imported on demand (``attach_metrics``, the CLI,
+the exporters' users).
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, the stall
 categories, the zero-overhead contract, and the ledger schema.
@@ -16,6 +19,13 @@ categories, the zero-overhead contract, and the ledger schema.
 
 from repro.obs.attribution import CATEGORIES, StallAttribution, format_breakdown
 from repro.obs.ledger import RunLedger, make_record
+from repro.obs.telemetry import (
+    LiveProgress,
+    SweepEvent,
+    SweepMetrics,
+    SweepTelemetry,
+    new_sweep_id,
+)
 from repro.obs.events import (
     CommitEvent,
     DecodeEvent,
@@ -39,12 +49,17 @@ __all__ = [
     "EVENT_TYPES",
     "FetchEvent",
     "IssueEvent",
+    "LiveProgress",
     "MaskEvent",
     "RunLedger",
     "SquashEvent",
     "StallAttribution",
     "StallEvent",
+    "SweepEvent",
+    "SweepMetrics",
+    "SweepTelemetry",
     "WritebackEvent",
     "format_breakdown",
     "make_record",
+    "new_sweep_id",
 ]

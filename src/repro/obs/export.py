@@ -31,6 +31,8 @@ from repro.obs.events import Event
 PID_THREADS = 1
 PID_FUS = 2
 PID_ENGINE = 3
+#: Sweep-timeline tracks (harness telemetry, not simulated cycles).
+PID_SWEEP = 4
 
 #: FU-instance track id stride: ``tid = fu_index * 64 + unit``.
 FU_TRACK_STRIDE = 64
@@ -181,6 +183,154 @@ class PerfettoCollector:
     def write(self, stream, final_cycle=None):
         """Serialize the trace to ``stream`` as JSON."""
         json.dump(self.trace(final_cycle), stream)
+        stream.write("\n")
+
+
+class SweepTraceCollector:
+    """Perfetto timeline of a sweep from harness telemetry events.
+
+    A :class:`~repro.obs.telemetry.SweepTelemetry` sink producing the
+    same ``trace_event`` object format as :class:`PerfettoCollector`,
+    on **pid 4** with one track per *worker lane*. The parent process
+    cannot know which pool worker ran which job, so lanes are virtual:
+    each ``started`` event claims the lowest free lane (the same
+    lowest-free-instance rule the FU tracks use) and the lane is
+    released when the job's attempt ends. With ``workers`` lanes the
+    timeline therefore shows true sweep concurrency even though lane
+    numbers are not OS pids.
+
+    Track contents:
+
+    * per-lane ``X`` spans, one per job *attempt* (``started`` to
+      ``done``/``failed``/``retry``/``timeout`` — or to the next
+      ``started`` for attempts abandoned without a charged event, e.g.
+      innocents requeued after a pool crash);
+    * ``i`` (instant) annotations on lane 0's control track (tid 0):
+      ``queued``, ``cache-hit``, ``batched``, ``worker-crash``,
+      ``degraded-to-scalar``, ``heartbeat``.
+
+    Timestamps are seconds since sweep start, written as microseconds.
+    The output passes :func:`validate_trace` (CI gates on it).
+    """
+
+    __slots__ = ("events", "count", "sweep_id", "_open", "_free",
+                 "_next_lane", "_lanes_used")
+
+    #: Control track for sweep-level instants (lanes start at 1).
+    CONTROL_TID = 0
+
+    def __init__(self):
+        import heapq  # noqa: F401  (documented dependency of _claim)
+
+        self.events = []
+        self.count = 0
+        self.sweep_id = None
+        self._open = {}     # job index -> (lane, start ts, name, attempt)
+        self._free = []     # heap of released lane numbers
+        self._next_lane = 1
+        self._lanes_used = set()
+
+    def _claim(self):
+        import heapq
+
+        if self._free:
+            return heapq.heappop(self._free)
+        lane = self._next_lane
+        self._next_lane += 1
+        return lane
+
+    def _release(self, lane):
+        import heapq
+
+        heapq.heappush(self._free, lane)
+
+    def _close(self, job, ts, outcome):
+        """Emit the X span for ``job``'s open attempt, free its lane."""
+        lane, start, name, attempt = self._open.pop(job)
+        self._release(lane)
+        self.events.append({
+            "name": name, "cat": "job", "ph": "X",
+            "ts": start, "dur": max(ts - start, 1),
+            "pid": PID_SWEEP, "tid": lane,
+            "args": {"job": job, "attempt": attempt, "outcome": outcome}})
+
+    def _instant(self, name, ts, args):
+        self.events.append({"name": name, "cat": "sweep", "ph": "i",
+                            "ts": ts, "pid": PID_SWEEP,
+                            "tid": self.CONTROL_TID, "s": "t",
+                            "args": args})
+
+    def __call__(self, event):
+        self.count += 1
+        kind = event.kind
+        ts = int(event.t * 1_000_000)
+        data = event.data or {}
+        if self.sweep_id is None and event.sweep_id:
+            self.sweep_id = event.sweep_id
+        if kind == "started":
+            if event.job in self._open:
+                # Abandoned attempt (e.g. innocent requeued uncharged
+                # after a pool crash): close it at the restart instant.
+                self._close(event.job, ts, "requeued")
+            lane = self._claim()
+            self._lanes_used.add(lane)
+            name = event.workload or f"job {event.job}"
+            if data.get("batched"):
+                name = f"{name} [batch]"
+            self._open[event.job] = (lane, ts, name,
+                                     data.get("attempt", 1))
+        elif kind in ("done", "failed", "retry", "timeout"):
+            if event.job in self._open:
+                self._close(event.job, ts, kind)
+        elif kind == "worker-crash":
+            victims = data.get("victims") or ()
+            for victim in list(victims):
+                if victim in self._open:
+                    self._close(victim, ts, "worker-crash")
+            self._instant("worker-crash", ts, {"victims": list(victims)})
+        elif kind in ("queued", "cache-hit", "batched",
+                      "degraded-to-scalar"):
+            args = {"job": event.job} if event.job is not None else {}
+            if event.workload:
+                args["workload"] = event.workload
+            if kind == "degraded-to-scalar" and data.get("reason"):
+                args["reason"] = data["reason"]
+            self._instant(kind, ts, args)
+        elif kind == "heartbeat":
+            self._instant("heartbeat", ts,
+                          {"running": data.get("running"),
+                           "queued": data.get("queued")})
+        elif kind == "sweep-end":
+            for job in list(self._open):
+                self._close(job, ts, "unfinished")
+
+    def _metadata(self):
+        meta = [{"name": "process_name", "ph": "M", "ts": 0,
+                 "pid": PID_SWEEP, "tid": 0,
+                 "args": {"name": "sweep workers"}},
+                {"name": "thread_name", "ph": "M", "ts": 0,
+                 "pid": PID_SWEEP, "tid": self.CONTROL_TID,
+                 "args": {"name": "sweep events"}}]
+        for lane in sorted(self._lanes_used):
+            meta.append({"name": "thread_name", "ph": "M", "ts": 0,
+                         "pid": PID_SWEEP, "tid": lane,
+                         "args": {"name": f"worker lane {lane}"}})
+        return meta
+
+    def trace(self):
+        """The sweep timeline as a ``trace_event`` object dict."""
+        body = sorted(self.events,
+                      key=lambda ev: (ev["ts"], _PHASE_RANK.get(ev["ph"], 1)))
+        record = {"traceEvents": self._metadata() + body,
+                  "displayTimeUnit": "ms",
+                  "otherData": {"time_unit": "1 us = 1e-6 s wall clock"}}
+        if self.sweep_id is not None:
+            record["otherData"]["sweep_id"] = self.sweep_id
+        return record
+
+    def write(self, stream):
+        """Serialize the sweep trace to ``stream`` as JSON."""
+        json.dump(self.trace(), stream)
         stream.write("\n")
 
 

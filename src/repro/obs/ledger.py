@@ -161,7 +161,8 @@ def summarize_metrics(interval_metrics):
 def make_record(*, source, workload, config, stats, timestamp,
                 program_hash=None, checksum=None, verified=None,
                 wall_seconds=None, cached=False, engine_version=None,
-                keep_interval_metrics=False, backend="scalar"):
+                keep_interval_metrics=False, backend="scalar",
+                sweep_id=None):
     """Build one ledger record (a plain JSON-serializable dict).
 
     ``stats`` is a :class:`~repro.core.stats.SimStats` or its
@@ -179,6 +180,10 @@ def make_record(*, source, workload, config, stats, timestamp,
     batch wall clock (the members ran interleaved; see
     ``docs/PERFORMANCE.md``), which keeps the derived
     ``cycles_per_sec`` a *per-member* rate, comparable across backends.
+
+    ``sweep_id`` ties the record to the harness sweep that produced it
+    (see :mod:`repro.obs.telemetry`); ``None`` for standalone runs and
+    for every record written before sweeps existed.
     """
     spec = config.to_spec() if hasattr(config, "to_spec") else dict(config)
     counters = dict(stats if isinstance(stats, dict) else stats.to_dict())
@@ -213,6 +218,7 @@ def make_record(*, source, workload, config, stats, timestamp,
         "verified": verified,
         "cached": bool(cached),
         "backend": backend,
+        "sweep_id": sweep_id,
     }
     record["run_id"] = fingerprint(record)
     return record
@@ -296,6 +302,8 @@ class RunLedger:
             # Records written before the batch backend existed carry no
             # backend field; everything they measured was scalar.
             record.setdefault("backend", "scalar")
+            # Pre-telemetry records belong to no sweep.
+            record.setdefault("sweep_id", None)
             out.append(record)
         self.skipped = skipped
         if skipped:
@@ -308,13 +316,22 @@ class RunLedger:
     def __len__(self):
         return len(self.records())
 
-    def resolve(self, token):
+    def resolve(self, token, sweep=None):
         """Find one record by ``last``/``last~N`` or a run-id prefix.
+
+        ``sweep`` restricts the search to records stamped with that
+        ``sweep_id`` (so ``last`` means "last record of that sweep").
 
         Raises :class:`LedgerError` when the ledger is empty, the token
         matches nothing, or a prefix is ambiguous across distinct runs.
         """
         records = self.records()
+        if sweep is not None:
+            records = [r for r in records if r.get("sweep_id") == sweep]
+            if not records:
+                raise LedgerError(
+                    f"ledger {self.path} has no records for sweep "
+                    f"{sweep!r}")
         if not records:
             raise LedgerError(f"ledger {self.path} has no records")
         if token == "last":
@@ -341,15 +358,18 @@ class RunLedger:
                 f"run id prefix {token!r} is ambiguous: {sample}")
         return matches[-1]
 
-    def latest_by_key(self):
+    def latest_by_key(self, sweep=None):
         """Newest record per ``(workload, config_fingerprint)`` pair.
 
         The selection ``repro report`` renders from: re-running an
         experiment appends fresh records, and the report always reflects
-        the latest measurement of each grid point.
+        the latest measurement of each grid point. ``sweep`` restricts
+        the selection to records stamped with that ``sweep_id``.
         """
         latest = {}
         for record in self.records():
+            if sweep is not None and record.get("sweep_id") != sweep:
+                continue
             latest[(record["workload"], record["config_fingerprint"])] = record
         return latest
 

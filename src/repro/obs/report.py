@@ -183,7 +183,8 @@ def _value(record, kind):
 
 def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
                disk_cache=None, instrument=False, timestamp=None,
-               csv_path=None, backend="scalar"):
+               csv_path=None, backend="scalar", sweep=None, telemetry=None,
+               progress=None, sweep_id=None):
     """Run one experiment grid and render its table from the ledger.
 
     The grid goes through :func:`run_grid` with ``ledger=`` attached,
@@ -193,6 +194,11 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
     test pins. Returns the rendered text; writes ``csv_path`` when
     given. ``backend`` is forwarded to :func:`run_grid` — the batch
     backend changes only wall-clock cost, never a single table cell.
+
+    ``sweep`` renders the table from the ledger records of an already
+    *finished* sweep (no simulation happens); ``telemetry``, ``progress``
+    and ``sweep_id`` are forwarded to :func:`run_grid` so a fresh grid
+    can be watched live and its records stamped as one sweep.
     """
     from repro.harness.parallel import run_grid
 
@@ -200,20 +206,24 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
         ledger = ledger_mod.RunLedger(ledger)
     title, kind, columns, jobs = build_experiment(
         name, workloads=workloads, threads=threads)
-    run_grid([(wname, config) for wname, config, _ in jobs],
-             workers=workers, disk_cache=disk_cache, instrument=instrument,
-             backend=backend, ledger=ledger, ledger_timestamp=timestamp,
-             strict=True)
+    if sweep is None:
+        run_grid([(wname, config) for wname, config, _ in jobs],
+                 workers=workers, disk_cache=disk_cache,
+                 instrument=instrument, backend=backend, ledger=ledger,
+                 ledger_timestamp=timestamp, strict=True,
+                 telemetry=telemetry, progress=progress, sweep_id=sweep_id)
 
-    latest = ledger.latest_by_key()
+    latest = ledger.latest_by_key(sweep=sweep)
     wanted = {}
     for wname, config, label in jobs:
         key = (wname, ledger_mod.config_fingerprint(config))
         record = latest.get(key)
         if record is None:
+            scope = (f" in sweep {sweep!r}" if sweep is not None else
+                     " — run_grid should have appended it")
             raise ledger_mod.LedgerError(
                 f"ledger {ledger.path} has no record for {wname} "
-                f"config {key[1]} — run_grid should have appended it")
+                f"config {key[1]}{scope}")
         wanted[(wname, label)] = record
 
     row_names = list(dict.fromkeys(wname for wname, _, _ in jobs))
@@ -221,9 +231,10 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
                        for label in columns]
             for wname in row_names]
     figures = FIGURE_INDEX.get(name, "")
+    scope = f", sweep {sweep}" if sweep is not None else ""
     header = (f"# repro report --experiment {name} — {figures}\n"
               f"# cf. EXPERIMENTS.md; ledger: {ledger.path} "
-              f"({len(wanted)} grid points)")
+              f"({len(wanted)} grid points{scope})")
     text = header + "\n\n" + format_table(title, ["benchmark"] + columns,
                                           rows)
     if csv_path:

@@ -311,11 +311,12 @@ def check_baseline(measured, baseline, tolerance=DEFAULT_TOLERANCE):
 
 
 def ledger_records(measured, *, source, timestamp, matrix=None,
-                   backend="scalar"):
+                   backend="scalar", sweep_id=None):
     """Ledger records for a :func:`measure` result, sorted by label.
 
     Sorted so two runs of the same matrix append in the same order —
-    ledger files diff cleanly line-for-line.
+    ledger files diff cleanly line-for-line. ``sweep_id`` groups the
+    whole measurement pass as one sweep for ``--sweep`` scoping.
     """
     from repro.obs import ledger as ledger_mod
 
@@ -327,5 +328,6 @@ def ledger_records(measured, *, source, timestamp, matrix=None,
         records.append(ledger_mod.make_record(
             source=source, workload=wname, config=config,
             stats=entry["stats"], timestamp=timestamp,
-            wall_seconds=entry["wall_seconds"], backend=backend))
+            wall_seconds=entry["wall_seconds"], backend=backend,
+            sweep_id=sweep_id))
     return records

@@ -249,3 +249,111 @@ def test_diff_empty_ledger_exits_2(tmp_path, capsys):
     ledger = tmp_path / "empty.jsonl"
     assert main(["diff", "last~1", "last", "--ledger", str(ledger)]) == 2
     assert "no records" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- sweep telemetry
+
+
+def test_bench_live_and_events_record_a_sweep(tmp_path, capsys):
+    import json
+
+    ledger = tmp_path / "ledger.jsonl"
+    log = tmp_path / "events.jsonl"
+    assert main(["bench", "LL2", "--ledger", str(ledger),
+                 "--live", "--events", str(log)]) == 0
+    captured = capsys.readouterr()
+    assert "verified" in captured.out
+    assert "sweep events ->" in captured.err
+    lines = [json.loads(line) for line in
+             log.read_text().splitlines()]
+    kinds = [record["event"] for record in lines]
+    assert kinds[0] == "sweep-start" and kinds[-1] == "sweep-end"
+    assert "done" in kinds
+    from repro.obs.ledger import RunLedger
+    record = RunLedger(ledger).records()[0]
+    assert record["sweep_id"] == lines[0]["sweep_id"]
+
+
+def test_run_live_smoke(asm_file, capsys):
+    assert main(["run", asm_file, "--live"]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_sweep_summarizes_recorded_log(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    assert main(["bench", "LL2", "--no-ledger",
+                 "--events", str(log)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", str(log), "--waterfall"]) == 0
+    out = capsys.readouterr().out
+    assert "lifecycle accounting" in out
+    assert "per-job waterfall" in out
+    assert "accounting: ok" in out
+
+
+def test_sweep_exits_1_on_accounting_violation(tmp_path, capsys):
+    import json
+
+    log = tmp_path / "broken.jsonl"
+    events = [{"event": "sweep-start", "t": 0.0, "sweep_id": "s",
+               "total": 1, "workers": 1},
+              {"event": "queued", "t": 0.0, "sweep_id": "s", "job": 0}]
+    log.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+    assert main(["sweep", str(log)]) == 1
+    assert "accounting: VIOLATED" in capsys.readouterr().out
+
+
+def test_sweep_missing_or_empty_log_exits_2(tmp_path, capsys):
+    assert main(["sweep", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["sweep", str(empty)]) == 2
+    assert "no sweep events" in capsys.readouterr().err
+
+
+def test_report_sweep_conflicts_with_telemetry_flags(tmp_path, capsys):
+    assert main(["report", "--experiment", "threads",
+                 "--ledger", str(tmp_path / "ledger.jsonl"),
+                 "--sweep", "abc", "--live"]) == 2
+    assert "already-finished" in capsys.readouterr().err
+
+
+def test_report_renders_finished_sweep_without_rerunning(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["report", "--experiment", "threads",
+                 "--workloads", "LL2", "--threads", "1",
+                 "--workers", "1", "--ledger", str(ledger),
+                 "--sweep-id", "sweepfixed01", "--fresh"]) == 0
+    capsys.readouterr()
+    assert main(["report", "--experiment", "threads",
+                 "--workloads", "LL2", "--threads", "1",
+                 "--ledger", str(ledger), "--sweep", "sweepfixed01"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep sweepfixed01" in out
+    assert "IPC vs thread count" in out
+    # An unknown sweep id renders nothing.
+    assert main(["report", "--experiment", "threads",
+                 "--workloads", "LL2", "--threads", "1",
+                 "--ledger", str(ledger), "--sweep", "missing999"]) == 2
+    assert "sweep" in capsys.readouterr().err
+
+
+def test_diff_scopes_to_sweep(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["bench", "LL2", "--ledger", str(ledger),
+                 "--sweep-id", "sweepdiff001"]) == 0
+    assert main(["bench", "LL2", "--threads", "2", "--ledger", str(ledger),
+                 "--sweep-id", "sweepdiff001"]) == 0
+    assert main(["bench", "LL2", "--threads", "4",
+                 "--ledger", str(ledger)]) == 0
+    capsys.readouterr()
+    assert main(["diff", "last~1", "last", "--ledger", str(ledger),
+                 "--sweep", "sweepdiff001"]) == 0
+    out = capsys.readouterr().out
+    # Scoped "last" is the 2-thread record, not the 4-thread one.
+    assert "threads=2" in out
+    assert "threads=4" not in out
+    assert main(["diff", "last~1", "last", "--ledger", str(ledger),
+                 "--sweep", "nosuchsweep1"]) == 2
+    assert "no records for sweep" in capsys.readouterr().err

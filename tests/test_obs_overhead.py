@@ -55,6 +55,29 @@ def test_instrumented_cycles_identical():
     assert events  # the sink really was live
 
 
+def test_sink_free_grid_never_calls_into_obs():
+    """The sweep-telemetry hooks honour the same contract: run_grid
+    with no telemetry/progress attached (and no ledger, whose append
+    path legitimately builds records in ``repro.obs.ledger``) executes
+    zero calls into the ``repro.obs`` package."""
+    from repro.harness import run_grid
+
+    jobs = [(by_name("LL11"), MachineConfig(nthreads=1))]
+    obs_calls = []
+
+    def profiler(frame, event, arg):
+        if event == "call" and OBS_FRAGMENT in frame.f_code.co_filename:
+            obs_calls.append(frame.f_code.co_name)
+
+    sys.setprofile(profiler)
+    try:
+        results = run_grid(jobs, workers=1)
+    finally:
+        sys.setprofile(None)
+    assert obs_calls == []
+    assert results[0].ok
+
+
 def test_removing_sinks_restores_the_disabled_path():
     program = by_name("LL2").program(1)
     sim = PipelineSim(program, MachineConfig(nthreads=1))

@@ -215,15 +215,22 @@ def update_backends(scalar_entry, batch_entry, bench):
 
 
 def append_ledger(measured, ledger_path=None, backend="scalar"):
-    """Append this profiling run to the durable run ledger."""
+    """Append this profiling run to the durable run ledger.
+
+    Every invocation stamps its records with one fresh sweep id, so a
+    whole profiling pass can be scoped later with
+    ``repro report/diff --sweep``.
+    """
     from repro.obs import ledger as ledger_mod
     from repro.obs.sentry import ledger_records
+    from repro.obs.telemetry import new_sweep_id
 
     ledger = ledger_mod.RunLedger(ledger_path)
     try:
         ledger.append_all(ledger_records(
             measured, source="perf_profile",
-            timestamp=ledger_mod.utc_now_iso(), backend=backend))
+            timestamp=ledger_mod.utc_now_iso(), backend=backend,
+            sweep_id=new_sweep_id()))
     except OSError as error:
         print(f"warning: could not append to run ledger: {error}",
               file=sys.stderr)
