@@ -43,6 +43,16 @@ Commands
     mix, ``--waterfall`` per-job timelines, and failure forensics.
     Exits 1 if the accounting invariant is violated (a job without
     exactly one queued + one terminal event).
+``serve``
+    Run the HTTP simulation job service (see docs/SERVICE.md):
+    content-addressed dedup of concurrent submissions, admission
+    control with 429 + ``Retry-After``, per-job lifecycle-event
+    streaming, graceful drain on SIGTERM/SIGINT. ``--events`` records
+    the server-lifetime event stream for a ``repro sweep`` audit.
+``submit WORKLOAD``
+    Submit one job to a running ``repro serve`` and (by default) follow
+    it to its terminal state, with exponential-backoff retries and
+    idempotent resubmission; prints the final job document as JSON.
 
 ``run``, ``bench``, ``check``, and ``report`` append durable records
 to the run ledger (``~/.cache/repro-sdsp/ledger.jsonl``, overridden by
@@ -538,6 +548,91 @@ def cmd_sweep(args):
     return 0 if ok else 1
 
 
+def cmd_serve(args):
+    from repro.obs.export import JsonlSink
+    from repro.service import JobService, run_server
+
+    sinks = []
+    handle = None
+    if args.events:
+        # Line-buffered so the event log tails live (the CI chaos
+        # driver watches it while the server runs).
+        handle = open(args.events, "w", buffering=1)
+        sinks.append(JsonlSink(handle))
+    ledger = None
+    if not args.no_ledger:
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(args.ledger)
+    disk_cache = None
+    if not args.no_cache:
+        from repro.harness.diskcache import DiskResultCache
+        from repro.harness.runner import Runner
+        disk_cache = DiskResultCache(args.cache,
+                                     schema=Runner.RESULT_SCHEMA)
+    service = JobService(
+        workers=args.workers, queue_depth=args.queue_depth, rate=args.rate,
+        burst=args.burst, timeout=args.timeout, retries=args.retries,
+        backoff=args.backoff, backend=args.backend, disk_cache=disk_cache,
+        ledger=ledger, sinks=sinks, allow_chaos=args.allow_chaos,
+        heartbeat=args.heartbeat)
+
+    def banner(http):
+        print(f"repro serve: listening on http://{http.host}:{http.port} "
+              f"(sweep {service.hub.sweep_id})", flush=True)
+
+    try:
+        run_server(service, args.host, args.port, banner=banner)
+    except KeyboardInterrupt:
+        print("repro serve: force quit before drain finished",
+              file=sys.stderr)
+        return 130
+    finally:
+        if handle is not None:
+            handle.close()
+    jobs = service.registry.counts()
+    print(f"repro serve: drained — {jobs['done']} done, "
+          f"{jobs['failed']} failed, {jobs['total']} job(s) total")
+    return 0
+
+
+def cmd_submit(args):
+    from repro.service.client import (ServiceClient, ServiceError,
+                                      ServiceUnavailable)
+
+    payload = {"workload": args.workload}
+    config = {}
+    if args.config:
+        try:
+            config = json.loads(args.config)
+        except ValueError as error:
+            raise CliError(f"--config is not valid JSON: {error}") from error
+        if not isinstance(config, dict):
+            raise CliError("--config must be a JSON object")
+    if args.threads is not None:
+        config["nthreads"] = args.threads
+    if config:
+        payload["config"] = config
+    if args.aligned:
+        payload["aligned"] = True
+    if args.instrument:
+        payload["instrument"] = True
+    if args.sweep_id:
+        payload["sweep_id"] = args.sweep_id
+    if args.client:
+        payload["client"] = args.client
+    client = ServiceClient(args.host, args.port, retries=args.retries,
+                           backoff=args.backoff, timeout=args.timeout)
+    try:
+        if args.no_wait:
+            doc = client.submit(payload)
+        else:
+            doc = client.run_job(payload)
+    except (ServiceError, ServiceUnavailable, OSError) as error:
+        raise CliError(str(error)) from error
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 1 if doc.get("state") == "failed" else 0
+
+
 def cmd_workloads(args):
     from repro.workloads import EXTRA_WORKLOADS
     for workload in ALL_WORKLOADS:
@@ -721,6 +816,88 @@ def build_parser():
     p_sweep.add_argument("--no-failures", action="store_true",
                          help="omit the failure-forensics event dump")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP simulation job service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8421,
+                         help="listen port (0 picks an ephemeral one, "
+                              "printed in the startup banner)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="simulation worker processes per dispatch "
+                              "(default: cores - 1, REPRO_WORKERS)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="max jobs admitted but not yet finished; "
+                              "beyond it submissions get 429 queue-full")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="per-client token-bucket rate, requests/s "
+                              "(default: unlimited)")
+    p_serve.add_argument("--burst", type=float, default=None,
+                         help="token-bucket burst (default: 2x rate)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock seconds (run_grid)")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="per-job retry budget (run_grid)")
+    p_serve.add_argument("--backoff", type=float, default=0.25,
+                         help="retry backoff base, seconds (run_grid)")
+    p_serve.add_argument("--backend", default="auto",
+                         choices=["scalar", "batch", "auto"],
+                         help="simulation backend for dispatched grids")
+    p_serve.add_argument("--cache", default=None, metavar="PATH",
+                         help="disk result cache (default: REPRO_CACHE or "
+                              "~/.cache/repro-sdsp/results.json)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the disk result cache "
+                              "(disables cross-restart dedup)")
+    p_serve.add_argument("--events", default=None, metavar="PATH",
+                         help="append the server-lifetime sweep-event "
+                              "stream to this JSONL file (audit with "
+                              "'repro sweep PATH')")
+    p_serve.add_argument("--ledger", default=None, metavar="PATH",
+                         help="run-ledger file (default: REPRO_LEDGER or "
+                              "~/.cache/repro-sdsp/ledger.jsonl)")
+    p_serve.add_argument("--no-ledger", action="store_true",
+                         help="do not append served runs to the ledger")
+    p_serve.add_argument("--heartbeat", type=float, default=2.0,
+                         help="seconds between telemetry heartbeats")
+    p_serve.add_argument("--allow-chaos", action="store_true",
+                         help="accept per-job 'chaos' fault-injection "
+                              "fields (testing only)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running 'repro serve'")
+    p_submit.add_argument("workload",
+                          help=f"workload name ({_workload_choices()})")
+    p_submit.add_argument("--threads", type=int, default=None,
+                          help="number of resident threads")
+    p_submit.add_argument("--config", default=None, metavar="JSON",
+                          help="partial MachineConfig spec as JSON, e.g. "
+                               "'{\"su_entries\": 128}' (overlaid on the "
+                               "defaults; --threads wins on nthreads)")
+    p_submit.add_argument("--aligned", action="store_true",
+                          help="align branch targets to fetch-block "
+                               "boundaries")
+    p_submit.add_argument("--instrument", action="store_true",
+                          help="attach the stall-attribution instrument")
+    p_submit.add_argument("--sweep-id", default=None, metavar="ID",
+                          help="stamp the served run's ledger record with "
+                               "this sweep id")
+    p_submit.add_argument("--client", default=None, metavar="NAME",
+                          help="client identity for rate limiting")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8421)
+    p_submit.add_argument("--retries", type=int, default=5,
+                          help="submit retry budget (exponential backoff, "
+                               "honours Retry-After)")
+    p_submit.add_argument("--backoff", type=float, default=0.2,
+                          help="retry backoff base, seconds")
+    p_submit.add_argument("--timeout", type=float, default=60.0,
+                          help="per-request socket timeout, seconds")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="return the submission document without "
+                               "waiting for the result")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_list = sub.add_parser("workloads", help="list the paper's workloads")
     p_list.set_defaults(func=cmd_workloads)

@@ -14,9 +14,15 @@ fires, so a failing fault-matrix test replays bit-identically. Plans
 are plain picklable data and travel to worker processes inside the job
 tuple; no global state, no environment variables.
 
-See ``docs/ROBUSTNESS.md`` for the failure-mode catalogue and
-``tests/test_faults.py`` for the matrix that exercises every recovery
-path.
+:mod:`repro.faults.service` extends the same discipline across the
+client/server boundary of the job service (:mod:`repro.service`):
+slow clients, mid-stream disconnects, queue-overflow bursts, and
+worker-pool loss between accept and execute, all seedable the same way.
+
+See ``docs/ROBUSTNESS.md`` for the failure-mode catalogue,
+``docs/SERVICE.md`` for the service failure modes, and
+``tests/test_faults.py`` / ``tests/test_service.py`` for the matrices
+that exercise every recovery path.
 """
 
 from repro.faults.inject import (
@@ -27,12 +33,14 @@ from repro.faults.inject import (
     corrupt_file,
     perturb_cycles,
 )
+from repro.faults.service import ServiceFaultPlan
 
 __all__ = [
     "FaultPlan",
     "InjectedCrash",
     "InjectedFault",
     "InjectedHang",
+    "ServiceFaultPlan",
     "corrupt_file",
     "perturb_cycles",
 ]

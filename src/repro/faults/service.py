@@ -1,0 +1,154 @@
+"""Deterministic fault injectors for the simulation job service.
+
+:class:`~repro.faults.inject.FaultPlan` injects faults *inside grid
+workers* (crash, hang, transient exception). The job service
+(:mod:`repro.service`) adds a client/server boundary with its own
+failure modes, and every one of them must be injectable so
+``tests/test_service.py`` and ``tools/service_chaos.py`` can prove the
+recovery paths instead of trusting them:
+
+* **slow client** — a client that dawdles between connecting and
+  sending its request (or between request and read); the server must
+  neither block other clients nor mis-account the job.
+* **mid-stream disconnect** — a client that drops its lifecycle-event
+  stream partway through; the job must still run to exactly one
+  terminal state and remain fetchable.
+* **queue-overflow burst** — one logical submission exploded into many
+  concurrent duplicate copies; admission control must shed load with an
+  explicit 429 + ``Retry-After`` while the in-flight dedup layer runs
+  the simulation at most once.
+* **worker-pool loss between accept and execute** — the job was
+  admitted, then the worker that picked it up died before simulating;
+  maps onto a :meth:`FaultPlan.crash` rule scoped to the dispatched
+  grid, so the battle-tested ``BrokenProcessPool`` recovery handles it.
+
+Like :class:`FaultPlan`, a :class:`ServiceFaultPlan` is plain picklable
+data and decides purely from ``(seed, request index, attempt, rule)``
+whether to fire — a failing chaos run replays bit-identically.
+"""
+
+from repro.faults.inject import FaultPlan, _chance
+
+
+class ServiceFaultPlan:
+    """Seedable schedule of service-layer faults.
+
+    Usage::
+
+        plan = (ServiceFaultPlan(seed=7)
+                .slow_client(indices=[1], seconds=0.2)
+                .disconnect(indices=[0], after_events=2)
+                .burst(indices=[2], copies=16)
+                .pool_loss(indices=[3]))
+
+    The *request index* a rule selects on is the caller's numbering of
+    its logical submissions (the order a test or chaos driver fires
+    them), mirroring :class:`FaultPlan`'s job-index selection.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._rules = []
+
+    # ------------------------------------------------------ rule builders
+
+    def _add(self, kind, indices, attempts, probability, **extra):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1 (rule would never fire)")
+        rule = dict(kind=kind, attempts=attempts, probability=probability,
+                    indices=None if indices is None else sorted(indices),
+                    **extra)
+        self._rules.append(rule)
+        return self
+
+    def slow_client(self, indices=None, attempts=1, probability=None,
+                    seconds=0.1):
+        """Client sleeps ``seconds`` before sending the submission."""
+        return self._add("slow-client", indices, attempts, probability,
+                         seconds=seconds)
+
+    def disconnect(self, indices=None, attempts=1, probability=None,
+                   after_events=1):
+        """Client drops its event stream after ``after_events`` events."""
+        return self._add("disconnect", indices, attempts, probability,
+                         after_events=after_events)
+
+    def burst(self, indices=None, attempts=1, probability=None, copies=8):
+        """Explode the submission into ``copies`` concurrent duplicates."""
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        return self._add("burst", indices, attempts, probability,
+                         copies=copies)
+
+    def pool_loss(self, indices=None, attempts=1, probability=None):
+        """Kill the worker that accepted the job before it simulates."""
+        return self._add("pool-loss", indices, attempts, probability)
+
+    # -------------------------------------------------------- evaluation
+
+    def _fires(self, rule, index, attempt):
+        indices = rule["indices"]
+        if indices is not None and index not in indices:
+            return False
+        if attempt >= rule["attempts"]:
+            return False
+        probability = rule["probability"]
+        if probability is not None and _chance(
+                self.seed, index, attempt, rule["kind"]) >= probability:
+            return False
+        return True
+
+    def matches(self, index, attempt=0):
+        """Kinds of every rule that fires for ``(index, attempt)``."""
+        return [rule["kind"] for rule in self._rules
+                if self._fires(rule, index, attempt)]
+
+    def submit_delay(self, index, attempt=0):
+        """Seconds a slow client sleeps before submission ``index``."""
+        return sum(rule["seconds"] for rule in self._rules
+                   if rule["kind"] == "slow-client"
+                   and self._fires(rule, index, attempt))
+
+    def should_disconnect(self, index, events_seen, attempt=0):
+        """True when the streaming client drops the connection now."""
+        return any(rule["kind"] == "disconnect"
+                   and self._fires(rule, index, attempt)
+                   and events_seen >= rule["after_events"]
+                   for rule in self._rules)
+
+    def burst_copies(self, index, attempt=0):
+        """Concurrent duplicate copies to fire for submission ``index``
+        (1 = no burst; copies multiply, mirroring stacked rules)."""
+        copies = 1
+        for rule in self._rules:
+            if rule["kind"] == "burst" and self._fires(rule, index, attempt):
+                copies *= rule["copies"]
+        return copies
+
+    def grid_plan(self, index_map):
+        """Worker-level :class:`FaultPlan` for one service dispatch.
+
+        ``index_map`` maps *request index* -> *grid index* for the jobs
+        in the dispatch. Every ``pool_loss`` rule that selects a mapped
+        request becomes a :meth:`FaultPlan.crash` rule on the
+        corresponding grid index (firing in the worker after it accepts
+        the task, before it simulates). Returns ``None`` when nothing
+        fires — the dispatch then runs without a worker fault plan.
+        """
+        plan = FaultPlan(seed=self.seed)
+        armed = False
+        for rule in self._rules:
+            if rule["kind"] != "pool-loss":
+                continue
+            grid_indices = sorted(
+                grid_index for request_index, grid_index in index_map.items()
+                if self._fires(rule, request_index, 0))
+            if grid_indices:
+                plan.crash(indices=grid_indices, attempts=rule["attempts"],
+                           probability=rule["probability"])
+                armed = True
+        return plan if armed else None
+
+    def __repr__(self):
+        kinds = ", ".join(rule["kind"] for rule in self._rules) or "empty"
+        return f"ServiceFaultPlan(seed={self.seed}, rules=[{kinds}])"

@@ -10,8 +10,8 @@ results.
 
 from repro.harness.runner import Runner, RunResult
 from repro.harness.diskcache import CacheCorruptionWarning, DiskResultCache
-from repro.harness.parallel import (GridError, JobFailure, cross,
-                                    default_workers, run_grid)
+from repro.harness.parallel import (GridError, GridInterrupted, JobFailure,
+                                    cross, default_workers, run_grid)
 from repro.harness.experiments import (
     cache_study,
     commit_study,
@@ -28,6 +28,7 @@ __all__ = [
     "CacheCorruptionWarning",
     "DiskResultCache",
     "GridError",
+    "GridInterrupted",
     "JobFailure",
     "RunResult",
     "Runner",

@@ -40,6 +40,16 @@ rewrite drives an explicit submit/collect event loop instead:
   :class:`JobFailure` at its slot in the returned list (``strict=True``
   raises :class:`GridError` instead), and every other job still returns
   its correct :class:`~repro.harness.runner.RunResult`.
+* **Graceful interruption.** While a grid runs in the main thread,
+  SIGINT/SIGTERM trigger an orderly shutdown instead of a half-dead
+  pool: pending futures are cancelled, every unfinished job is recorded
+  as ``JobFailure(kind="interrupted")``, completed-but-uncollected
+  results are harvested, the ledger is flushed and a terminal
+  ``sweep-end`` telemetry event is emitted — so ``repro sweep``
+  accounting still reconciles after a Ctrl-C — and
+  :class:`GridInterrupted` (carrying the full results list) is raised.
+  A second signal during the shutdown forces an immediate
+  ``KeyboardInterrupt``.
 
 Faults themselves are injectable: pass a
 :class:`repro.faults.FaultPlan` as ``fault_plan=`` and the workers
@@ -61,6 +71,8 @@ nothing is called (the PR-2 zero-overhead contract, enforced by
 """
 
 import os
+import signal
+import threading
 import time
 import warnings
 from collections import deque
@@ -86,7 +98,9 @@ class JobFailure:
     Takes the failed job's slot in :func:`run_grid`'s result list, so
     results and failures stay aligned with the input grid. ``kind`` is
     ``"exception"`` (the job raised), ``"timeout"`` (exceeded the
-    per-job wall clock), or ``"crash"`` (the worker process died).
+    per-job wall clock), ``"crash"`` (the worker process died), or
+    ``"interrupted"`` (SIGINT/SIGTERM shut the sweep down before the
+    job finished).
     """
 
     __slots__ = ("index", "workload", "spec", "kind", "message", "attempts")
@@ -127,6 +141,78 @@ class GridError(RuntimeError):
         lines = "; ".join(f"job {f.index} ({f.workload}): {f.kind} after "
                           f"{f.attempts} attempt(s)" for f in failures)
         super().__init__(f"{len(failures)} grid job(s) failed: {lines}")
+
+
+def _signame(signum):
+    try:
+        return signal.Signals(signum).name
+    except (ValueError, TypeError):
+        return "signal" if signum is None else f"signal {signum}"
+
+
+class GridInterrupted(GridError):
+    """SIGINT/SIGTERM arrived mid-sweep and the grid shut down cleanly.
+
+    Raised *after* the orderly teardown: every unfinished job sits in
+    ``failures`` as a ``kind="interrupted"`` :class:`JobFailure`, every
+    finished job's :class:`RunResult` is in ``results`` (and has been
+    persisted to the disk cache and appended to the ledger), and the
+    telemetry stream — when one was attached — carries one terminal
+    event per job plus the final ``sweep-end``.
+    """
+
+    def __init__(self, failures, results, signum=None):
+        super().__init__(failures, results)
+        self.signum = signum
+        interrupted = sum(1 for f in failures if f.kind == "interrupted")
+        completed = sum(1 for r in results if r is not None and r.ok)
+        RuntimeError.__init__(
+            self, f"sweep interrupted by {_signame(signum)}: {completed} "
+                  f"job(s) completed, {interrupted} recorded as interrupted")
+
+
+class _InterruptGuard:
+    """SIGINT/SIGTERM handler installed for the duration of a grid.
+
+    The first signal raises :class:`KeyboardInterrupt` *in the event
+    loop*, which converts it into the graceful-interruption path; any
+    further signal raises again from inside that teardown and escapes
+    it — the force-quit escape hatch when the teardown itself wedges.
+    Only installable from the main thread (the only place Python
+    delivers signals); elsewhere :meth:`install` returns ``None`` and
+    the grid runs unguarded, exactly as before.
+    """
+
+    def __init__(self):
+        self.fired = None
+        self._previous = {}
+
+    def _handle(self, signum, frame):
+        self.fired = signum
+        raise KeyboardInterrupt
+
+    @classmethod
+    def install(cls):
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        guard = cls()
+        for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+            if signum is None:
+                continue
+            try:
+                guard._previous[signum] = signal.signal(signum,
+                                                        guard._handle)
+            except (ValueError, OSError):
+                continue  # exotic host: leave that signal alone
+        return guard if guard._previous else None
+
+    def restore(self):
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous = {}
 
 
 def _job_key(workload, config, aligned, program, instrument=False):
@@ -354,7 +440,7 @@ class _GridExecutor:
 
     def __init__(self, *, width, timeout, retries, backoff, verify,
                  aligned, instrument, fault_plan, disk_cache, rebuilder,
-                 resolved, results, telemetry=None):
+                 resolved, results, telemetry=None, interrupt=None):
         self.width = width
         self.timeout = timeout
         self.retries = retries
@@ -368,6 +454,8 @@ class _GridExecutor:
         self.resolved = resolved
         self.results = results
         self.telemetry = telemetry  # None => every hook is one predicate
+        self.interrupt = interrupt  # _InterruptGuard, for signal naming
+        self.interrupted = False
         self.failures = []
         self.queue = deque()
         self.inflight = {}       # future -> _Job
@@ -383,25 +471,40 @@ class _GridExecutor:
         engine exactly once; members that fail out of it re-enter the
         queue as scalar singles."""
         queue = deque(units)
-        while queue:
-            unit = queue.popleft()
-            if isinstance(unit, _BatchJob):
-                queue.extend(self._batch_inline(unit))
-                continue
-            job = unit
-            while True:
-                job.attempts += 1
-                if self.telemetry is not None:
-                    self.telemetry.job_started(job.index, job.wname,
-                                               job.attempts)
-                try:
-                    payload = _run_job(self._args(job, inline=True))
-                    self._record(job, payload)
-                    break
-                except Exception as exc:
-                    if not self._maybe_retry(job, "exception", exc,
-                                             sleep=True):
+        try:
+            while queue:
+                unit = queue.popleft()
+                if isinstance(unit, _BatchJob):
+                    try:
+                        queue.extend(self._batch_inline(unit))
+                    except KeyboardInterrupt:
+                        self._interrupt_unit(unit)
+                        raise
+                    continue
+                job = unit
+                while True:
+                    job.attempts += 1
+                    if self.telemetry is not None:
+                        self.telemetry.job_started(job.index, job.wname,
+                                                   job.attempts)
+                    try:
+                        payload = _run_job(self._args(job, inline=True))
+                        self._record(job, payload)
                         break
+                    except KeyboardInterrupt:
+                        self._interrupt_unit(job)
+                        raise
+                    except Exception as exc:
+                        if not self._maybe_retry(job, "exception", exc,
+                                                 sleep=True):
+                            break
+        except KeyboardInterrupt:
+            # Inline graceful interruption: the in-flight unit has been
+            # recorded by the raiser above; everything still queued is
+            # recorded here. A second signal raises out of this drain.
+            self.interrupted = True
+            while queue:
+                self._interrupt_unit(queue.popleft())
         return self.failures
 
     def _batch_inline(self, batch):
@@ -427,19 +530,25 @@ class _GridExecutor:
         self.pool = ProcessPoolExecutor(max_workers=self.width)
         try:
             while self.queue or self.inflight:
-                self._submit_eligible()
-                if self.telemetry is not None:
-                    self.telemetry.maybe_heartbeat(
-                        running=len(self.inflight), queued=len(self.queue))
-                if not self.inflight:
-                    self._sleep_until_eligible()
-                    continue
-                done = self._wait_for_events()
-                broken = self._collect(done)
-                if broken:
-                    self._recover_broken()
-                    continue
-                self._reap_overdue()
+                try:
+                    self._submit_eligible()
+                    if self.telemetry is not None:
+                        self.telemetry.maybe_heartbeat(
+                            running=len(self.inflight),
+                            queued=len(self.queue))
+                    if not self.inflight:
+                        self._sleep_until_eligible()
+                        continue
+                    done = self._wait_for_events()
+                    broken = self._collect(done)
+                    if broken:
+                        self._recover_broken()
+                        continue
+                    self._reap_overdue()
+                except KeyboardInterrupt:
+                    self.interrupted = True
+                    self._abort_interrupted()
+                    break
         finally:
             _kill_pool(self.pool)
         return self.failures
@@ -794,6 +903,51 @@ class _GridExecutor:
             self.telemetry.job_failed(job.index, job.wname, kind,
                                       job.attempts, message)
 
+    # ------------------------------------------------------- interruption
+
+    def _interrupt_message(self):
+        fired = self.interrupt.fired if self.interrupt is not None else None
+        return (f"sweep interrupted by {_signame(fired)} before the job "
+                f"finished")
+
+    def _interrupt_unit(self, unit):
+        """Record every unfinished member of ``unit`` as interrupted."""
+        members = unit.members if isinstance(unit, _BatchJob) else (unit,)
+        message = self._interrupt_message()
+        for job in members:
+            if self.results[job.index] is None:
+                self._fail(job, "interrupted", message)
+
+    def _abort_interrupted(self):
+        """Graceful pool-path shutdown after a SIGINT/SIGTERM.
+
+        Finished-but-uncollected futures are harvested first — that
+        work is done and must not be thrown away — then every job still
+        queued or in flight is recorded as ``kind="interrupted"``, so
+        each reaches exactly one terminal state and the telemetry
+        accounting invariant survives the interruption.
+        """
+        for future, job in list(self.inflight.items()):
+            if not future.done() or future.cancelled() \
+                    or future.exception() is not None:
+                continue
+            del self.inflight[future]
+            try:
+                if isinstance(job, _BatchJob):
+                    for member, out in zip(job.members, future.result()):
+                        self._absorb_member(member, out, sleep=False)
+                else:
+                    self._record(job, future.result())
+            except Exception as rebuild_exc:
+                self._fail(job, "exception", str(rebuild_exc))
+        for future in self.inflight:
+            future.cancel()
+        for job in self.inflight.values():
+            self._interrupt_unit(job)
+        self.inflight.clear()
+        while self.queue:
+            self._interrupt_unit(self.queue.popleft())
+
 
 def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
                    aligned, sweep_id=None):
@@ -930,6 +1084,18 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     list aligned with ``jobs``: a
     :class:`~repro.harness.runner.RunResult` per completed job and a
     :class:`JobFailure` per unrecoverable one (unless ``strict``).
+
+    Raises
+    ------
+    GridInterrupted
+        A SIGINT/SIGTERM arrived while the grid ran in the main thread.
+        Raised only *after* the graceful teardown: finished results are
+        harvested and persisted, every unfinished job is recorded as a
+        ``kind="interrupted"`` :class:`JobFailure`, the ledger is
+        appended and the telemetry stream (when attached) is terminated
+        with a ``sweep-end`` — the exception carries the full
+        ``results`` list. A second signal during teardown force-raises
+        :class:`KeyboardInterrupt` instead.
     """
     from repro.harness.diskcache import DiskResultCache
     from repro.workloads import by_name
@@ -1004,22 +1170,30 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
                 if isinstance(unit, _BatchJob):
                     telemetry.batch_formed(
                         [m.index for m in unit.members], unit.wname)
+    interrupt = _InterruptGuard.install()
     executor = _GridExecutor(
         width=min(max(1, workers), len(units)), timeout=timeout,
         retries=max(0, retries), backoff=backoff, verify=verify,
         aligned=aligned, instrument=instrument, fault_plan=fault_plan,
         disk_cache=disk_cache, rebuilder=rebuilder, resolved=resolved,
-        results=results, telemetry=telemetry)
-    if workers <= 1 or len(units) == 1:
-        failures = executor.run_inline(units)
-    else:
-        failures = executor.run_pool(units)
+        results=results, telemetry=telemetry, interrupt=interrupt)
+    try:
+        if workers <= 1 or len(units) == 1:
+            failures = executor.run_inline(units)
+        else:
+            failures = executor.run_pool(units)
+    finally:
+        if interrupt is not None:
+            interrupt.restore()
     if ledger is not None:
         _ledger_append(ledger, resolved, results, cached_indices,
                        ledger_timestamp, aligned, sweep_id)
     if telemetry is not None:
         telemetry.sweep_end(cache=(disk_cache.counters()
                                    if disk_cache is not None else None))
+    if executor.interrupted:
+        raise GridInterrupted(failures, results,
+                              interrupt.fired if interrupt else None)
     if strict and failures:
         raise GridError(failures, results)
     return results

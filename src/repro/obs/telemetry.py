@@ -42,6 +42,14 @@ also stamps into the ledger records it appends — making whole sweeps
 first-class across ``repro report``/``repro diff`` (``--sweep``) and
 summarizable after the fact from a JSONL event log via ``repro sweep``.
 
+The same schema also describes **server-lifetime** streams: the job
+service (:mod:`repro.service`) emits one hub per server process, with
+``sweep-start`` carrying ``total=0`` — the job population of a running
+server is open-ended, and :func:`summarize` only cross-checks the
+announced total against the log when it is non-zero. Per-job
+accounting is identical, so ``repro sweep`` audits a served session
+exactly like a local sweep (see ``docs/SERVICE.md``).
+
 Sinks are callables taking one :class:`SweepEvent`;
 :class:`repro.obs.export.JsonlSink` (the event log),
 :class:`LiveProgress` (single-line terminal refresh), and

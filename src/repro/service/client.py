@@ -1,0 +1,222 @@
+"""Client for the job service: ``repro submit`` and the chaos suite.
+
+Built on :mod:`http.client` (stdlib only). The design centre is
+*idempotent resubmission*: job ids are content-addressed
+(:mod:`repro.service.protocol`), so retrying a submit — after a
+connection error, a 429, a 503, or a dropped event stream — can never
+start a second simulation; it coalesces onto the original job
+server-side. That makes the aggressive retry loop here safe by
+construction.
+
+:meth:`ServiceClient.run_job` is the full client story the fault
+matrix exercises end to end: optional injected submit delay (slow
+client), submit with exponential backoff honouring ``Retry-After``,
+follow the job's ndjson event stream, and — when the stream drops
+mid-flight, injected or real — fall back to polling the job's status
+document until its terminal state. Faults are driven by a
+:class:`repro.faults.ServiceFaultPlan`; a ``pool-loss`` rule is
+translated into the over-the-wire ``chaos`` field (the server must be
+started with ``--allow-chaos``).
+"""
+
+import http.client
+import json
+import time
+
+
+class ServiceError(Exception):
+    """A non-retryable HTTP error (4xx other than backpressure)."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceUnavailable(Exception):
+    """The retry budget ran out without a successful response."""
+
+
+class ClientDisconnect(Exception):
+    """The event stream dropped before its ``result`` record
+    (raised for injected disconnects and truncated streams alike)."""
+
+
+#: Ceiling on any single backoff sleep, seconds.
+_MAX_BACKOFF = 5.0
+
+
+class ServiceClient:
+    """One service endpoint plus a retry policy.
+
+    ``sleep`` and ``clock`` are injectable so the retry/backoff paths
+    are deterministic under test (no real waiting).
+    """
+
+    def __init__(self, host="127.0.0.1", port=8421, *, retries=5,
+                 backoff=0.2, timeout=60.0, sleep=time.sleep,
+                 clock=time.monotonic):
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.sleep = sleep
+        self.clock = clock
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(self, method, path, payload=None):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            headers = {name.lower(): value
+                       for name, value in response.getheaders()}
+            try:
+                doc = json.loads(data.decode() or "null")
+            except (ValueError, UnicodeDecodeError):
+                doc = None
+            return response.status, headers, doc
+        finally:
+            connection.close()
+
+    def _with_retries(self, send, what):
+        """Run an idempotent request under the retry policy.
+
+        Connection errors, 5xx, and explicit backpressure (429/503)
+        retry with exponential backoff, preferring the server's
+        ``Retry-After`` hint when it is longer; other 4xx raise
+        :class:`ServiceError` immediately.
+        """
+        delay = self.backoff
+        last = "no attempt made"
+        for attempt in range(self.retries + 1):
+            wait = delay
+            try:
+                status, headers, doc = send()
+            except (OSError, http.client.HTTPException) as error:
+                last = f"connection error: {error}"
+            else:
+                if status < 400:
+                    return status, headers, doc
+                message = (doc or {}).get("error") or f"HTTP {status}"
+                if status not in (429, 503) and status < 500:
+                    raise ServiceError(status, message)
+                last = message
+                retry_after = headers.get("retry-after")
+                if retry_after is not None:
+                    try:
+                        wait = max(wait, float(retry_after))
+                    except ValueError:
+                        pass
+            if attempt < self.retries:
+                self.sleep(min(wait, _MAX_BACKOFF))
+                delay = min(delay * 2, _MAX_BACKOFF)
+        raise ServiceUnavailable(
+            f"{what}: gave up after {self.retries + 1} attempt(s): {last}")
+
+    # ------------------------------------------------------------- requests
+
+    def submit(self, payload):
+        """Submit one job (idempotent); returns its status document."""
+        _, _, doc = self._with_retries(
+            lambda: self._request("POST", "/v1/jobs", payload),
+            f"submit {payload.get('workload', '?')}")
+        return doc
+
+    def status(self, job_id):
+        """The job's current status document (404 -> ServiceError)."""
+        _, _, doc = self._with_retries(
+            lambda: self._request("GET", f"/v1/jobs/{job_id}"),
+            f"status {job_id[:12]}")
+        return doc
+
+    def health(self):
+        """The ``/healthz`` snapshot (no retries)."""
+        _, _, doc = self._request("GET", "/healthz")
+        return doc
+
+    def readiness(self):
+        """``(ready, snapshot)`` from ``/readyz`` (no retries)."""
+        status, _, doc = self._request("GET", "/readyz")
+        return status == 200, doc
+
+    def wait(self, job_id, poll=0.1, timeout=300.0):
+        """Poll until the job is terminal; returns its final document."""
+        deadline = self.clock() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") in ("done", "failed"):
+                return doc
+            if self.clock() >= deadline:
+                raise ServiceUnavailable(
+                    f"job {job_id[:12]} still {doc.get('state')!r} after "
+                    f"{timeout}s")
+            self.sleep(poll)
+
+    def stream(self, job_id, *, plan=None, index=0):
+        """Yield the job's lifecycle records, ending with ``result``.
+
+        With a :class:`ServiceFaultPlan`, drops the connection after
+        the plan's ``after_events`` threshold and raises
+        :class:`ClientDisconnect` — also raised when the stream
+        genuinely truncates (server died mid-stream).
+        """
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(response.status,
+                                   f"no event stream for {job_id[:12]}")
+            seen = 0
+            while True:
+                line = response.readline()
+                if not line:
+                    raise ClientDisconnect(
+                        f"stream for {job_id[:12]} ended after {seen} "
+                        f"record(s) without a result")
+                record = json.loads(line)
+                yield record
+                if record.get("event") == "result":
+                    return
+                seen += 1
+                if plan is not None and plan.should_disconnect(index, seen):
+                    raise ClientDisconnect(
+                        f"injected disconnect after {seen} record(s)")
+        finally:
+            connection.close()
+
+    def run_job(self, payload, *, plan=None, index=0):
+        """The whole client story; returns the job's final document.
+
+        Applies the plan's client-side faults for ``index`` (submit
+        delay, pool-loss chaos translation, stream disconnect), then
+        recovers from any disconnect by polling — the second half of
+        idempotent resubmission: reattaching never re-runs the job.
+        """
+        if plan is not None:
+            delay = plan.submit_delay(index)
+            if delay:
+                self.sleep(delay)
+            if "pool-loss" in plan.matches(index):
+                payload = dict(payload)
+                chaos = dict(payload.get("chaos") or {})
+                chaos.setdefault("crash", {"attempts": 1})
+                payload["chaos"] = chaos
+        doc = self.submit(payload)
+        if doc.get("state") in ("done", "failed"):
+            return doc
+        job_id = doc["job_id"]
+        try:
+            for record in self.stream(job_id, plan=plan, index=index):
+                pass
+        except ClientDisconnect:
+            pass
+        return self.wait(job_id)

@@ -1,0 +1,161 @@
+"""Admission control for the job service: backpressure made explicit.
+
+An overloaded simulation farm must *say no* — queueing without bound
+turns overload into unbounded latency and an eventual OOM. Two
+mechanisms, both answered with an explicit rejection the client can
+act on (HTTP 429/503 plus ``Retry-After``), never a silent stall:
+
+* a **bounded in-flight window** — at most ``depth`` unique jobs
+  admitted-but-not-terminal at once; beyond that, ``queue-full``;
+* **per-client token buckets** — each client identity gets ``rate``
+  fresh tokens per second up to a ``burst`` ceiling; beyond that,
+  ``rate-limited`` with the exact wait until the next token.
+
+Coalesced duplicates of an already-admitted job spend a rate token
+(the request still costs the server work) but no window slot (no new
+simulation will run), so a duplicate storm can never exhaust the
+queue for distinct work — the storm test in ``tests/test_service.py``
+pins this.
+
+The clock is injectable and everything is driven by explicit method
+calls, so every backpressure path is deterministic under test — the
+same discipline as :mod:`repro.faults`.
+"""
+
+import threading
+import time
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    :meth:`acquire` never blocks; a refusal returns the exact seconds
+    until a token will be available, which the server forwards as
+    ``Retry-After``.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_stamp", "_clock")
+
+    def __init__(self, rate, burst, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self._clock = clock
+        self._stamp = clock()
+
+    def acquire(self):
+        """Take one token; returns ``(ok, seconds_until_next)``."""
+        now = self._clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Thread-safe gatekeeper in front of the job registry.
+
+    Parameters
+    ----------
+    depth:
+        In-flight window: unique jobs admitted but not yet terminal.
+    rate, burst:
+        Per-client token-bucket parameters; ``rate=None`` disables
+        rate limiting. ``burst`` defaults to ``2 * rate``.
+    retry_after:
+        Seconds suggested to a client rejected for a full queue (the
+        rate limiter computes its own exact wait).
+    clock:
+        Injectable monotonic clock (deterministic tests).
+    """
+
+    def __init__(self, depth=64, rate=None, burst=None, retry_after=1.0,
+                 clock=time.monotonic):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            2.0 * rate if rate else None)
+        self.retry_after = retry_after
+        self.inflight = 0
+        self.draining = False
+        self.admitted = 0
+        self.coalesced = 0
+        self.rejected = {"draining": 0, "rate-limited": 0, "queue-full": 0}
+        self._clock = clock
+        self._buckets = {}
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------- admission
+
+    def precheck(self, client=None):
+        """Drain and rate-limit gates, charged per *request*.
+
+        Returns ``(ok, reason, retry_after)``; ``reason`` is
+        ``"draining"`` or ``"rate-limited"`` on refusal.
+        """
+        with self._lock:
+            if self.draining:
+                self.rejected["draining"] += 1
+                return False, "draining", None
+            if self.rate:
+                bucket = self._buckets.get(client or "*")
+                if bucket is None:
+                    bucket = self._buckets[client or "*"] = TokenBucket(
+                        self.rate, self.burst, self._clock)
+                ok, wait = bucket.acquire()
+                if not ok:
+                    self.rejected["rate-limited"] += 1
+                    return False, "rate-limited", wait
+            return True, None, None
+
+    def acquire_slot(self):
+        """Claim one in-flight window slot for a *new* unique job.
+
+        Returns ``(ok, retry_after)``; refusal means ``queue-full``.
+        """
+        with self._lock:
+            if self.inflight >= self.depth:
+                self.rejected["queue-full"] += 1
+                return False, self.retry_after
+            self.inflight += 1
+            self.admitted += 1
+            return True, None
+
+    def release_slot(self):
+        """A previously admitted job reached its terminal state."""
+        with self._lock:
+            self.inflight = max(0, self.inflight - 1)
+
+    def note_coalesced(self):
+        """A duplicate submission attached to an existing job."""
+        with self._lock:
+            self.coalesced += 1
+
+    # ------------------------------------------------------------ control
+
+    def drain(self):
+        """Stop admitting; in-flight work is unaffected."""
+        with self._lock:
+            self.draining = True
+
+    def snapshot(self):
+        """Plain-data state for the health endpoints and tests."""
+        with self._lock:
+            return {
+                "depth": self.depth,
+                "inflight": self.inflight,
+                "draining": self.draining,
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "admitted": self.admitted,
+                "coalesced": self.coalesced,
+                "rejected": dict(self.rejected),
+            }

@@ -10,6 +10,8 @@ well under a second) so the whole matrix stays fast.
 """
 
 import json
+import signal
+import threading
 
 import pytest
 
@@ -18,7 +20,8 @@ from repro.faults import (FaultPlan, InjectedCrash, InjectedFault,
                           InjectedHang, corrupt_file)
 from repro.faults.inject import _chance
 from repro.harness import (CacheCorruptionWarning, DiskResultCache,
-                           GridError, JobFailure, Runner, run_grid)
+                           GridError, GridInterrupted, JobFailure, Runner,
+                           run_grid)
 from repro.workloads import by_name
 
 
@@ -228,3 +231,94 @@ def test_golden_counts_unchanged_by_harness_features(tmp_path):
     for result, expected in zip(results, _expected(jobs)):
         _assert_slot_correct(result, expected)
         assert result.checksum == expected.checksum
+
+
+# ---------------------------------------------------- graceful interruption
+
+
+class _InterruptAfterFirstDone:
+    """Telemetry sink that delivers a real signal to the main thread
+    the moment the first job finishes — mid-sweep, deterministically."""
+
+    def __init__(self, signum=signal.SIGINT):
+        self.signum = signum
+        self.fired = False
+
+    def __call__(self, event):
+        if event.kind == "done" and not self.fired:
+            self.fired = True
+            signal.raise_signal(self.signum)
+
+
+def test_interrupt_mid_sweep_inline_shuts_down_gracefully():
+    from repro.obs.ledger import RunLedger
+    from repro.obs.telemetry import SweepTelemetry, summarize
+
+    jobs = _cheap_jobs()
+    events = []
+    hub = SweepTelemetry(sinks=[lambda e: events.append(e.to_dict()),
+                                _InterruptAfterFirstDone()])
+    ledger = RunLedger(None)            # REPRO_LEDGER, isolated per test
+    with pytest.raises(GridInterrupted) as caught:
+        run_grid(jobs, workers=1, telemetry=hub, ledger=ledger)
+    error = caught.value
+    assert error.signum == signal.SIGINT
+    assert "interrupted" in str(error)
+    # the finished job survives, with its full result...
+    _assert_slot_correct(error.results[0], _expected(jobs[:1])[0])
+    # ...every unfinished job is a structured interrupted failure...
+    assert [f.kind for f in error.failures] == ["interrupted", "interrupted"]
+    assert all(not error.results[i].ok for i in (1, 2))
+    # ...the ledger was flushed with the completed work...
+    records = ledger.records()
+    assert [r["workload"] for r in records] == [jobs[0][0].name]
+    # ...and the event accounting still reconciles: one terminal event
+    # per job plus the final sweep-end.
+    assert events[-1]["event"] == "sweep-end"
+    summary = summarize(events)
+    assert summary["violations"] == []
+    assert summary["metrics"].done == 1
+    assert summary["metrics"].failed == 2
+
+
+def test_interrupt_mid_sweep_pool_harvests_finished_work():
+    from repro.obs.telemetry import SweepTelemetry, summarize
+
+    jobs = _cheap_jobs()
+    # keep one job provably unfinished at interrupt time
+    plan = FaultPlan(seed=0).hang(indices=[2], seconds=60.0)
+    events = []
+    hub = SweepTelemetry(sinks=[lambda e: events.append(e.to_dict()),
+                                _InterruptAfterFirstDone(signal.SIGTERM)])
+    with pytest.raises(GridInterrupted) as caught:
+        run_grid(jobs, workers=2, fault_plan=plan, telemetry=hub)
+    error = caught.value
+    assert error.signum == signal.SIGTERM
+    done = [r for r in error.results if r is not None and r.ok]
+    interrupted = [f for f in error.failures if f.kind == "interrupted"]
+    assert len(done) >= 1                      # harvested, not thrown away
+    assert len(interrupted) >= 1               # the hung job, at least
+    assert len(done) + len(interrupted) == len(jobs)
+    assert not error.results[2].ok             # the hung job never finished
+    summary = summarize(events)
+    assert summary["violations"] == []
+    assert summary["metrics"].done == len(done)
+
+
+def test_interrupt_guard_is_main_thread_only():
+    """Off the main thread the guard declines to install and the grid
+    runs unguarded — library callers on worker threads are unaffected."""
+    from repro.harness.parallel import _InterruptGuard
+
+    out = {}
+
+    def _probe():
+        out["guard"] = _InterruptGuard.install()
+        out["results"] = run_grid(_cheap_jobs(("LL11",)), workers=1)
+
+    thread = threading.Thread(target=_probe)
+    thread.start()
+    thread.join(120)
+    assert not thread.is_alive()
+    assert out["guard"] is None
+    assert out["results"][0].ok

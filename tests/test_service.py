@@ -1,0 +1,511 @@
+"""Fault matrix for the simulation job service (docs/SERVICE.md).
+
+Every recovery path of ``repro serve`` is driven deterministically —
+worker crash between accept and execute, transient failure, client
+disconnect mid-stream, queue-overflow burst, duplicate storm, drain
+mid-sweep — and each test pins the acceptance criterion: every
+admitted job reaches exactly one terminal state, N identical
+concurrent submissions execute at most one simulation, and served
+results are bit-identical to a direct :func:`run_grid` call.
+
+Uses the cheapest workloads (LL11/LL5/LL2 at one thread) so the whole
+matrix stays fast; the HTTP layer is exercised in-process with a real
+asyncio server on an ephemeral port.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import asyncio
+
+from repro.faults import FaultPlan, ServiceFaultPlan
+from repro.harness import Runner, run_grid
+from repro.obs.ledger import RunLedger
+from repro.obs.telemetry import summarize
+from repro.service import (AdmissionController, ClientDisconnect,
+                           JobService, ProtocolError, ServiceClient,
+                           ServiceHTTP, TokenBucket, parse_job_request)
+
+#: Result-payload fields that must be bit-identical however a job ran.
+_SIM_FIELDS = ("nthreads", "stats", "checksum", "verified")
+
+
+def _payload(workload="LL11", nthreads=1, **extra):
+    doc = {"workload": workload, "config": {"nthreads": nthreads}}
+    doc.update(extra)
+    return doc
+
+
+def _sim_view(result_payload):
+    return {field: result_payload[field] for field in _SIM_FIELDS}
+
+
+def _collecting_service(**kwargs):
+    events = []
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("sinks", [lambda e: events.append(e.to_dict())])
+    return JobService(**kwargs), events
+
+
+# ------------------------------------------------------------- protocol
+
+
+def test_protocol_rejects_malformed_submissions():
+    with pytest.raises(ProtocolError, match="unknown workload"):
+        parse_job_request({"workload": "nope"})
+    with pytest.raises(ProtocolError, match="required field 'workload'"):
+        parse_job_request({})
+    with pytest.raises(ProtocolError, match="unknown request field"):
+        parse_job_request({"workload": "LL11", "wrokload": "LL11"})
+    with pytest.raises(ProtocolError, match="unknown config field"):
+        parse_job_request({"workload": "LL11",
+                          "config": {"nthread": 2}})
+    with pytest.raises(ProtocolError, match="invalid configuration"):
+        parse_job_request({"workload": "LL11",
+                          "config": {"nthreads": 0}})
+    with pytest.raises(ProtocolError, match="must be a JSON object"):
+        parse_job_request(["LL11"])
+
+
+def test_protocol_chaos_gated_and_validated():
+    payload = _payload(chaos={"crash": {"attempts": 1}})
+    with pytest.raises(ProtocolError) as refused:
+        parse_job_request(payload, allow_chaos=False)
+    assert refused.value.status == 403
+    request = parse_job_request(payload, allow_chaos=True)
+    assert request.chaos == {"crash": {"attempts": 1}}
+    with pytest.raises(ProtocolError, match="unknown chaos rule"):
+        parse_job_request(_payload(chaos={"explode": {}}), allow_chaos=True)
+    with pytest.raises(ProtocolError, match="invalid chaos rule"):
+        parse_job_request(_payload(chaos={"crash": {"volume": 11}}),
+                          allow_chaos=True)
+
+
+def test_job_id_is_content_addressed_cache_key():
+    one = parse_job_request(_payload())
+    two = parse_job_request(_payload())
+    other = parse_job_request(_payload(nthreads=2))
+    assert one.job_id == two.job_id
+    assert one.job_id != other.job_id
+    # chaos is excluded: a chaos run and a clean run are the same job
+    chaotic = parse_job_request(_payload(chaos={"fail": {}}),
+                                allow_chaos=True)
+    assert chaotic.job_id == one.job_id
+    # ... and the id IS the disk-cache key run_grid persists under
+    from repro.harness.parallel import _job_key
+    from repro.workloads import by_name
+
+    workload = by_name("LL11")
+    program = workload.program(one.config.nthreads, aligned=False)
+    assert one.job_id == _job_key(workload, one.config, False, program)
+
+
+# ------------------------------------------------------ admission control
+
+
+def test_token_bucket_refuses_with_exact_wait():
+    clock = [0.0]
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: clock[0])
+    assert bucket.acquire() == (True, 0.0)
+    assert bucket.acquire() == (True, 0.0)
+    ok, wait = bucket.acquire()
+    assert not ok and wait == pytest.approx(0.5)
+    clock[0] += 0.5     # one token regenerates
+    assert bucket.acquire()[0]
+    assert not bucket.acquire()[0]
+
+
+def test_admission_window_and_rate_and_drain():
+    clock = [0.0]
+    admission = AdmissionController(depth=2, rate=10.0, burst=1.0,
+                                    clock=lambda: clock[0])
+    assert admission.precheck("a") == (True, None, None)
+    ok, reason, wait = admission.precheck("a")
+    assert (ok, reason) == (False, "rate-limited") and wait > 0
+    # a different client has its own bucket
+    assert admission.precheck("b")[0]
+    assert admission.acquire_slot() == (True, None)
+    assert admission.acquire_slot() == (True, None)
+    ok, retry_after = admission.acquire_slot()
+    assert not ok and retry_after == admission.retry_after
+    admission.release_slot()
+    assert admission.acquire_slot()[0]
+    admission.drain()
+    assert admission.precheck("c") == (False, "draining", None)
+    snapshot = admission.snapshot()
+    assert snapshot["rejected"] == {"draining": 1, "rate-limited": 1,
+                                    "queue-full": 1}
+    assert snapshot["inflight"] == 2
+
+
+# -------------------------------------------------------- fault injectors
+
+
+def test_service_fault_plan_is_deterministic_and_seedable():
+    probe = list(range(50))
+    one = ServiceFaultPlan(seed=3).disconnect(probability=0.4)
+    two = ServiceFaultPlan(seed=3).disconnect(probability=0.4)
+    other = ServiceFaultPlan(seed=4).disconnect(probability=0.4)
+    hits = [i for i in probe if one.matches(i)]
+    assert hits == [i for i in probe if two.matches(i)]
+    assert hits != [i for i in probe if other.matches(i)]
+    assert 0 < len(hits) < len(probe)
+
+
+def test_service_fault_plan_rules():
+    plan = (ServiceFaultPlan(seed=7)
+            .slow_client(indices=[1], seconds=0.25)
+            .disconnect(indices=[0], after_events=2)
+            .burst(indices=[2], copies=16)
+            .pool_loss(indices=[3], attempts=2))
+    assert plan.submit_delay(1) == 0.25
+    assert plan.submit_delay(0) == 0.0
+    assert not plan.should_disconnect(0, events_seen=1)
+    assert plan.should_disconnect(0, events_seen=2)
+    assert not plan.should_disconnect(1, events_seen=99)
+    assert plan.burst_copies(2) == 16
+    assert plan.burst_copies(0) == 1
+    assert plan.matches(3) == ["pool-loss"]
+    # pool-loss maps request indices onto grid indices as crash rules
+    grid = plan.grid_plan({3: 0, 1: 1})
+    assert isinstance(grid, FaultPlan)
+    assert grid.matches(0, attempt=0) == ["crash"]
+    assert grid.matches(0, attempt=1) == ["crash"]   # attempts=2
+    assert grid.matches(1, attempt=0) == []
+    assert plan.grid_plan({1: 0}) is None
+
+
+# --------------------------------------------------------- dedup/coalesce
+
+
+def test_duplicate_storm_runs_exactly_one_simulation():
+    service, events = _collecting_service()
+    docs = [service.submit(_payload())[1] for _ in range(8)]
+    entry = service.registry.get(docs[0]["job_id"])
+    assert entry.wait(120)
+    service.drain()
+    assert all(doc["job_id"] == docs[0]["job_id"] for doc in docs)
+    assert sum(1 for doc in docs if not doc["coalesced"]) == 1
+    # exactly one simulation: one started event, one terminal event
+    kinds = [e["event"] for e in events if e.get("job") == entry.index]
+    assert kinds.count("started") == 1
+    assert kinds.count("done") == 1
+    # all clients read the same bit-identical result payload
+    finals = [service.job_status(docs[0]["job_id"])["result"]
+              for _ in range(4)]
+    assert len({json.dumps(p, sort_keys=True) for p in finals}) == 1
+    assert service.admission.snapshot()["coalesced"] == 7
+    assert summarize(events)["violations"] == []
+
+
+def test_served_result_bit_identical_to_direct_run_grid(tmp_path):
+    service, _ = _collecting_service()
+    status, doc, _ = service.submit(_payload("LL5"))
+    assert status == 202
+    entry = service.registry.get(doc["job_id"])
+    assert entry.wait(120)
+    service.drain()
+    served = service.job_status(doc["job_id"])["result"]
+    direct = run_grid([(
+        "LL5", parse_job_request(_payload("LL5")).config)], workers=1)
+    assert _sim_view(served) == _sim_view(Runner._to_payload(direct[0]))
+
+
+def test_failed_job_resubmission_retries_it():
+    service, events = _collecting_service(allow_chaos=True, retries=0)
+    # crash on every attempt with no retry budget -> failed
+    status, doc, _ = service.submit(
+        _payload(chaos={"crash": {"attempts": 99}}))
+    assert status == 202
+    entry = service.registry.get(doc["job_id"])
+    assert entry.wait(120)
+    assert entry.state == "failed"
+    assert entry.failure["kind"] in ("crash", "exception")
+    # resubmitting a failure creates a fresh attempt (no chaos now)...
+    status, doc2, _ = service.submit(_payload())
+    assert status == 202 and not doc2["coalesced"]
+    entry2 = service.registry.get(doc2["job_id"])
+    assert entry2 is not entry
+    assert entry2.wait(120)
+    assert entry2.state == "done"
+    # ...while resubmitting a success is answered without simulating
+    status, doc3, _ = service.submit(_payload())
+    assert status == 200 and doc3["coalesced"]
+    service.drain()
+    assert summarize(events)["violations"] == []
+
+
+# ----------------------------------------------------------- backpressure
+
+
+def test_queue_overflow_burst_sheds_load_explicitly(monkeypatch):
+    service, _ = _collecting_service(queue_depth=2)
+    monkeypatch.setattr(service, "start", lambda: service)  # hold dispatch
+    statuses = []
+    for nthreads in (1, 2, 3, 4):
+        status, doc, headers = service.submit(_payload(nthreads=nthreads))
+        statuses.append(status)
+        if status == 429:
+            assert doc["error"] == "queue-full"
+            assert float(headers["Retry-After"]) > 0
+    assert statuses == [202, 202, 429, 429]
+    # a duplicate of an admitted job needs no window slot: the storm
+    # coalesces instead of exhausting the queue for distinct work
+    status, doc, _ = service.submit(_payload(nthreads=1))
+    assert status == 202 and doc["coalesced"]
+    snapshot = service.admission.snapshot()
+    assert snapshot["rejected"]["queue-full"] == 2
+    assert snapshot["coalesced"] == 1
+
+
+def test_rate_limited_client_gets_retry_after():
+    clock = [0.0]
+    service, _ = _collecting_service(rate=1.0, burst=1.0,
+                                     clock=lambda: clock[0])
+    assert service.submit(_payload(), client="a")[0] == 202
+    status, doc, headers = service.submit(_payload(), client="a")
+    assert status == 429
+    assert doc["error"] == "rate-limited"
+    assert float(headers["Retry-After"]) == pytest.approx(1.0, abs=0.01)
+    # rate limiting is per client identity
+    assert service.submit(_payload(), client="b")[0] in (200, 202)
+    service.drain()
+
+
+def test_drain_stops_admission_and_reaches_sweep_end():
+    service, events = _collecting_service()
+    assert service.submit(_payload())[0] == 202
+    service.drain()
+    status, doc, _ = service.submit(_payload(nthreads=2))
+    assert (status, doc["error"]) == (503, "draining")
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "sweep-start" and kinds[-1] == "sweep-end"
+    summary = summarize(events)
+    assert summary["violations"] == []
+    assert summary["metrics"].done == 1
+    # drained means every admitted job is terminal
+    assert all(entry.terminal for entry in service.registry.entries())
+    assert not service.ready()[0]
+
+
+# -------------------------------------------------------- worker recovery
+
+
+def test_pool_loss_between_accept_and_execute_recovers():
+    service, events = _collecting_service(allow_chaos=True)
+    plan = ServiceFaultPlan(seed=1).pool_loss(indices=[0], attempts=1)
+    payload = _payload()
+    if "pool-loss" in plan.matches(0):     # injector drives the chaos field
+        payload["chaos"] = {"crash": {"attempts": 1}}
+    status, doc, _ = service.submit(payload)
+    assert status == 202
+    entry = service.registry.get(doc["job_id"])
+    assert entry.wait(120)
+    service.drain()
+    assert entry.state == "done"           # crashed once, retried, finished
+    kinds = [e["event"] for e in events if e.get("job") == entry.index]
+    assert "retry" in kinds
+    assert kinds.count("done") == 1
+    assert summarize(events)["violations"] == []
+
+
+def test_transient_fault_is_retried_transparently():
+    service, events = _collecting_service(allow_chaos=True)
+    status, doc, _ = service.submit(
+        _payload(chaos={"fail": {"attempts": 1}}))
+    assert status == 202
+    entry = service.registry.get(doc["job_id"])
+    assert entry.wait(120)
+    service.drain()
+    assert entry.state == "done"
+    assert any(e["event"] == "retry" and e.get("job") == entry.index
+               for e in events)
+    assert summarize(events)["violations"] == []
+
+
+# ------------------------------------------------------------ HTTP layer
+
+
+class _HttpHarness:
+    """A real asyncio HTTP server on an ephemeral port, in a thread."""
+
+    def __init__(self, service):
+        self.service = service
+        self.http = None
+        self._loop = None
+        self._stopped = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "HTTP server failed to start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self.http = await ServiceHTTP(self.service, "127.0.0.1", 0).start()
+        self._ready.set()
+        await self._stopped.wait()
+        await self.http.close()
+
+    def client(self, **kwargs):
+        kwargs.setdefault("retries", 3)
+        kwargs.setdefault("backoff", 0.05)
+        return ServiceClient("127.0.0.1", self.http.port, **kwargs)
+
+    def stop(self):
+        if not self._thread.is_alive():
+            return
+        self.service.drain()
+        self._loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join(10)
+
+
+@pytest.fixture
+def http_harness():
+    harnesses = []
+
+    def _start(service):
+        harness = _HttpHarness(service)
+        harnesses.append(harness)
+        return harness
+
+    yield _start
+    for harness in harnesses:
+        harness.stop()
+
+
+def test_http_submit_status_events_health(http_harness):
+    service, _ = _collecting_service()
+    harness = http_harness(service)
+    client = harness.client()
+    ok, snapshot = client.readiness()
+    assert ok and snapshot["dispatcher_alive"]
+    doc = client.run_job(_payload())
+    assert doc["state"] == "done"
+    assert doc["result"]["checksum"] is not None
+    # the event stream replays the full lifecycle, ending with result
+    records = list(client.stream(doc["job_id"]))
+    kinds = [record["event"] for record in records]
+    assert kinds[0] == "queued" and kinds[-1] == "result"
+    assert "started" in kinds and "done" in kinds
+    assert records[-1]["state"] == "done"
+    health = client.health()
+    assert health["jobs"]["done"] == 1
+    # unknown job ids are a clean 404, not a hang
+    from repro.service.client import ServiceError
+    with pytest.raises(ServiceError):
+        client.status("not-a-job")
+
+
+def test_mid_stream_disconnect_leaves_job_unharmed(http_harness):
+    service, events = _collecting_service()
+    harness = http_harness(service)
+    plan = ServiceFaultPlan(seed=5).disconnect(indices=[0], after_events=1)
+    client = harness.client()
+    # run_job recovers from its own injected disconnect by re-polling
+    doc = client.run_job(_payload(), plan=plan, index=0)
+    assert doc["state"] == "done"
+    # the stream really did drop: prove the injector fires on this plan
+    with pytest.raises(ClientDisconnect):
+        for n, _ in enumerate(client.stream(doc["job_id"], plan=plan,
+                                            index=0)):
+            assert n < 10
+    harness.stop()
+    assert summarize(events)["violations"] == []
+
+
+def test_concurrent_duplicate_clients_same_result(http_harness):
+    service, events = _collecting_service()
+    harness = http_harness(service)
+    results, errors = [], []
+    barrier = threading.Barrier(6)
+
+    def _one_client():
+        try:
+            barrier.wait(10)
+            doc = harness.client().run_job(_payload("LL2"))
+            results.append(doc)
+        except Exception as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=_one_client) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    harness.stop()
+    assert not errors
+    assert len(results) == 6
+    # at most one simulation ran...
+    index = results[0]["index"]
+    started = [e for e in events
+               if e["event"] == "started" and e.get("job") == index]
+    assert len(started) == 1
+    # ...and every client received the same bit-identical payload
+    payloads = {json.dumps(doc["result"], sort_keys=True)
+                for doc in results}
+    assert len(payloads) == 1
+    assert summarize(events)["violations"] == []
+
+
+def test_served_sweep_threads_ledger_and_renders_report():
+    from repro.obs.report import run_report
+
+    ledger = RunLedger(None)    # REPRO_LEDGER, isolated per test
+    service, events = _collecting_service(ledger=ledger)
+    for nthreads in (1, 2):
+        status, _, _ = service.submit(
+            _payload("LL11", nthreads=nthreads, sweep_id="served-1"))
+        assert status == 202
+    for entry in service.registry.entries():
+        assert entry.wait(120)
+    service.drain()
+    records = [r for r in ledger.records()
+               if r.get("sweep_id") == "served-1"]
+    assert len(records) == 2
+    text = run_report("threads", ledger=ledger, workloads=["LL11"],
+                      threads=(1, 2), sweep="served-1")
+    assert "LL11" in text and "1T" in text and "2T" in text
+    assert "sweep served-1" in text
+
+
+# --------------------------------------------------- process-level drain
+
+
+def test_sigterm_drains_server_and_accounting_reconciles(tmp_path):
+    events_log = tmp_path / "serve-events.jsonl"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--events", str(events_log)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": "src"}, cwd=os.getcwd())
+    try:
+        banner = server.stdout.readline()
+        port = int(re.search(r"http://127\.0\.0\.1:(\d+)", banner).group(1))
+        client = ServiceClient("127.0.0.1", port, retries=3, backoff=0.1)
+        doc = client.run_job(_payload())
+        assert doc["state"] == "done"
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate(timeout=10)
+    assert server.returncode == 0
+    assert "drained" in out and "1 done" in out
+    from repro.obs.telemetry import load_events, render_summary
+
+    text, ok = render_summary(load_events(events_log))
+    assert ok, text
+    assert "accounting: ok" in text

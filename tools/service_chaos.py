@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""End-to-end chaos drill for the simulation job service.
+
+Boots a real ``repro serve`` process on an ephemeral port, then fires
+a fleet of concurrent clients at it under a deterministic
+:class:`repro.faults.ServiceFaultPlan`:
+
+* a **duplicate storm** — several clients submit the same job at once;
+* a **pool-loss** victim — the worker that accepts one job is killed
+  between accept and execute (over-the-wire ``chaos`` crash rule);
+* a **mid-stream disconnect** — one client drops its event stream
+  partway and must recover by polling;
+* a **slow client** — one submission dawdles before sending.
+
+Every client must come back with a ``done`` job, the duplicate storm
+must run **exactly one simulation** and hand every client the same
+bit-identical payload, and after a SIGTERM drain the server's event
+log must pass the ``repro sweep`` accounting audit (exactly one
+``queued`` and one terminal event per job). CI runs this drill on
+every push and uploads the event log as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_chaos.py --events serve_events.jsonl
+"""
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.faults import ServiceFaultPlan
+from repro.service import ServiceClient
+
+#: Request indices of the chaos plan (the driver's submission order).
+STORM = (0, 1, 2, 3)           # duplicate storm: one job, four clients
+POOL_LOSS = 4                  # worker dies after accepting this job
+DISCONNECT = 5                 # this client drops its event stream
+SLOW = 6                       # this client dawdles before submitting
+
+SUBMISSIONS = (
+    # (index, payload) — the storm shares one payload verbatim
+    *((i, {"workload": "LL11", "config": {"nthreads": 1}}) for i in STORM),
+    (POOL_LOSS, {"workload": "LL5", "config": {"nthreads": 1},
+                 "sweep_id": "chaos-drill"}),
+    (DISCONNECT, {"workload": "LL2", "config": {"nthreads": 1},
+                  "sweep_id": "chaos-drill"}),
+    (SLOW, {"workload": "LL11", "config": {"nthreads": 2},
+            "sweep_id": "chaos-drill"}),
+)
+
+
+def _plan():
+    return (ServiceFaultPlan(seed=20260808)
+            .pool_loss(indices=[POOL_LOSS])
+            .disconnect(indices=[DISCONNECT], after_events=1)
+            .slow_client(indices=[SLOW], seconds=0.2))
+
+
+def _start_server(events_path, workers):
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers), "--allow-chaos",
+         "--events", events_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    banner = server.stdout.readline()
+    match = re.search(r"http://[^:]+:(\d+)", banner)
+    if match is None:
+        server.kill()
+        raise SystemExit(f"error: no port in server banner: {banner!r}")
+    return server, int(match.group(1))
+
+
+def _drill(port, plan):
+    """Run every submission concurrently; returns index -> final doc."""
+    docs, errors = {}, []
+    barrier = threading.Barrier(len(SUBMISSIONS))
+
+    def _one(index, payload):
+        try:
+            barrier.wait(30)
+            client = ServiceClient("127.0.0.1", port, retries=6,
+                                   backoff=0.1)
+            docs[index] = client.run_job(payload, plan=plan, index=index)
+        except Exception as error:  # noqa: BLE001 — reported below
+            errors.append(f"client {index}: {error!r}")
+
+    threads = [threading.Thread(target=_one, args=spec)
+               for spec in SUBMISSIONS]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300)
+    for index, error in ((i, "client thread wedged")
+                         for i, t in zip(range(len(threads)), threads)
+                         if t.is_alive()):
+        errors.append(f"client {index}: {error}")
+    return docs, errors
+
+
+def _check(docs, errors, health):
+    problems = list(errors)
+    for index, _ in SUBMISSIONS:
+        doc = docs.get(index)
+        if doc is None:
+            continue        # already reported as a client error
+        if doc.get("state") != "done":
+            problems.append(f"client {index}: terminal state "
+                            f"{doc.get('state')!r}, failure "
+                            f"{doc.get('failure')!r}")
+    # the duplicate storm coalesced onto one job, one result
+    storm = [docs[i] for i in STORM if i in docs]
+    if storm:
+        ids = {doc["job_id"] for doc in storm}
+        payloads = {json.dumps(doc.get("result"), sort_keys=True)
+                    for doc in storm}
+        if len(ids) != 1:
+            problems.append(f"storm split across {len(ids)} job ids")
+        if len(payloads) != 1:
+            problems.append("storm clients saw differing result payloads")
+        if storm[0].get("submissions", 0) < len(STORM):
+            problems.append(
+                f"storm submissions={storm[0].get('submissions')} < "
+                f"{len(STORM)} — duplicates were not coalesced")
+    if health is not None:
+        if health["jobs"]["done"] != health["jobs"]["total"]:
+            problems.append(f"not every job finished: {health['jobs']}")
+        if health["admission"]["coalesced"] < len(STORM) - 1:
+            problems.append("admission counters show no coalescing")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", default="serve_events.jsonl",
+                        help="server event log (audited, CI artifact)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server worker processes (default 2)")
+    args = parser.parse_args(argv)
+
+    plan = _plan()
+    print(f"chaos drill: {len(SUBMISSIONS)} concurrent clients, {plan}")
+    server, port = _start_server(args.events, args.workers)
+    try:
+        docs, errors = _drill(port, plan)
+        health = ServiceClient("127.0.0.1", port).health()
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=120)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            out, _ = server.communicate(timeout=30)
+    print(out, end="")
+
+    problems = _check(docs, errors, health)
+    if server.returncode != 0:
+        problems.append(f"server exited {server.returncode} after SIGTERM")
+    if "drained" not in out:
+        problems.append("server did not report a graceful drain")
+    if problems:
+        print(f"chaos drill: FAILED ({len(problems)} problems)",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    done = sum(1 for doc in docs.values() if doc.get("state") == "done")
+    print(f"chaos drill: ok — {done}/{len(SUBMISSIONS)} clients done, "
+          f"storm coalesced, pool loss and disconnect recovered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
