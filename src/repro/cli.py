@@ -503,6 +503,27 @@ def cmd_check(args):
     return 0
 
 
+def _parse_service_url(url, default_port=8421):
+    """``(host, port)`` from ``http://host:port``, ``host:port``, or
+    ``host``."""
+    bare = url.strip()
+    for scheme in ("http://", "https://"):
+        if bare.startswith(scheme):
+            bare = bare[len(scheme):]
+            break
+    bare = bare.split("/", 1)[0]
+    host, _, port_text = bare.partition(":")
+    if not host:
+        raise CliError(f"cannot parse service URL {url!r}")
+    if not port_text:
+        return host, default_port
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise CliError(f"cannot parse service URL {url!r}: bad port "
+                       f"{port_text!r}") from None
+
+
 def cmd_report(args):
     from repro.harness.diskcache import default_path as cache_default
     from repro.harness.parallel import GridError
@@ -513,6 +534,18 @@ def cmd_report(args):
     if args.sweep is not None and telemetry is not None:
         raise CliError("--live/--events/--trace instrument a fresh grid; "
                        "--sweep renders an already-finished one")
+    client = None
+    recoverable = (GridError, LedgerError, ValueError, KeyError)
+    if args.service:
+        if telemetry is not None:
+            raise CliError("--live/--events/--trace watch a local grid; "
+                           "with --service the server owns the telemetry "
+                           "stream (see repro serve --events)")
+        from repro.service.client import (ServiceClient, ServiceError,
+                                          ServiceUnavailable)
+        host, port = _parse_service_url(args.service)
+        client = ServiceClient(host, port)
+        recoverable += (ServiceError, ServiceUnavailable, OSError)
     disk_cache = None if args.fresh else cache_default()
     try:
         text = run_report(
@@ -522,8 +555,8 @@ def cmd_report(args):
             workers=args.workers, disk_cache=disk_cache,
             instrument=args.instrument, csv_path=args.csv,
             backend=args.backend, sweep=args.sweep, telemetry=telemetry,
-            sweep_id=getattr(args, "sweep_id", None))
-    except (GridError, LedgerError, ValueError, KeyError) as error:
+            sweep_id=getattr(args, "sweep_id", None), client=client)
+    except recoverable as error:
         message = error.args[0] if error.args else str(error)
         raise CliError(str(message)) from error
     finally:
@@ -550,7 +583,7 @@ def cmd_sweep(args):
 
 def cmd_serve(args):
     from repro.obs.export import JsonlSink
-    from repro.service import JobService, run_server
+    from repro.service import AccessLog, JobService, run_server
 
     sinks = []
     handle = None
@@ -569,19 +602,35 @@ def cmd_serve(args):
         from repro.harness.runner import Runner
         disk_cache = DiskResultCache(args.cache,
                                      schema=Runner.RESULT_SCHEMA)
+    metrics = None
+    if not args.no_metrics:
+        from repro.obs.runtime import MetricsRegistry
+        metrics = MetricsRegistry()
+    # Access log defaults to stderr: stdout carries the banner and the
+    # drain summary that tools (the chaos driver) parse, and stderr may
+    # be shared with a LiveProgress elsewhere — never raw stdout.
+    access_log = None
+    access_handle = None
+    if not args.no_access_log:
+        if args.access_log:
+            access_handle = open(args.access_log, "w", buffering=1)
+            access_log = AccessLog(access_handle)
+        else:
+            access_log = AccessLog(sys.stderr)
     service = JobService(
         workers=args.workers, queue_depth=args.queue_depth, rate=args.rate,
         burst=args.burst, timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, backend=args.backend, disk_cache=disk_cache,
         ledger=ledger, sinks=sinks, allow_chaos=args.allow_chaos,
-        heartbeat=args.heartbeat)
+        heartbeat=args.heartbeat, metrics=metrics)
 
     def banner(http):
         print(f"repro serve: listening on http://{http.host}:{http.port} "
               f"(sweep {service.hub.sweep_id})", flush=True)
 
     try:
-        run_server(service, args.host, args.port, banner=banner)
+        run_server(service, args.host, args.port, banner=banner,
+                   access_log=access_log)
     except KeyboardInterrupt:
         print("repro serve: force quit before drain finished",
               file=sys.stderr)
@@ -589,6 +638,8 @@ def cmd_serve(args):
     finally:
         if handle is not None:
             handle.close()
+        if access_handle is not None:
+            access_handle.close()
     jobs = service.registry.counts()
     print(f"repro serve: drained — {jobs['done']} done, "
           f"{jobs['failed']} failed, {jobs['total']} job(s) total")
@@ -597,7 +648,7 @@ def cmd_serve(args):
 
 def cmd_submit(args):
     from repro.service.client import (ServiceClient, ServiceError,
-                                      ServiceUnavailable)
+                                      ServiceUnavailable, new_request_id)
 
     payload = {"workload": args.workload}
     config = {}
@@ -620,17 +671,52 @@ def cmd_submit(args):
         payload["sweep_id"] = args.sweep_id
     if args.client:
         payload["client"] = args.client
+    request_id = args.request_id or new_request_id()
     client = ServiceClient(args.host, args.port, retries=args.retries,
                            backoff=args.backoff, timeout=args.timeout)
     try:
         if args.no_wait:
-            doc = client.submit(payload)
+            doc = client.submit(payload, request_id=request_id)
         else:
-            doc = client.run_job(payload)
+            doc = client.run_job(payload, request_id=request_id)
     except (ServiceError, ServiceUnavailable, OSError) as error:
         raise CliError(str(error)) from error
     print(json.dumps(doc, indent=2, sort_keys=True))
+    print(f"request id: {request_id} (grep it in the server's access "
+          f"log, event stream, and ledger)", file=sys.stderr)
     return 1 if doc.get("state") == "failed" else 0
+
+
+def cmd_top(args):
+    from repro.obs.runtime import TopView, parse_promtext
+    from repro.service.client import (ServiceClient, ServiceError,
+                                      ServiceUnavailable)
+
+    host, port = _parse_service_url(args.url)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    view = TopView()
+    stream = sys.stdout
+    width = 0
+    try:
+        while True:
+            text = client.metrics_text()
+            view.update(parse_promtext(text))
+            line = f"[{host}:{port}] {view.render()}"
+            pad = max(width - len(line), 0)
+            width = len(line)
+            stream.write("\r" + line + " " * pad)
+            stream.flush()
+            if args.once:
+                stream.write("\n")
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        stream.write("\n")
+        return 0
+    except (ServiceError, ServiceUnavailable, OSError) as error:
+        if width:
+            stream.write("\n")
+        raise CliError(str(error)) from error
 
 
 def cmd_workloads(args):
@@ -802,6 +888,13 @@ def build_parser():
     p_report.add_argument("--sweep", default=None, metavar="ID",
                           help="render the table from an already-finished "
                                "sweep's ledger records (no simulation)")
+    p_report.add_argument("--service", default=None, metavar="URL",
+                          help="run the grid through a running 'repro "
+                               "serve' (e.g. 127.0.0.1:8421) instead of "
+                               "simulating locally; the table still "
+                               "renders from this process's ledger, so "
+                               "point --ledger/REPRO_LEDGER at the "
+                               "server's ledger file")
     p_report.set_defaults(func=cmd_report)
 
     p_sweep = sub.add_parser(
@@ -863,6 +956,14 @@ def build_parser():
     p_serve.add_argument("--allow-chaos", action="store_true",
                          help="accept per-job 'chaos' fault-injection "
                               "fields (testing only)")
+    p_serve.add_argument("--no-metrics", action="store_true",
+                         help="serve without the runtime metrics "
+                              "registry (GET /metrics returns 404)")
+    p_serve.add_argument("--access-log", default=None, metavar="PATH",
+                         help="append one JSON access-log line per "
+                              "request to this file (default: stderr)")
+    p_serve.add_argument("--no-access-log", action="store_true",
+                         help="disable the request access log")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -897,7 +998,22 @@ def build_parser():
     p_submit.add_argument("--no-wait", action="store_true",
                           help="return the submission document without "
                                "waiting for the result")
+    p_submit.add_argument("--request-id", default=None, metavar="ID",
+                          help="correlation id sent as X-Repro-Request-Id "
+                               "(default: a fresh one, printed on stderr)")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a server's GET /metrics")
+    p_top.add_argument("url", metavar="URL",
+                       help="service endpoint, e.g. 127.0.0.1:8421")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between scrapes (default 2.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot line and exit")
+    p_top.add_argument("--timeout", type=float, default=10.0,
+                       help="per-scrape socket timeout, seconds")
+    p_top.set_defaults(func=cmd_top)
 
     p_list = sub.add_parser("workloads", help="list the paper's workloads")
     p_list.set_defaults(func=cmd_workloads)

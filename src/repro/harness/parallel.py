@@ -415,6 +415,29 @@ def _retryable(exc):
     return not isinstance(exc, _DETERMINISTIC_ERRORS)
 
 
+def _worker_init():
+    """Detach pool workers from the parent's signal plumbing.
+
+    Fork-started workers inherit the parent's signal wakeup fd —
+    asyncio's self-pipe when the grid runs inside ``repro serve``.
+    Without this reset, a SIGTERM delivered to a *worker* (e.g.
+    :func:`_kill_pool` recovering from a crash) makes the worker's
+    C-level handler write into the PARENT's event-loop pipe, and the
+    server mistakes it for its own shutdown signal — a phantom drain.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass
+    for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+        if signum is None:
+            continue
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _kill_pool(pool):
     """Forcibly tear down a pool that may contain hung workers."""
     processes = getattr(pool, "_processes", None)
@@ -527,7 +550,8 @@ class _GridExecutor:
 
     def run_pool(self, jobs):
         self.queue.extend(jobs)
-        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        self.pool = ProcessPoolExecutor(max_workers=self.width,
+                                             initializer=_worker_init)
         try:
             while self.queue or self.inflight:
                 try:
@@ -697,7 +721,8 @@ class _GridExecutor:
                 victims.append(job)
         self.inflight.clear()
         _kill_pool(self.pool)
-        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        self.pool = ProcessPoolExecutor(max_workers=self.width,
+                                             initializer=_worker_init)
         if self.telemetry is not None and victims:
             indices = []
             for job in victims:
@@ -763,7 +788,8 @@ class _GridExecutor:
             elif (future, job) not in overdue:
                 innocents.append(job)
         _kill_pool(self.pool)
-        self.pool = ProcessPoolExecutor(max_workers=self.width)
+        self.pool = ProcessPoolExecutor(max_workers=self.width,
+                                             initializer=_worker_init)
         self.inflight.clear()
         for job in innocents:
             # Uncharged: their workers were collateral of the teardown.
@@ -950,7 +976,7 @@ class _GridExecutor:
 
 
 def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
-                   aligned, sweep_id=None):
+                   aligned, sweep_id=None, request_ids=None):
     """Append one ledger record per successful grid result.
 
     Records are sorted by ``(workload, config_fingerprint)`` — not by
@@ -978,7 +1004,9 @@ def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
             verified=result.verified, wall_seconds=result.wall_seconds,
             cached=index in cached_indices,
             backend=getattr(result, "backend", "scalar"),
-            sweep_id=sweep_id)
+            sweep_id=sweep_id,
+            request_id=(request_ids.get(index)
+                        if request_ids is not None else None))
         keyed.append(((workload.name, fingerprint), record))
     keyed.sort(key=lambda pair: pair[0])
     ledger.append_all([record for _, record in keyed])
@@ -994,7 +1022,8 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
              aligned=False, instrument=False, *, backend="scalar",
              timeout=None, retries=2, backoff=0.25, strict=False,
              fault_plan=None, ledger=None, ledger_timestamp=None,
-             telemetry=None, progress=None, sweep_id=None):
+             telemetry=None, progress=None, sweep_id=None,
+             request_ids=None):
     """Simulate every ``(workload, config)`` job, in parallel, surviving
     worker crashes, hangs, and transient failures.
 
@@ -1078,6 +1107,12 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         hub's id when one exists, else ``None`` — ledger-only runs are
         never assigned a random id, keeping repeat appends of the same
         grid byte-identical.
+    request_ids:
+        Optional ``{grid index: correlation id}`` mapping stamped into
+        the corresponding ledger records as ``request_id`` (the job
+        service passes the ``X-Repro-Request-Id`` of each job's first
+        submission). Consulted only inside the ledger append — the
+        execution hot path never reads it.
 
     Returns
     -------
@@ -1153,7 +1188,8 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     if not pending:
         if ledger is not None:
             _ledger_append(ledger, resolved, results, cached_indices,
-                           ledger_timestamp, aligned, sweep_id)
+                           ledger_timestamp, aligned, sweep_id,
+                           request_ids)
         if telemetry is not None:
             telemetry.sweep_end(cache=(disk_cache.counters()
                                        if disk_cache is not None else None))
@@ -1187,7 +1223,8 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
             interrupt.restore()
     if ledger is not None:
         _ledger_append(ledger, resolved, results, cached_indices,
-                       ledger_timestamp, aligned, sweep_id)
+                       ledger_timestamp, aligned, sweep_id,
+                       request_ids)
     if telemetry is not None:
         telemetry.sweep_end(cache=(disk_cache.counters()
                                    if disk_cache is not None else None))

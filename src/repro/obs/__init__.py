@@ -13,6 +13,12 @@ the pipeline can import them without cycles; the heavier pieces live in
 cycle-free) and are imported on demand (``attach_metrics``, the CLI,
 the exporters' users).
 
+:mod:`repro.obs.runtime` — the process-wide service metrics registry
+behind ``GET /metrics`` and ``repro top`` — is deliberately *not*
+imported here: a process that never enables service metrics never
+executes a line of it (the zero-overhead contract, pinned by
+``tests/test_obs_overhead.py``). Import it explicitly.
+
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, the stall
 categories, the zero-overhead contract, and the ledger schema.
 """

@@ -162,7 +162,7 @@ def make_record(*, source, workload, config, stats, timestamp,
                 program_hash=None, checksum=None, verified=None,
                 wall_seconds=None, cached=False, engine_version=None,
                 keep_interval_metrics=False, backend="scalar",
-                sweep_id=None):
+                sweep_id=None, request_id=None):
     """Build one ledger record (a plain JSON-serializable dict).
 
     ``stats`` is a :class:`~repro.core.stats.SimStats` or its
@@ -183,7 +183,10 @@ def make_record(*, source, workload, config, stats, timestamp,
 
     ``sweep_id`` ties the record to the harness sweep that produced it
     (see :mod:`repro.obs.telemetry`); ``None`` for standalone runs and
-    for every record written before sweeps existed.
+    for every record written before sweeps existed. ``request_id`` is
+    the correlation id of the service request that commissioned the
+    run (``X-Repro-Request-Id``) — one grep joins the HTTP access log,
+    the telemetry event stream, and this record.
     """
     spec = config.to_spec() if hasattr(config, "to_spec") else dict(config)
     counters = dict(stats if isinstance(stats, dict) else stats.to_dict())
@@ -219,6 +222,7 @@ def make_record(*, source, workload, config, stats, timestamp,
         "cached": bool(cached),
         "backend": backend,
         "sweep_id": sweep_id,
+        "request_id": request_id,
     }
     record["run_id"] = fingerprint(record)
     return record
@@ -304,6 +308,8 @@ class RunLedger:
             record.setdefault("backend", "scalar")
             # Pre-telemetry records belong to no sweep.
             record.setdefault("sweep_id", None)
+            # Pre-service records were never commissioned over HTTP.
+            record.setdefault("request_id", None)
             out.append(record)
         self.skipped = skipped
         if skipped:

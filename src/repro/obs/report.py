@@ -181,10 +181,45 @@ def _value(record, kind):
     return stats["cycles"]
 
 
+def _run_via_service(client, jobs, *, instrument=False, sweep_id=None):
+    """Drive one experiment grid through a running job service.
+
+    Submits every grid point first (the server coalesces duplicates and
+    answers cached points instantly), then waits for each to reach a
+    terminal state. The server appends the ledger records exactly as a
+    local ``run_grid`` would — the caller's ledger must therefore be
+    the *server's* ledger file (shared filesystem), which is also what
+    makes the served and local report tables byte-identical.
+    """
+    from repro.service.client import new_request_id
+
+    submitted = []
+    for wname, config, _label in jobs:
+        payload = {"workload": wname, "config": config.to_spec()}
+        if instrument:
+            payload["instrument"] = True
+        if sweep_id is not None:
+            payload["sweep_id"] = sweep_id
+        doc = client.submit(payload, request_id=new_request_id())
+        submitted.append((wname, doc))
+    failures = []
+    for wname, doc in submitted:
+        final = (doc if doc.get("state") in ("done", "failed")
+                 else client.wait(doc["job_id"]))
+        if final.get("state") != "done":
+            failure = final.get("failure") or {}
+            failures.append(f"{wname}: {failure.get('kind', 'failed')} "
+                            f"({failure.get('message', 'no detail')})")
+    if failures:
+        raise ledger_mod.LedgerError(
+            "service could not complete the report grid:\n  "
+            + "\n  ".join(failures))
+
+
 def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
                disk_cache=None, instrument=False, timestamp=None,
                csv_path=None, backend="scalar", sweep=None, telemetry=None,
-               progress=None, sweep_id=None):
+               progress=None, sweep_id=None, client=None):
     """Run one experiment grid and render its table from the ledger.
 
     The grid goes through :func:`run_grid` with ``ledger=`` attached,
@@ -199,6 +234,13 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
     *finished* sweep (no simulation happens); ``telemetry``, ``progress``
     and ``sweep_id`` are forwarded to :func:`run_grid` so a fresh grid
     can be watched live and its records stamped as one sweep.
+
+    ``client`` (a :class:`repro.service.ServiceClient`) submits the
+    grid through a running ``repro serve`` instead of a local
+    ``run_grid`` — ``repro report --service URL``. The table still
+    renders from ``ledger``, which must be the server's ledger file;
+    ``workers``/``backend``/``disk_cache`` are then the *server's*
+    choices and the local values are ignored.
     """
     from repro.harness.parallel import run_grid
 
@@ -207,11 +249,16 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
     title, kind, columns, jobs = build_experiment(
         name, workloads=workloads, threads=threads)
     if sweep is None:
-        run_grid([(wname, config) for wname, config, _ in jobs],
-                 workers=workers, disk_cache=disk_cache,
-                 instrument=instrument, backend=backend, ledger=ledger,
-                 ledger_timestamp=timestamp, strict=True,
-                 telemetry=telemetry, progress=progress, sweep_id=sweep_id)
+        if client is not None:
+            _run_via_service(client, jobs, instrument=instrument,
+                             sweep_id=sweep_id)
+        else:
+            run_grid([(wname, config) for wname, config, _ in jobs],
+                     workers=workers, disk_cache=disk_cache,
+                     instrument=instrument, backend=backend, ledger=ledger,
+                     ledger_timestamp=timestamp, strict=True,
+                     telemetry=telemetry, progress=progress,
+                     sweep_id=sweep_id)
 
     latest = ledger.latest_by_key(sweep=sweep)
     wanted = {}

@@ -407,7 +407,7 @@ class LiveProgress:
     """
 
     __slots__ = ("stream", "metrics", "min_interval", "count",
-                 "_clock", "_last", "_width")
+                 "_clock", "_last", "_width", "_sweep")
 
     def __init__(self, stream=None, min_interval=0.1, clock=time.monotonic):
         self.stream = stream if stream is not None else sys.stderr
@@ -417,10 +417,12 @@ class LiveProgress:
         self._clock = clock
         self._last = None
         self._width = 0
+        self._sweep = None
 
     def __call__(self, event):
         self.count += 1
         self.metrics.apply(event)
+        self._sweep = event.sweep_id
         final = event.kind == "sweep-end"
         now = self._clock()
         if not final and self._last is not None \
@@ -435,10 +437,25 @@ class LiveProgress:
             self.stream.write("\n")
         self.stream.flush()
 
+    def println(self, text):
+        """Write a full line *through* the live view without mangling it.
+
+        Other writers sharing this tty (the service access log, ad-hoc
+        diagnostics) must not interleave with the ``\\r``-refresh
+        status line: this clears the status line, writes ``text`` plus
+        a newline, and redraws the status underneath — so the log line
+        lands intact on its own row and the live view survives.
+        """
+        clear_pad = max(self._width - len(text), 0)
+        status = self.render()
+        self._width = len(status)
+        self.stream.write("\r" + text + " " * clear_pad + "\n" + status)
+        self.stream.flush()
+
     def render(self, event=None):
         """The current status line (no carriage control)."""
         m = self.metrics
-        sweep = event.sweep_id if event is not None else None
+        sweep = event.sweep_id if event is not None else self._sweep
         bits = [f"[sweep {sweep or '?'}]",
                 f"{m.terminal}/{m.total or m.queued_events} jobs"]
         if m.done:

@@ -40,13 +40,16 @@ the failure-mode catalogue.
 """
 
 from repro.service.client import (ClientDisconnect, ServiceClient,
-                                  ServiceError, ServiceUnavailable)
+                                  ServiceError, ServiceUnavailable,
+                                  new_request_id)
 from repro.service.dedup import JobEntry, JobRegistry
 from repro.service.protocol import JobRequest, ProtocolError, parse_job_request
 from repro.service.queue import AdmissionController, TokenBucket
-from repro.service.server import JobService, ServiceHTTP, run_server
+from repro.service.server import (AccessLog, JobService, ServiceHTTP,
+                                  ServiceMetrics, run_server)
 
 __all__ = [
+    "AccessLog",
     "AdmissionController",
     "ClientDisconnect",
     "JobEntry",
@@ -57,8 +60,10 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceHTTP",
+    "ServiceMetrics",
     "ServiceUnavailable",
     "TokenBucket",
+    "new_request_id",
     "parse_job_request",
     "run_server",
 ]

@@ -22,6 +22,12 @@ started with ``--allow-chaos``).
 import http.client
 import json
 import time
+import uuid
+
+
+def new_request_id():
+    """A fresh correlation id for ``X-Repro-Request-Id``."""
+    return uuid.uuid4().hex[:16]
 
 
 class ServiceError(Exception):
@@ -50,6 +56,11 @@ class ServiceClient:
 
     ``sleep`` and ``clock`` are injectable so the retry/backoff paths
     are deterministic under test (no real waiting).
+
+    Every request carries an ``X-Repro-Request-Id`` correlation header
+    (caller-supplied or generated); the id echoed by the server's last
+    response is kept in ``last_request_id`` — grep it in the server's
+    access log, telemetry stream, and ledger.
     """
 
     def __init__(self, host="127.0.0.1", port=8421, *, retries=5,
@@ -62,21 +73,27 @@ class ServiceClient:
         self.timeout = timeout
         self.sleep = sleep
         self.clock = clock
+        self.last_request_id = None
 
     # ------------------------------------------------------------ plumbing
 
-    def _request(self, method, path, payload=None):
+    def _request(self, method, path, payload=None, request_id=None):
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
         try:
             body = json.dumps(payload).encode() if payload is not None \
                 else None
             headers = {"Content-Type": "application/json"} if body else {}
+            if request_id is not None:
+                headers["X-Repro-Request-Id"] = request_id
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             data = response.read()
             headers = {name.lower(): value
                        for name, value in response.getheaders()}
+            echoed = headers.get("x-repro-request-id")
+            if echoed is not None:
+                self.last_request_id = echoed
             try:
                 doc = json.loads(data.decode() or "null")
             except (ValueError, UnicodeDecodeError):
@@ -122,17 +139,24 @@ class ServiceClient:
 
     # ------------------------------------------------------------- requests
 
-    def submit(self, payload):
-        """Submit one job (idempotent); returns its status document."""
+    def submit(self, payload, request_id=None):
+        """Submit one job (idempotent); returns its status document.
+
+        ``request_id`` rides as the ``X-Repro-Request-Id`` header on
+        every attempt — content-addressed idempotence means a retried
+        submit is the *same* request, so it keeps the same id.
+        """
         _, _, doc = self._with_retries(
-            lambda: self._request("POST", "/v1/jobs", payload),
+            lambda: self._request("POST", "/v1/jobs", payload,
+                                  request_id=request_id),
             f"submit {payload.get('workload', '?')}")
         return doc
 
-    def status(self, job_id):
+    def status(self, job_id, request_id=None):
         """The job's current status document (404 -> ServiceError)."""
         _, _, doc = self._with_retries(
-            lambda: self._request("GET", f"/v1/jobs/{job_id}"),
+            lambda: self._request("GET", f"/v1/jobs/{job_id}",
+                                  request_id=request_id),
             f"status {job_id[:12]}")
         return doc
 
@@ -146,11 +170,30 @@ class ServiceClient:
         status, _, doc = self._request("GET", "/readyz")
         return status == 200, doc
 
-    def wait(self, job_id, poll=0.1, timeout=300.0):
+    def metrics_text(self):
+        """The raw Prometheus text from ``GET /metrics`` (no retries).
+
+        Raises :class:`ServiceError` when the server runs without a
+        metrics registry (404).
+        """
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise ServiceError(response.status,
+                                   "metrics scrape failed")
+            return data.decode()
+        finally:
+            connection.close()
+
+    def wait(self, job_id, poll=0.1, timeout=300.0, request_id=None):
         """Poll until the job is terminal; returns its final document."""
         deadline = self.clock() + timeout
         while True:
-            doc = self.status(job_id)
+            doc = self.status(job_id, request_id=request_id)
             if doc.get("state") in ("done", "failed"):
                 return doc
             if self.clock() >= deadline:
@@ -159,7 +202,7 @@ class ServiceClient:
                     f"{timeout}s")
             self.sleep(poll)
 
-    def stream(self, job_id, *, plan=None, index=0):
+    def stream(self, job_id, *, plan=None, index=0, request_id=None):
         """Yield the job's lifecycle records, ending with ``result``.
 
         With a :class:`ServiceFaultPlan`, drops the connection after
@@ -169,8 +212,11 @@ class ServiceClient:
         """
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
+        headers = {} if request_id is None \
+            else {"X-Repro-Request-Id": request_id}
         try:
-            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            connection.request("GET", f"/v1/jobs/{job_id}/events",
+                               headers=headers)
             response = connection.getresponse()
             if response.status != 200:
                 raise ServiceError(response.status,
@@ -193,14 +239,20 @@ class ServiceClient:
         finally:
             connection.close()
 
-    def run_job(self, payload, *, plan=None, index=0):
+    def run_job(self, payload, *, plan=None, index=0, request_id=None):
         """The whole client story; returns the job's final document.
 
         Applies the plan's client-side faults for ``index`` (submit
         delay, pool-loss chaos translation, stream disconnect), then
         recovers from any disconnect by polling — the second half of
         idempotent resubmission: reattaching never re-runs the job.
+
+        A correlation id is always sent (generated when not supplied)
+        and kept in ``last_request_id``.
         """
+        if request_id is None:
+            request_id = new_request_id()
+        self.last_request_id = request_id
         if plan is not None:
             delay = plan.submit_delay(index)
             if delay:
@@ -210,13 +262,14 @@ class ServiceClient:
                 chaos = dict(payload.get("chaos") or {})
                 chaos.setdefault("crash", {"attempts": 1})
                 payload["chaos"] = chaos
-        doc = self.submit(payload)
+        doc = self.submit(payload, request_id=request_id)
         if doc.get("state") in ("done", "failed"):
             return doc
         job_id = doc["job_id"]
         try:
-            for record in self.stream(job_id, plan=plan, index=index):
+            for record in self.stream(job_id, plan=plan, index=index,
+                                      request_id=request_id):
                 pass
         except ClientDisconnect:
             pass
-        return self.wait(job_id)
+        return self.wait(job_id, request_id=request_id)

@@ -49,7 +49,7 @@ class JobEntry:
     """
 
     __slots__ = ("request", "index", "state", "result", "failure",
-                 "submissions", "events", "_subscribers", "_cond")
+                 "submissions", "cached", "events", "_subscribers", "_cond")
 
     def __init__(self, request, index):
         self.request = request
@@ -58,6 +58,7 @@ class JobEntry:
         self.result = None      # Runner payload dict once DONE
         self.failure = None     # {"kind", "message", "attempts"} once FAILED
         self.submissions = 1
+        self.cached = False     # answered by the disk cache, no simulation
         self.events = []        # buffered event records (plain dicts)
         self._subscribers = []
         self._cond = threading.Condition()
@@ -76,7 +77,12 @@ class JobEntry:
                 "workload": self.request.workload,
                 "config": self.request.fingerprint,
                 "sweep_id": self.request.sweep_id,
+                "request_id": self.request.request_id,
                 "submissions": self.submissions,
+                # Dedup visibility: did the disk cache answer this job,
+                # and how many clients coalesced onto it after the first?
+                "cached": self.cached,
+                "coalesced_clients": self.submissions - 1,
             }
             if self.result is not None:
                 doc["result"] = self.result
@@ -128,18 +134,23 @@ class JobEntry:
             if self.state == QUEUED:
                 self.state = RUNNING
 
-    def finish(self, state, result=None, failure=None):
+    def finish(self, state, result=None, failure=None, on_transition=None):
         """Terminal transition; returns False if already terminal.
 
         Publishes the final ``result`` record to every subscriber and
         detaches them — a per-job event stream always ends with exactly
-        one ``result`` record.
+        one ``result`` record. ``on_transition(state)``, when given,
+        runs under the entry lock *before* the terminal state becomes
+        observable — accounting updated there (the service's completion
+        counters) can never lag a client that already saw the job end.
         """
         if state not in TERMINAL_STATES:
             raise ValueError(f"finish() needs a terminal state, got {state!r}")
         with self._cond:
             if self.terminal:
                 return False
+            if on_transition is not None:
+                on_transition(state)
             self.state = state
             self.result = result
             self.failure = failure

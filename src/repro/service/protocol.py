@@ -8,6 +8,7 @@ A submission is one JSON object::
      "instrument": false,             # optional stall attribution
      "sweep_id": "autopilot-3",       # optional ledger sweep stamp
      "client": "laptop-a",            # optional rate-limit identity
+     "request_id": "c0ffee12",        # optional correlation id
      "chaos": {"crash": {...}}}       # optional, --allow-chaos only
 
 ``config`` is a *partial* :meth:`MachineConfig.to_spec` dict: the
@@ -33,6 +34,12 @@ started with ``--allow-chaos``, and it is deliberately *excluded* from
 the job id: a chaos run and a clean run of the same job are the same
 job, which is exactly what makes crash-then-retry recovery testable
 against the cached truth.
+
+``request_id`` is the correlation id threaded through the stack
+(access log, telemetry events, ledger record); clients usually send it
+as the ``X-Repro-Request-Id`` header, but the payload field wins when
+both are present. Like ``chaos`` it is *excluded* from the job id —
+tracing identity never changes simulation identity.
 """
 
 from repro.core import MachineConfig
@@ -43,7 +50,7 @@ from repro.workloads import BY_NAME, by_name
 CHAOS_RULES = ("crash", "hang", "fail")
 
 _REQUEST_FIELDS = ("workload", "config", "aligned", "instrument",
-                   "sweep_id", "client", "chaos")
+                   "sweep_id", "client", "request_id", "chaos")
 
 
 class ProtocolError(Exception):
@@ -64,16 +71,17 @@ class JobRequest:
     """
 
     __slots__ = ("workload", "config", "aligned", "instrument", "sweep_id",
-                 "client", "chaos", "job_id", "fingerprint")
+                 "client", "request_id", "chaos", "job_id", "fingerprint")
 
     def __init__(self, workload, config, aligned, instrument, sweep_id,
-                 client, chaos, job_id):
+                 client, chaos, job_id, request_id=None):
         self.workload = workload        # canonical workload name
         self.config = config
         self.aligned = aligned
         self.instrument = instrument
         self.sweep_id = sweep_id
         self.client = client
+        self.request_id = request_id
         self.chaos = chaos
         self.job_id = job_id
         self.fingerprint = fingerprint(config.to_spec())
@@ -163,6 +171,10 @@ def parse_job_request(payload, allow_chaos=False):
     client = payload.get("client")
     _require(client is None or isinstance(client, str),
              "client must be a string")
+    request_id = payload.get("request_id")
+    _require(request_id is None
+             or (isinstance(request_id, str) and request_id),
+             "request_id must be a non-empty string")
 
     chaos = payload.get("chaos")
     if chaos is not None:
@@ -171,4 +183,5 @@ def parse_job_request(payload, allow_chaos=False):
     program = workload.program(config.nthreads, aligned=aligned)
     job_id = _job_key(workload, config, aligned, program, instrument)
     return JobRequest(workload.name, config, aligned, instrument,
-                      sweep_id, client, chaos, job_id)
+                      sweep_id, client, chaos, job_id,
+                      request_id=request_id)

@@ -78,6 +78,75 @@ def test_sink_free_grid_never_calls_into_obs():
     assert results[0].ok
 
 
+RUNTIME_FRAGMENT = os.sep + os.path.join("repro", "obs", "runtime.py")
+
+
+def test_metrics_free_grid_never_touches_runtime_metrics():
+    """PR-9 extends the contract to the service metrics layer: a
+    ``run_grid`` call — even one with sweep telemetry attached, which
+    legitimately enters ``repro.obs.telemetry`` — executes zero calls
+    into ``repro.obs.runtime``."""
+    from repro.harness import run_grid
+    from repro.obs.telemetry import SweepTelemetry
+    from repro.workloads import by_name
+    from repro.core import MachineConfig
+    import repro.obs.runtime  # noqa: F401 — imported so frames are attributable
+
+    telemetry = SweepTelemetry(sinks=[lambda event: None])
+    jobs = [(by_name("LL11"), MachineConfig(nthreads=1))]
+    runtime_calls = []
+
+    def profiler(frame, event, arg):
+        if event == "call" and \
+                frame.f_code.co_filename.endswith(RUNTIME_FRAGMENT):
+            runtime_calls.append(frame.f_code.co_name)
+
+    sys.setprofile(profiler)
+    try:
+        results = run_grid(jobs, workers=1, telemetry=telemetry)
+    finally:
+        sys.setprofile(None)
+    assert runtime_calls == []
+    assert results[0].ok
+
+
+def test_metrics_free_service_hot_path_never_touches_runtime_metrics():
+    """A ``JobService`` started without a metrics registry submits,
+    dispatches, and completes jobs without a single call into
+    ``repro.obs.runtime`` — every instrumentation site is a bare
+    ``is None`` predicate. The dispatcher runs on its own thread, so
+    the profiler must be installed process-wide *before* the first
+    submit (which lazily starts that thread)."""
+    import threading
+
+    from repro.service import JobService
+    import repro.obs.runtime  # noqa: F401
+
+    runtime_calls = []
+
+    def profiler(frame, event, arg):
+        if event == "call" and \
+                frame.f_code.co_filename.endswith(RUNTIME_FRAGMENT):
+            runtime_calls.append(frame.f_code.co_name)
+
+    threading.setprofile(profiler)   # dispatcher + executor threads
+    sys.setprofile(profiler)         # this thread
+    try:
+        service = JobService(workers=1)
+        assert service.metrics is None
+        status, doc, _ = service.submit(
+            {"workload": "LL11", "config": {"nthreads": 1}})
+        assert status == 202
+        entry = service.registry.get(doc["job_id"])
+        assert entry.wait(120)
+        service.drain()
+    finally:
+        sys.setprofile(None)
+        threading.setprofile(None)
+    assert entry.state == "done"
+    assert runtime_calls == []
+
+
 def test_removing_sinks_restores_the_disabled_path():
     program = by_name("LL2").program(1)
     sim = PipelineSim(program, MachineConfig(nthreads=1))

@@ -1,0 +1,261 @@
+"""The runtime metrics registry behind ``GET /metrics`` / ``repro top``.
+
+:mod:`repro.obs.runtime` is the *service*-level half of observability
+(request rates, latency histograms, queue depth) — distinct from the
+engine-level :mod:`repro.obs.metrics`. These tests pin the registry
+semantics (monotonic counters, ratchet mirrors, exact histogram
+sum/count), the Prometheus text exposition round-trip, and the
+dashboard math (`histogram_quantile`, :class:`TopView`).
+
+``tools/validate_promtext.py`` — the CI scrape validator — is imported
+by file path and cross-checked against the renderer: everything the
+registry emits must validate clean, and the validator must reject the
+classic exposition mistakes.
+"""
+
+import importlib.util
+import pathlib
+import threading
+
+import pytest
+
+from repro.obs.runtime import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    TopView,
+    histogram_quantile,
+    parse_promtext,
+)
+
+
+def _load_validator():
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "tools" / "validate_promtext.py")
+    spec = importlib.util.spec_from_file_location("validate_promtext", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validator = _load_validator()
+
+
+# ------------------------------------------------------------ instruments
+
+
+def test_counter_is_monotonic():
+    counter = Counter(threading.Lock())
+    counter.inc()
+    counter.inc(3)
+    assert counter.get() == 4
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+    assert counter.get() == 4
+
+
+def test_counter_set_to_is_a_ratchet():
+    """``set_to`` mirrors an externally-owned monotonic total: it may
+    only move the counter forward (scrapes between mirror updates must
+    never observe a decrease)."""
+    counter = Counter(threading.Lock())
+    counter.set_to(10)
+    counter.set_to(7)           # stale mirror value: ignored
+    assert counter.get() == 10
+    counter.set_to(12)
+    assert counter.get() == 12
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge(threading.Lock())
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec(4)
+    assert gauge.get() == 3
+    gauge.set(-1.5)
+    assert gauge.get() == -1.5
+
+
+def test_histogram_exact_sum_count_and_cumulative_buckets():
+    histogram = Histogram(threading.Lock(), buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    cumulative = histogram.cumulative()
+    assert cumulative == [(0.1, 1), (1.0, 3), (10.0, 4),
+                          (float("inf"), 5)]
+    # the sum is exact, not bucket-approximated
+    assert histogram.sum == pytest.approx(0.05 + 0.5 + 0.5 + 5.0 + 50.0)
+    assert histogram.count == 5
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    # le is inclusive: an observation equal to a bound counts in it
+    histogram = Histogram(threading.Lock(), buckets=(1.0, 2.0))
+    histogram.observe(1.0)
+    assert histogram.cumulative()[0] == (1.0, 1)
+
+
+# -------------------------------------------------------------- registry
+
+
+def test_registry_families_idempotent_and_conflict_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_x_total", "help", labelnames=("route",))
+    again = registry.counter("repro_x_total", "help", labelnames=("route",))
+    assert first is again
+    with pytest.raises(MetricError):
+        registry.gauge("repro_x_total", "same name, different kind")
+    with pytest.raises(MetricError):
+        registry.counter("repro_x_total", "different labels",
+                         labelnames=("method",))
+    with pytest.raises(MetricError):
+        registry.counter("0bad", "invalid metric name")
+    with pytest.raises(MetricError):
+        registry.counter("repro_y_total", "reserved label",
+                         labelnames=("le",))
+
+
+def test_labeled_children_are_cached_and_isolated():
+    registry = MetricsRegistry()
+    family = registry.counter("repro_req_total", "requests",
+                              labelnames=("route", "status"))
+    family.labels("/a", "200").inc()
+    family.labels("/a", "200").inc()
+    family.labels("/a", "500").inc()
+    assert family.labels("/a", "200").get() == 2
+    assert family.labels("/a", "500").get() == 1
+    assert family.labels(route="/a", status="200").get() == 2
+    with pytest.raises(MetricError):
+        family.labels("/a")             # wrong arity
+    with pytest.raises(MetricError):
+        family.inc()                    # labeled family has no bare child
+
+
+def test_render_validates_clean_and_round_trips():
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "requests",
+                                labelnames=("route",))
+    requests.labels("/v1/jobs").inc(3)
+    requests.labels("/v1/jobs/{id}").inc(2)   # braces in a label value
+    registry.gauge("repro_depth", "queue depth").set(4)
+    latency = registry.histogram("repro_latency_seconds", "latency")
+    latency.observe(0.002)
+    latency.observe(0.3)
+    text = registry.render()
+    assert validator.validate_text(text) == []
+    samples = parse_promtext(text)
+    assert samples["repro_depth"] == [({}, 4.0)]
+    by_route = {labels["route"]: value
+                for labels, value in samples["repro_requests_total"]}
+    assert by_route == {"/v1/jobs": 3.0, "/v1/jobs/{id}": 2.0}
+    assert samples["repro_latency_seconds_count"] == [({}, 2.0)]
+
+
+def test_render_is_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total", "b").inc(2)
+        registry.counter("repro_a_total", "a").inc(1)
+        return registry.render()
+
+    assert build() == build()
+
+
+# -------------------------------------------------------- dashboard math
+
+
+def _latency_samples(observations):
+    registry = MetricsRegistry()
+    latency = registry.histogram("repro_request_seconds", "latency",
+                                 labelnames=("route",),
+                                 buckets=DEFAULT_LATENCY_BUCKETS)
+    for route, value in observations:
+        latency.labels(route).observe(value)
+    return parse_promtext(registry.render())
+
+
+def test_histogram_quantile_aggregates_across_label_sets():
+    samples = _latency_samples(
+        [("/a", 0.002)] * 50 + [("/b", 0.2)] * 50)
+    p50 = histogram_quantile(samples, "repro_request_seconds", 0.50)
+    p99 = histogram_quantile(samples, "repro_request_seconds", 0.99)
+    assert p50 <= 0.01
+    assert 0.1 <= p99 <= 0.25
+    assert histogram_quantile(samples, "repro_nope", 0.5) is None
+
+
+def test_top_view_computes_qps_from_scrape_deltas():
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "requests",
+                                labelnames=("route", "method", "status"))
+    depth = registry.gauge("repro_inflight_window", "in-flight")
+    registry.gauge("repro_inflight_window_limit", "window").set(64)
+    registry.gauge("repro_workers", "workers").set(4)
+    registry.gauge("repro_workers_busy", "busy").set(3)
+    registry.counter("repro_cache_hits_total", "hits").inc(7)
+    registry.counter("repro_cache_misses_total", "misses").inc(3)
+
+    view = TopView()
+    requests.labels("/v1/jobs", "POST", "202").inc(10)
+    depth.set(2)
+    view.update(parse_promtext(registry.render()), now=100.0)
+    requests.labels("/v1/jobs", "POST", "202").inc(20)
+    view.update(parse_promtext(registry.render()), now=102.0)
+    assert view.qps == pytest.approx(10.0)
+    line = view.render()
+    assert "qps 10.0" in line
+    assert "queue 2/64" in line
+    assert "workers 3/4" in line
+    assert "cache 70%" in line
+
+
+# -------------------------------------------------------------- validator
+
+
+def test_validator_rejects_classic_exposition_mistakes():
+    bad_grammar = "repro_x{oops 1\n"
+    assert validator.validate_text(bad_grammar)
+
+    decreasing = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="0.1"} 5\n'
+        'repro_h_bucket{le="1"} 3\n'      # cumulative counts went down
+        'repro_h_bucket{le="+Inf"} 3\n'
+        "repro_h_sum 1.0\n"
+        "repro_h_count 3\n")
+    assert any("non-decreasing" in p or "cumulative" in p
+               for p in validator.validate_text(decreasing))
+
+    missing_inf = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="0.1"} 1\n'
+        "repro_h_sum 0.05\n"
+        "repro_h_count 1\n")
+    assert any("+Inf" in p for p in validator.validate_text(missing_inf))
+
+    negative_counter = (
+        "# TYPE repro_c counter\n"
+        "repro_c -1\n")
+    assert validator.validate_text(negative_counter)
+
+    duplicate_series = (
+        "# TYPE repro_g gauge\n"
+        "repro_g 1\n"
+        "repro_g 2\n")
+    assert any("duplicate" in p for p in
+               validator.validate_text(duplicate_series))
+
+
+def test_validator_cli_roundtrip(tmp_path, capsys):
+    registry = MetricsRegistry()
+    registry.counter("repro_ok_total", "fine").inc()
+    good = tmp_path / "good.prom"
+    good.write_text(registry.render())
+    assert validator.main([str(good)]) == 0
+    assert "OK" in capsys.readouterr().out
+    bad = tmp_path / "bad.prom"
+    bad.write_text("repro_x{ 1\n")
+    assert validator.main([str(bad)]) == 1

@@ -337,8 +337,9 @@ def test_transient_fault_is_retried_transparently():
 class _HttpHarness:
     """A real asyncio HTTP server on an ephemeral port, in a thread."""
 
-    def __init__(self, service):
+    def __init__(self, service, access_log=None):
         self.service = service
+        self.access_log = access_log
         self.http = None
         self._loop = None
         self._stopped = None
@@ -353,7 +354,8 @@ class _HttpHarness:
     async def _main(self):
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
-        self.http = await ServiceHTTP(self.service, "127.0.0.1", 0).start()
+        self.http = await ServiceHTTP(self.service, "127.0.0.1", 0,
+                                      access_log=self.access_log).start()
         self._ready.set()
         await self._stopped.wait()
         await self.http.close()
@@ -375,8 +377,8 @@ class _HttpHarness:
 def http_harness():
     harnesses = []
 
-    def _start(service):
-        harness = _HttpHarness(service)
+    def _start(service, **kwargs):
+        harness = _HttpHarness(service, **kwargs)
         harnesses.append(harness)
         return harness
 
@@ -478,6 +480,178 @@ def test_served_sweep_threads_ledger_and_renders_report():
                       threads=(1, 2), sweep="served-1")
     assert "LL11" in text and "1T" in text and "2T" in text
     assert "sweep served-1" in text
+
+
+# ----------------------------------------- request tracing & /metrics
+
+
+def _load_validator():
+    import importlib.util
+    import pathlib
+
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "tools" / "validate_promtext.py")
+    spec = importlib.util.spec_from_file_location("validate_promtext", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_request_id_threads_doc_events_ledger_and_access_log(http_harness):
+    """One correlation id, four sinks: the echoed response header, the
+    job's status document, the telemetry event stream, the ledger
+    record, and the ndjson access log all carry the same id."""
+    import io
+
+    from repro.service import AccessLog
+
+    ledger = RunLedger(None)    # REPRO_LEDGER, isolated per test
+    service, events = _collecting_service(ledger=ledger)
+    log_stream = io.StringIO()
+    harness = http_harness(service, access_log=AccessLog(log_stream))
+    client = harness.client()
+    doc = client.run_job(_payload(), request_id="cafe-feed-0001")
+    assert doc["state"] == "done"
+    assert doc["request_id"] == "cafe-feed-0001"
+    assert client.last_request_id == "cafe-feed-0001"
+    # a client that sends no id still gets a server-generated one back
+    client2 = harness.client()
+    assert client2.last_request_id is None
+    client2.health()
+    assert client2.last_request_id
+    harness.stop()
+    # the ledger record is greppable by the id
+    assert any(r.get("request_id") == "cafe-feed-0001"
+               for r in ledger.records())
+    # the telemetry stream tags the job's lifecycle with it
+    tagged = [e["event"] for e in events
+              if e.get("request_id") == "cafe-feed-0001"]
+    assert "queued" in tagged and "done" in tagged
+    # every access-log line is one intact JSON record with the id
+    lines = [json.loads(line)
+             for line in log_stream.getvalue().splitlines() if line]
+    assert lines, "access log is empty"
+    assert all({"method", "path", "status", "seconds", "request_id"}
+               <= set(line) for line in lines)
+    assert any(line["request_id"] == "cafe-feed-0001" for line in lines)
+
+
+def test_coalesced_clients_and_first_request_id_win(monkeypatch):
+    service, _ = _collecting_service()
+    monkeypatch.setattr(service, "start", lambda: service)  # hold dispatch
+    _, first, _ = service.submit(_payload(), request_id="first-id")
+    _, second, _ = service.submit(_payload(), request_id="second-id")
+    assert first["coalesced_clients"] == 0
+    assert second["coalesced_clients"] == 1
+    # like sweep_id, the entry keeps the FIRST submission's identity
+    assert second["request_id"] == "first-id"
+
+
+def test_cached_field_reflects_disk_cache_answer(tmp_path):
+    from repro.harness.diskcache import DiskResultCache
+
+    cache = DiskResultCache(tmp_path / "results.json",
+                            schema=Runner.RESULT_SCHEMA)
+    first, _ = _collecting_service(disk_cache=cache)
+    status, doc, _ = first.submit(_payload("LL5"))
+    entry = first.registry.get(doc["job_id"])
+    assert entry.wait(120)
+    first.drain()
+    assert first.job_status(doc["job_id"])["cached"] is False
+    # a fresh service sharing the cache answers without simulating
+    second, events = _collecting_service(disk_cache=cache)
+    status, doc2, _ = second.submit(_payload("LL5"))
+    entry2 = second.registry.get(doc2["job_id"])
+    assert entry2.wait(120)
+    second.drain()
+    final = second.job_status(doc2["job_id"])
+    assert final["state"] == "done" and final["cached"] is True
+    assert any(e["event"] == "cache-hit" for e in events)
+
+
+def test_http_metrics_endpoint_validates_and_reconciles(http_harness):
+    from repro.obs.runtime import MetricsRegistry, parse_promtext
+
+    service, _ = _collecting_service(metrics=MetricsRegistry())
+    harness = http_harness(service)
+    client = harness.client()
+    doc = client.run_job(_payload("LL5"))
+    assert doc["state"] == "done"
+    text = client.metrics_text()
+    harness.stop()
+    assert _load_validator().validate_text(text) == []
+    samples = parse_promtext(text)
+
+    def total(name, **match):
+        return sum(value for labels, value in samples.get(name, ())
+                   if all(labels.get(k) == v for k, v in match.items()))
+
+    assert total("repro_jobs_admitted_total") == 1
+    assert total("repro_jobs_executed_total") == 1
+    assert total("repro_jobs_completed_total", state="done") == 1
+    assert total("repro_requests_total",
+                 route="/v1/jobs", method="POST") >= 1
+    assert total("repro_request_seconds_count") == total(
+        "repro_requests_total")
+    # instrumentation changed nothing: the served result is still
+    # bit-identical to a direct run_grid of the same job
+    direct = run_grid([(
+        "LL5", parse_job_request(_payload("LL5")).config)], workers=1)
+    assert _sim_view(doc["result"]) == \
+        _sim_view(Runner._to_payload(direct[0]))
+
+
+def test_metrics_disabled_is_an_explicit_404(http_harness):
+    from repro.service.client import ServiceError
+
+    service, _ = _collecting_service()      # no metrics registry
+    harness = http_harness(service)
+    with pytest.raises(ServiceError) as refused:
+        harness.client().metrics_text()
+    assert refused.value.status == 404
+
+
+def test_report_via_service_renders_byte_identical_table(http_harness):
+    from repro.obs.report import run_report
+
+    ledger = RunLedger(None)    # shared file: server and report side
+    service, _ = _collecting_service(ledger=ledger)
+    harness = http_harness(service)
+    served = run_report("threads", ledger=ledger, workloads=["LL11"],
+                        threads=(1, 2), client=harness.client())
+    harness.stop()
+    local = run_report("threads", ledger=ledger, workloads=["LL11"],
+                       threads=(1, 2))
+    assert served == local
+
+
+def test_access_log_never_interleaves_with_live_progress():
+    """The PR-9 interleaving fix: an access log sharing a tty with a
+    LiveProgress routes through ``println`` — each log line lands
+    intact on its own row and the status line survives underneath."""
+    import io
+
+    from repro.obs.telemetry import LiveProgress, SweepEvent
+    from repro.service import AccessLog
+
+    stream = io.StringIO()
+    live = LiveProgress(stream, min_interval=0.0, clock=lambda: 0.0)
+    live(SweepEvent("sweep-start", 0.0, "s-1", data={"total": 2}))
+    log = AccessLog(stream, live=live)
+    log({"method": "GET", "path": "/healthz", "status": 200})
+    log({"method": "POST", "path": "/v1/jobs", "status": 202})
+    text = stream.getvalue()
+    # On a terminal each "\r"-refresh overwrites the row, so what a
+    # reader sees on a finished row is the text after its last "\r".
+    visible = [line.split("\r")[-1].rstrip()
+               for line in text.split("\n")]
+    json_lines = [line for line in visible if line.startswith("{")]
+    assert len(json_lines) == 2
+    for line in json_lines:
+        json.loads(line)        # intact: no status fragments mixed in
+    # and the live status line is redrawn after the last log line
+    assert visible[-1].startswith("[sweep s-1]")
+    assert log.count == 2
 
 
 # --------------------------------------------------- process-level drain

@@ -470,6 +470,31 @@ def test_live_progress_renders_and_finishes_with_newline():
     assert view.metrics.terminal == 2
 
 
+def test_live_progress_println_keeps_status_line_intact():
+    """``println`` lets another writer (e.g. the service access log)
+    share the tty: the injected text lands on its own row — padded
+    past the previous status width so no stale fragment survives —
+    and the status line is redrawn underneath."""
+    clock = FakeClock()
+    stream = io.StringIO()
+    view = LiveProgress(stream=stream, min_interval=0.0, clock=clock)
+    hub = _hub(sweep_id="live3", sinks=[view], clock=clock)
+    hub.sweep_start(total=2, workers=1)
+    hub.job_queued(0, "LL11")
+    before_width = view._width
+    view.println("log!")
+    out = stream.getvalue()
+    # the short injected line is padded over the longer status line
+    row = out.split("\n")[-2].split("\r")[-1]
+    assert row.startswith("log!")
+    assert len(row) >= before_width
+    # and the status line is live again on the next row
+    assert out.split("\n")[-1] == view.render()
+    # the sweep keeps rendering normally afterwards
+    hub.job_done(0, "LL11", cycles=10, wall_seconds=0.1)
+    assert "1 done" in view.render()
+
+
 def test_live_progress_throttles_redraws():
     clock = FakeClock()
     stream = io.StringIO()

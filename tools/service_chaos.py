@@ -19,6 +19,15 @@ log must pass the ``repro sweep`` accounting audit (exactly one
 ``queued`` and one terminal event per job). CI runs this drill on
 every push and uploads the event log as an artifact.
 
+The drill also audits the PR-9 observability layer: ``GET /metrics``
+is scraped *mid-drill* (while clients are in flight) and again after
+every client drains; both scrapes must pass
+``tools/validate_promtext.py``, and the final counters must reconcile
+exactly with the event-log audit (executed == queued events,
+completions match terminal events, admissions match HTTP submissions).
+The final scrape is written to ``--metrics-out`` and uploaded as a CI
+artifact next to the event log.
+
 Usage::
 
     PYTHONPATH=src python tools/service_chaos.py --events serve_events.jsonl
@@ -31,8 +40,23 @@ import signal
 import subprocess
 import sys
 import threading
+import time
+
+try:
+    import validate_promtext          # sys.path[0] == tools/ as a script
+except ImportError:                   # imported from elsewhere
+    import importlib.util
+    import pathlib
+
+    _spec = importlib.util.spec_from_file_location(
+        "validate_promtext",
+        pathlib.Path(__file__).resolve().parent / "validate_promtext.py")
+    validate_promtext = importlib.util.module_from_spec(_spec)
+    _spec.loader.exec_module(validate_promtext)
 
 from repro.faults import ServiceFaultPlan
+from repro.obs.runtime import parse_promtext
+from repro.obs.telemetry import load_events, summarize
 from repro.service import ServiceClient
 
 #: Request indices of the chaos plan (the driver's submission order).
@@ -75,9 +99,10 @@ def _start_server(events_path, workers):
 
 
 def _drill(port, plan):
-    """Run every submission concurrently; returns index -> final doc."""
+    """Run every submission concurrently; returns
+    ``(index -> final doc, errors, mid-drill scrape text)``."""
     docs, errors = {}, []
-    barrier = threading.Barrier(len(SUBMISSIONS))
+    barrier = threading.Barrier(len(SUBMISSIONS) + 1)  # +1: the scraper
 
     def _one(index, payload):
         try:
@@ -92,13 +117,22 @@ def _drill(port, plan):
                for spec in SUBMISSIONS]
     for thread in threads:
         thread.start()
+    # Scrape /metrics while the fleet is in flight: exposition must be
+    # valid at any instant, not only at rest.
+    barrier.wait(30)
+    time.sleep(0.2)
+    mid_scrape = None
+    try:
+        mid_scrape = ServiceClient("127.0.0.1", port).metrics_text()
+    except Exception as error:  # noqa: BLE001 — reported below
+        errors.append(f"mid-drill scrape: {error!r}")
     for thread in threads:
         thread.join(300)
     for index, error in ((i, "client thread wedged")
                          for i, t in zip(range(len(threads)), threads)
                          if t.is_alive()):
         errors.append(f"client {index}: {error}")
-    return docs, errors
+    return docs, errors, mid_scrape
 
 
 def _check(docs, errors, health):
@@ -133,10 +167,67 @@ def _check(docs, errors, health):
     return problems
 
 
+def _sum(samples, name, **match):
+    return sum(value for labels, value in samples.get(name, ())
+               if all(labels.get(k) == v for k, v in match.items()))
+
+
+def _check_metrics(mid_scrape, final_scrape, health, events_path):
+    """Validate both scrapes and reconcile the final counters against
+    the event-log audit — the metrics must tell the same story as the
+    telemetry stream and the admission snapshot, exactly."""
+    problems = []
+    for label, text in (("mid-drill", mid_scrape),
+                        ("post-drain", final_scrape)):
+        if text is None:
+            problems.append(f"{label} /metrics scrape missing")
+            continue
+        for issue in validate_promtext.validate_text(text):
+            problems.append(f"{label} scrape invalid: {issue}")
+    if final_scrape is None:
+        return problems
+
+    samples = parse_promtext(final_scrape)
+    audit = summarize(load_events(events_path))["metrics"]
+    checks = (
+        ("repro_jobs_executed_total == queued events",
+         _sum(samples, "repro_jobs_executed_total"), audit.queued_events),
+        ("repro_jobs_completed_total{done} == done + cache hits",
+         _sum(samples, "repro_jobs_completed_total", state="done"),
+         audit.done + audit.cache_hits),
+        ("repro_jobs_completed_total{failed} == failed",
+         _sum(samples, "repro_jobs_completed_total", state="failed"),
+         audit.failed),
+    )
+    for label, got, want in checks:
+        if got != want:
+            problems.append(f"metrics mismatch: {label}: "
+                            f"{got:g} != {want:g}")
+    if health is not None:
+        admission = health["admission"]
+        submissions = _sum(samples, "repro_requests_total",
+                           route="/v1/jobs", method="POST")
+        accounted = (admission["admitted"] + admission["coalesced"]
+                     + sum(admission["rejected"].values()))
+        if submissions != accounted:
+            problems.append(
+                f"metrics mismatch: requests_total{{/v1/jobs,POST}} "
+                f"{submissions:g} != admitted + coalesced + rejected "
+                f"{accounted}")
+        if _sum(samples, "repro_jobs_admitted_total") \
+                != admission["admitted"]:
+            problems.append("metrics mismatch: jobs_admitted_total "
+                            "disagrees with admission snapshot")
+    return problems
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", default="serve_events.jsonl",
                         help="server event log (audited, CI artifact)")
+    parser.add_argument("--metrics-out", default="serve_metrics.prom",
+                        help="write the final /metrics scrape here "
+                             "(validated, CI artifact)")
     parser.add_argument("--workers", type=int, default=2,
                         help="server worker processes (default 2)")
     args = parser.parse_args(argv)
@@ -144,8 +235,15 @@ def main(argv=None):
     plan = _plan()
     print(f"chaos drill: {len(SUBMISSIONS)} concurrent clients, {plan}")
     server, port = _start_server(args.events, args.workers)
+    final_scrape = None
     try:
-        docs, errors = _drill(port, plan)
+        docs, errors, mid_scrape = _drill(port, plan)
+        # Final scrape while the server still lives: after every client
+        # drained, before the SIGTERM that ends the process.
+        try:
+            final_scrape = ServiceClient("127.0.0.1", port).metrics_text()
+        except Exception as error:  # noqa: BLE001 — reported below
+            errors.append(f"post-drain scrape: {error!r}")
         health = ServiceClient("127.0.0.1", port).health()
         server.send_signal(signal.SIGTERM)
         out, _ = server.communicate(timeout=120)
@@ -154,8 +252,14 @@ def main(argv=None):
             server.kill()
             out, _ = server.communicate(timeout=30)
     print(out, end="")
+    if final_scrape is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(final_scrape)
+        print(f"chaos drill: final /metrics scrape -> {args.metrics_out}")
 
     problems = _check(docs, errors, health)
+    problems += _check_metrics(mid_scrape, final_scrape, health,
+                               args.events)
     if server.returncode != 0:
         problems.append(f"server exited {server.returncode} after SIGTERM")
     if "drained" not in out:
@@ -168,7 +272,8 @@ def main(argv=None):
         return 1
     done = sum(1 for doc in docs.values() if doc.get("state") == "done")
     print(f"chaos drill: ok — {done}/{len(SUBMISSIONS)} clients done, "
-          f"storm coalesced, pool loss and disconnect recovered")
+          f"storm coalesced, pool loss and disconnect recovered, "
+          f"metrics reconciled")
     return 0
 
 

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Structural validator for Prometheus text exposition (version 0.0.4).
+
+Checks a `/metrics` scrape the way a strict scraper would — grammar,
+metadata ordering, duplicate series, histogram shape — without
+importing anything from `repro`, so it stays an independent check on
+what `repro.obs.runtime` renders:
+
+* every line is a comment, a `# HELP`/`# TYPE` directive, or a sample
+  matching the exposition grammar;
+* `# TYPE` precedes the first sample of its family, is one of
+  counter/gauge/histogram/summary/untyped, and appears at most once;
+* no duplicate (sample name, label set);
+* counter and histogram sample values are finite and non-negative,
+  gauges merely finite;
+* each histogram (per label set, ignoring `le`): bucket bounds parse
+  and strictly increase, cumulative counts never decrease, a `+Inf`
+  bucket exists, `_count` equals the `+Inf` bucket, and `_sum` exists.
+
+Usage: ``python tools/validate_promtext.py FILE`` (or ``-`` for stdin).
+Exits 0 when structurally valid, 1 with one problem per line otherwise.
+Importable: ``validate_text(text) -> [problems]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+HELP_RE = re.compile(r"^# HELP (%s) (.*)$" % NAME_RE)
+TYPE_RE = re.compile(r"^# TYPE (%s) (\S+)$" % NAME_RE)
+# Quoted label values may contain '{' / '}' (e.g. route="/v1/jobs/{id}"),
+# so the label body must be matched as a pair sequence, never as [^}]*.
+PAIR_RE = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+SAMPLE_RE = re.compile(
+    r"^(?P<name>%s)(?:\{(?P<labels>(?:%s(?:,%s)*)?,?)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+    % (NAME_RE, PAIR_RE, PAIR_RE)
+)
+LABELS_RE = re.compile(r'^(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*)?$')
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _number(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _family_of(name, types):
+    """Map a sample name to its declared family (histogram suffixes fold)."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def parse(text):
+    """(types, samples, problems): declared TYPEs, [(name, labels, value)],
+    and grammar-level problems."""
+    types = {}
+    helps = set()
+    samples = []
+    problems = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_m = HELP_RE.match(line)
+            if help_m:
+                name = help_m.group(1)
+                if name in helps:
+                    problems.append("line %d: duplicate HELP for %s" % (lineno, name))
+                helps.add(name)
+                continue
+            type_m = TYPE_RE.match(line)
+            if type_m:
+                name, kind = type_m.groups()
+                if kind not in VALID_TYPES:
+                    problems.append("line %d: invalid TYPE %r for %s" % (lineno, kind, name))
+                if name in types:
+                    problems.append("line %d: duplicate TYPE for %s" % (lineno, name))
+                elif any(s[0] == name or _family_of(s[0], {name: kind}) == name for s in samples):
+                    problems.append("line %d: TYPE for %s appears after its samples" % (lineno, name))
+                types[name] = kind
+                continue
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                problems.append("line %d: malformed directive: %r" % (lineno, line))
+            continue  # other comments are legal and ignored
+        sample_m = SAMPLE_RE.match(line)
+        if sample_m is None:
+            problems.append("line %d: unparseable sample: %r" % (lineno, line))
+            continue
+        labels_text = sample_m.group("labels")
+        labels = {}
+        if labels_text is not None:
+            if not LABELS_RE.match(labels_text):
+                problems.append("line %d: malformed label set: %r" % (lineno, labels_text))
+                continue
+            for name, value in LABEL_PAIR_RE.findall(labels_text):
+                if name in labels:
+                    problems.append("line %d: repeated label %r" % (lineno, name))
+                labels[name] = value
+        try:
+            value = _number(sample_m.group("value"))
+        except ValueError:
+            problems.append(
+                "line %d: bad sample value %r" % (lineno, sample_m.group("value"))
+            )
+            continue
+        samples.append((sample_m.group("name"), labels, value, lineno))
+    return types, samples, problems
+
+
+def validate_text(text):
+    """Return a list of structural problems (empty = valid)."""
+    types, samples, problems = parse(text)
+
+    seen = set()
+    histograms = {}  # (family, frozen labels sans le) -> {"buckets": [(le, v)], "sum": v, "count": v}
+    for name, labels, value, lineno in samples:
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            problems.append("line %d: duplicate series %s%r" % (lineno, name, dict(labels)))
+        seen.add(key)
+
+        family = _family_of(name, types)
+        kind = types.get(family)
+        if kind is None:
+            problems.append("line %d: sample %s has no TYPE declaration" % (lineno, name))
+            continue
+        if kind in ("counter", "histogram"):
+            if not math.isfinite(value) or value < 0:
+                problems.append(
+                    "line %d: %s sample %s must be finite and non-negative, got %r"
+                    % (lineno, kind, name, value)
+                )
+        elif kind == "gauge" and value != value:
+            problems.append("line %d: gauge sample %s is NaN" % (lineno, name))
+
+        if kind == "histogram":
+            series_labels = {k: v for k, v in labels.items() if k != "le"}
+            entry = histograms.setdefault(
+                (family, tuple(sorted(series_labels.items()))),
+                {"buckets": [], "sum": None, "count": None},
+            )
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append("line %d: histogram bucket without le label" % (lineno,))
+                    continue
+                try:
+                    entry["buckets"].append((_number(labels["le"]), value, lineno))
+                except ValueError:
+                    problems.append("line %d: bad le value %r" % (lineno, labels["le"]))
+            elif name == family + "_sum":
+                entry["sum"] = value
+            elif name == family + "_count":
+                entry["count"] = value
+
+    for (family, labels), entry in sorted(histograms.items()):
+        where = "%s%s" % (family, dict(labels) if labels else "")
+        buckets = entry["buckets"]
+        if not buckets:
+            problems.append("histogram %s has no buckets" % (where,))
+            continue
+        bounds = [b[0] for b in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            problems.append("histogram %s: le bounds not strictly increasing" % (where,))
+        counts = [b[1] for b in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            problems.append("histogram %s: cumulative counts decrease" % (where,))
+        if bounds[-1] != math.inf:
+            problems.append("histogram %s: missing +Inf bucket" % (where,))
+        elif entry["count"] is None:
+            problems.append("histogram %s: missing _count" % (where,))
+        elif entry["count"] != counts[-1]:
+            problems.append(
+                "histogram %s: _count %r != +Inf bucket %r"
+                % (where, entry["count"], counts[-1])
+            )
+        if entry["sum"] is None:
+            problems.append("histogram %s: missing _sum" % (where,))
+
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="metrics text file, or - for stdin")
+    args = parser.parse_args(argv)
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r") as handle:
+            text = handle.read()
+    problems = validate_text(text)
+    if problems:
+        for problem in problems:
+            print("validate_promtext: %s" % (problem,), file=sys.stderr)
+        print(
+            "validate_promtext: FAIL (%d problem%s)"
+            % (len(problems), "" if len(problems) == 1 else "s"),
+            file=sys.stderr,
+        )
+        return 1
+    types, samples, _ = parse(text)
+    print(
+        "validate_promtext: OK (%d families, %d samples)" % (len(types), len(samples))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
