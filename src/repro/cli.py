@@ -332,7 +332,20 @@ def cmd_trace(args):
 def cmd_stats(args):
     config = _machine_config(args)
     program = _resolve_program(args.prog, args.threads, args.align)
-    sim = PipelineSim(program, config)
+    backend = args.backend
+    if backend == "auto":
+        # Resolve to the concrete engine before anything records it:
+        # ledger records and --json carry the backend that executed,
+        # never the literal "auto". For a single ad-hoc run, spec wins
+        # only when a prior run already paid for codegen (process or
+        # on-disk source cache); otherwise the interpreter runs.
+        from repro.core.codegen import have_engine
+        backend = "spec" if have_engine(config) else "scalar"
+    if backend == "spec":
+        from repro.core.codegen import make_spec
+        sim = make_spec(program, config)
+    else:
+        sim = PipelineSim(program, config)
     if args.breakdown or args.json:
         attr = sim.attach_attribution()
         sim.attach_metrics()
@@ -350,7 +363,7 @@ def cmd_stats(args):
             source="cli.stats", workload=args.prog, config=config,
             stats=stats, timestamp=ledger_mod.utc_now_iso(),
             program_hash=program_hash(program), wall_seconds=wall,
-            keep_interval_metrics=True)
+            keep_interval_metrics=True, backend=backend)
         print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     print(stats.summary())
@@ -497,7 +510,8 @@ def cmd_check(args):
     note = (f", {len(perf_failures)} advisory throughput warning(s)"
             if perf_failures else "")
     checked = len(measured) + len(sweep_measured)
-    backend_note = " via batch backend" if args.backend == "batch" else ""
+    backend_note = ("" if args.backend == "scalar"
+                    else f" via {args.backend} backend")
     print(f"repro check ok: {checked} entries{backend_note}, simulated "
           f"cycle counts bit-identical to {args.baseline}{note}")
     return 0
@@ -799,6 +813,13 @@ def build_parser():
                               "(stats, attribution, metrics) instead of "
                               "the text summary")
     p_stats.add_argument("--align", action="store_true")
+    p_stats.add_argument("--backend", default="scalar",
+                         choices=["scalar", "spec", "auto"],
+                         help="engine: 'spec' runs the config-"
+                              "specialized generated loop (bit-"
+                              "identical); 'auto' picks spec when its "
+                              "source is already cached — records "
+                              "always carry the backend that executed")
     _machine_args(p_stats)
     p_stats.set_defaults(func=cmd_stats)
 
@@ -836,11 +857,13 @@ def build_parser():
                               "scalar/batch sweep and pins its aggregate "
                               "throughput instead")
     p_check.add_argument("--backend", default="scalar",
-                         choices=["scalar", "batch"],
+                         choices=["scalar", "batch", "spec"],
                          help="simulation backend for the matrix: 'batch' "
                               "routes every entry through a one-member "
-                              "BatchEngine group — cycle counts must stay "
-                              "bit-identical to the committed baseline")
+                              "BatchEngine group, 'spec' through the "
+                              "config-specialized generated engine — "
+                              "cycle counts must stay bit-identical to "
+                              "the committed baseline either way")
     _ledger_args(p_check)
     p_check.set_defaults(func=cmd_check)
 
@@ -863,10 +886,11 @@ def build_parser():
                           help="attach attribution + metrics to every "
                                "grid point (richer ledger records)")
     p_report.add_argument("--backend", default="scalar",
-                          choices=["scalar", "batch", "auto"],
+                          choices=["scalar", "batch", "spec", "auto"],
                           help="grid backend: 'batch' advances same-"
                                "program jobs in one fused BatchEngine "
-                               "loop, 'auto' batches groups of 4+ "
+                               "loop, 'spec' runs config-specialized "
+                               "generated engines, 'auto' composes them "
                                "(results are bit-identical)")
     p_report.add_argument("--fresh", action="store_true",
                           help="bypass the disk result cache")
@@ -934,7 +958,7 @@ def build_parser():
     p_serve.add_argument("--backoff", type=float, default=0.25,
                          help="retry backoff base, seconds (run_grid)")
     p_serve.add_argument("--backend", default="auto",
-                         choices=["scalar", "batch", "auto"],
+                         choices=["scalar", "batch", "spec", "auto"],
                          help="simulation backend for dispatched grids")
     p_serve.add_argument("--cache", default=None, metavar="PATH",
                          help="disk result cache (default: REPRO_CACHE or "

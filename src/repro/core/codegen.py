@@ -1,0 +1,587 @@
+"""Config-specialized code generation for the pipeline engine.
+
+The interpreter's fused cycle loop (:meth:`PipelineSim.run`) pays for
+generality on every cycle: it branches on the fetch policy, thread
+count, bypassing order, fast-forward mode, and masking — all of which
+are compile-time constants for any one :class:`MachineConfig`. This
+module generates *specialized Python source* for that loop — constants
+folded, dead branches eliminated — and ``compile()``/``exec()``'s it
+into a ``SpecEngine`` subclass of :class:`PipelineSim` exposing the
+exact same surface. It is the standard simulator trick (gem5 builds a
+configured CPU model per run) applied at the Python level.
+
+What gets folded and pruned
+---------------------------
+* The thread count, commit width, SU block capacity, and store-buffer
+  depth become literals; the commit stage is inlined into the loop.
+* Single-thread configurations drop the commit thread-select scan
+  entirely (every block shares one thread id, so only block 0 can ever
+  be chosen).
+* The fetch-policy dispatch in :meth:`FetchUnit.select_thread` is
+  resolved at generation time: a specialized ``_fetch`` inlines the one
+  active policy's selection loop (conditional-switch keeps the direct
+  call — its state machine is cheap and rarely hot).
+* Configurations with no unpipelined divider in service (no IDIV/FPDIV
+  units, or unit latency 1) get an ``_issue_horizon`` with the
+  divider release-time scan removed.
+* The bypassing order, fast-forward mode, instruction-cache presence,
+  and watchdog presence are resolved to straight-line code.
+* Observability hooks keep exactly the PR-2 contract: one ``is None``
+  predicate each — attaching attribution/metrics/sinks works on a
+  ``SpecEngine`` unchanged.
+
+The generated loop is **bit-identical** to the interpreter by
+construction and by test (``tests/test_spec.py``: the golden matrix in
+both fast-forward modes plus a randomized config differential).
+
+Caching
+-------
+Generation + ``compile()`` costs ~1 ms; a process-level class cache
+makes it once per config shape per process, and an on-disk source
+cache (:class:`repro.harness.codecache.CodegenCache`) shares it across
+sweep workers and ``repro serve`` fleets. The key hashes
+``(ENGINE_VERSION, CODEGEN_VERSION, folded facts)`` — bumping either
+version, or changing any folded fact, regenerates; nothing stale is
+ever reused (see the codecache module for the crash-safety idioms).
+
+Bump :data:`CODEGEN_VERSION` whenever the *shape* of the generated
+source changes, even if cycle counts do not.
+"""
+
+import hashlib
+import json
+
+from repro.core.config import FetchPolicy, MachineConfig
+from repro.core.execute import UNPIPELINED
+from repro.core.pipeline import ENGINE_VERSION, PipelineSim
+
+#: Generated-source layout version. Bump on any change to
+#: :func:`specialize_source` output; cached source keyed on an older
+#: version is regenerated, never reused.
+CODEGEN_VERSION = 1
+
+#: Process-level cache: codegen key -> compiled SpecEngine class.
+_CLASS_CACHE = {}
+
+#: Per-directory default on-disk caches (lazy; see _resolve_cache).
+_DEFAULT_CACHES = {}
+
+
+def codegen_facts(config):
+    """The folded facts a specialized engine is generated from.
+
+    Everything :func:`specialize_source` bakes into the emitted code —
+    and *only* that — so two configurations that differ in ways the
+    generated source does not observe (latencies, cache geometry,
+    watchdog threshold) share one cached class.
+    """
+    no_unpipelined = all(
+        config.fu_counts.get(cls, 0) == 0 or config.fu_latency[cls] == 1
+        for cls in UNPIPELINED)
+    return dict(
+        nthreads=config.nthreads,
+        fetch_policy=config.fetch_policy.value,
+        commit_blocks=config.commit_blocks,
+        su_blocks=config.su_blocks,
+        store_buffer_depth=config.store_buffer_depth,
+        bypassing=config.bypassing,
+        fast_forward=config.fast_forward,
+        masked=config.fetch_policy is FetchPolicy.MASKED_RR,
+        icache=config.icache is not None,
+        watchdog=bool(config.hang_cycles),
+        no_unpipelined=no_unpipelined,
+    )
+
+
+def codegen_key(config):
+    """Stable hex digest identifying the generated source for ``config``.
+
+    Keyed on ``(ENGINE_VERSION, CODEGEN_VERSION, folded facts)`` — the
+    same invalidation discipline as the result cache: an engine bump or
+    a codegen layout change retires every cached entry.
+    """
+    facts = codegen_facts(config)
+    text = json.dumps([ENGINE_VERSION, CODEGEN_VERSION, facts],
+                      sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# --------------------------------------------------------------- source
+
+
+def _commit_lines(facts):
+    """The inlined commit stage (from ``PipelineSim._commit``)."""
+    cb = facts["commit_blocks"]
+    sub = facts["su_blocks"]
+    sbd = facts["store_buffer_depth"]
+    if facts["nthreads"] == 1:
+        lines = [
+            "                # Commit stage, inlined from",
+            "                # PipelineSim._commit and reduced for one",
+            "                # thread: every block shares tid 0, so the",
+            f"                # bottom-{cb} thread-select scan can only",
+            "                # ever pick block 0.",
+            "                blocks = su.blocks",
+            "                committed = 0",
+            "                if blocks:",
+            "                    block = blocks[0]",
+            "                    if (not block.not_done",
+            "                            and block.store_count",
+            f"                            <= {sbd} - len(store_buffer.entries)):",
+            "                        commit_block(0)",
+            "                        committed = 1",
+            f"                    elif len(blocks) >= {sub}:",
+            "                        stats.su_stall_cycles += 1",
+            "                        committed = 2",
+        ]
+    else:
+        lines = [
+            "                # Commit stage, inlined from",
+            "                # PipelineSim._commit (keep in sync) with",
+            f"                # commit_blocks={cb}, store-buffer",
+            f"                # depth={sbd}, and SU capacity={sub} blocks",
+            "                # folded.",
+            "                blocks = su.blocks",
+            "                limit = len(blocks)",
+            f"                if {cb} < limit:",
+            f"                    limit = {cb}",
+            "                index = None",
+            "                blocked = 0",
+            "                for i in range(limit):",
+            "                    block = blocks[i]",
+            "                    bit = 1 << block.tid",
+            "                    if not block.not_done and not blocked & bit:",
+            "                        if (block.store_count",
+            f"                                <= {sbd} - len(store_buffer.entries)):",
+            "                            index = i",
+            "                        break",
+            "                    blocked |= bit",
+            "                if index is None:",
+            f"                    if len(blocks) >= {sub}:",
+            "                        stats.su_stall_cycles += 1",
+            "                        committed = 2",
+            "                    else:",
+            "                        committed = 0",
+            "                else:",
+            "                    commit_block(index)",
+            "                    committed = 1",
+        ]
+    if facts["masked"]:
+        lines.append("                update_masks(now)")
+    return lines
+
+
+def _run_lines(facts):
+    """The specialized ``run`` method."""
+    n = facts["nthreads"]
+    lines = [
+        "    def run(self):",
+        '        """Run to completion (specialized fused loop)."""',
+        '        if ("step" in self.__dict__',
+        "                or type(self).step is not PipelineSim.step):",
+        "            # A replaced step() models a wedge (tests do this);",
+        "            # only the generic loop honours it.",
+        "            return PipelineSim.run(self)",
+        "        max_cycles = self.config.max_cycles",
+    ]
+    if facts["watchdog"]:
+        lines += [
+            "        hang_limit = self.config.hang_cycles",
+            "        last_committed = -1",
+            "        progress_cycle = 0",
+        ]
+    if facts["fast_forward"]:
+        lines.append("        skip = self._skip_inert_cycles")
+    lines += [
+        "        stats = self.stats",
+        "        su = self.su",
+        "        store_buffer = self.store_buffer",
+        "        cache = self.cache",
+        "        memory = self.memory",
+        "        attr = self._attr",
+        "        metrics = self._metrics",
+        "        wb_cycles = self._wb_cycles",
+        "        issue = self._issue",
+        "        writeback = self._writeback",
+        "        decode = self._decode",
+        "        fetch = self._fetch",
+        "        commit_block = self._commit_block",
+    ]
+    if facts["masked"]:
+        lines.append("        update_masks = self._update_masks")
+    lines += [
+        "        gc_was_enabled = gc.isenabled()",
+        "        if gc_was_enabled:",
+        "            gc.disable()",
+        "        try:",
+        f"            while self._halted < {n}:",
+        "                if self.cycle >= max_cycles:",
+        "                    raise DeadlockError(",
+        '                        f"no completion after {max_cycles} cycles; "',
+        '                        f"threads: {self.threads}")',
+    ]
+    if facts["fast_forward"]:
+        lines += [
+            "                # _skip_inert_cycles early-outs when the",
+            "                # earliest pending result is due; doing that",
+            "                # check inline skips the call entirely on",
+            "                # throughput-bound cycles.",
+            "                if not (wb_cycles and wb_cycles[0] <= self.cycle):",
+            "                    skip()",
+        ]
+    lines.append("                now = self.cycle")
+    lines += _commit_lines(facts)
+    if facts["bypassing"]:
+        lines += [
+            "                if wb_cycles and wb_cycles[0] <= now:",
+            "                    writeback(now)",
+            "                if su.issuable:",
+            "                    issue(now)",
+        ]
+    else:
+        lines += [
+            "                # Bypassing disabled: issue before writeback,",
+            "                # so dependents see results one cycle later.",
+            "                if su.issuable:",
+            "                    issue(now)",
+            "                if wb_cycles and wb_cycles[0] <= now:",
+            "                    writeback(now)",
+        ]
+    lines += [
+        "                if self.fetch_buffer is not None:",
+        "                    decode(now)",
+        "                if self.fetch_buffer is None:",
+        "                    fetch(now)",
+        "                if store_buffer.entries:",
+        "                    store_buffer.drain_one(cache, memory, now)",
+        "                stats.su_occupancy_sum += su._entry_count",
+        "                if attr is not None:",
+        "                    attr.close_cycle(self, now, committed)",
+        "                if metrics is not None:",
+        "                    metrics.on_cycle(self, now)",
+        "                self.cycle = now + 1",
+    ]
+    if facts["watchdog"]:
+        lines += [
+            "                committed_total = stats.committed",
+            "                if committed_total != last_committed:",
+            "                    last_committed = committed_total",
+            "                    progress_cycle = self.cycle",
+            "                elif self.cycle - progress_cycle >= hang_limit:",
+            "                    raise self._hang_error(hang_limit)",
+        ]
+    lines += [
+        "        finally:",
+        "            if gc_was_enabled:",
+        "                gc.enable()",
+        "        now = self.cycle",
+        "        while store_buffer.entries:",
+        "            store_buffer.drain_one(cache, memory, now)",
+        "            now += 1",
+        "        self._finalize_stats()",
+        "        return self.stats",
+    ]
+    return lines
+
+
+def _fetch_lines(facts):
+    """The specialized ``_fetch`` (policy dispatch resolved)."""
+    n = facts["nthreads"]
+    policy = facts["fetch_policy"]
+    lines = [
+        "    def _fetch(self, now):",
+        "        if self.fetch_buffer is not None:",
+        "            return",
+        "        fetch_unit = self.fetch_unit",
+    ]
+    if policy == FetchPolicy.TRUE_RR.value:
+        lines += [
+            "        # Thread select, inlined from select_thread for",
+            "        # true round-robin (keep in sync): the modulo",
+            "        # counter advances once per fetch opportunity.",
+        ]
+        if n == 1:
+            lines += [
+                "        thread = fetch_unit.threads[0]",
+                "        fetch_unit._rr_counter += 1",
+            ]
+        else:
+            lines += [
+                f"        thread = fetch_unit.threads[fetch_unit._rr_counter % {n}]",
+                "        fetch_unit._rr_counter += 1",
+            ]
+        lines += [
+            "        if (thread.done or thread.fetch_halted",
+            "                or thread.jalr_wait is not None",
+            "                or now < thread.stall_until):",
+            "            self.stats.fetch_idle_cycles += 1",
+            "            return",
+        ]
+    elif policy == FetchPolicy.MASKED_RR.value:
+        lines += [
+            "        # Thread select, inlined from select_thread for",
+            "        # masked round-robin (keep in sync).",
+            "        threads = fetch_unit.threads",
+            "        masked = fetch_unit.masked",
+            "        pointer = fetch_unit._rr_pointer",
+            "        thread = None",
+            f"        for offset in range({n}):",
+            f"            candidate = threads[(pointer + offset) % {n}]",
+            "            if not (candidate.done or candidate.fetch_halted",
+            "                    or candidate.jalr_wait is not None",
+            "                    or now < candidate.stall_until",
+            "                    or masked[candidate.tid]):",
+            f"                fetch_unit._rr_pointer = (candidate.tid + 1) % {n}",
+            "                thread = candidate",
+            "                break",
+            "        if thread is None:",
+            "            self.stats.fetch_idle_cycles += 1",
+            "            return",
+        ]
+    elif policy == FetchPolicy.ICOUNT.value:
+        lines += [
+            "        # Thread select, inlined from select_thread for",
+            "        # ICOUNT (keep in sync): fewest in-flight",
+            "        # instructions wins, rotating from the pointer.",
+            "        threads = fetch_unit.threads",
+            "        counts = fetch_unit.tid_counts",
+            "        occupancy_of = fetch_unit.occupancy_of",
+            "        pointer = fetch_unit._rr_pointer",
+            "        best = None",
+            "        best_key = None",
+            "        for thread in threads[pointer:] + threads[:pointer]:",
+            "            if (thread.done or thread.fetch_halted",
+            "                    or thread.jalr_wait is not None",
+            "                    or now < thread.stall_until):",
+            "                continue",
+            "            if counts is not None:",
+            "                key = counts[thread.tid]",
+            "            elif occupancy_of is not None:",
+            "                key = occupancy_of(thread.tid)",
+            "            else:",
+            "                key = 0",
+            "            if best is None or key < best_key:",
+            "                best, best_key = thread, key",
+            "        if best is None:",
+            "            self.stats.fetch_idle_cycles += 1",
+            "            return",
+            f"        fetch_unit._rr_pointer = (best.tid + 1) % {n}",
+            "        thread = best",
+        ]
+    else:  # conditional switch: stateful; keep the direct call
+        lines += [
+            "        thread = fetch_unit.select_thread(now)",
+            "        if thread is None:",
+            "            self.stats.fetch_idle_cycles += 1",
+            "            return",
+        ]
+    if facts["icache"]:
+        lines += [
+            "        ready = self.icache.access(thread.pc, now)",
+            "        if ready > now:",
+            "            # Instruction-cache miss: the slot is wasted",
+            "            # until the line refills.",
+            "            thread.stall_until = ready",
+            "            self.stats.fetch_idle_cycles += 1",
+            "            return",
+        ]
+    lines += [
+        "        items = fetch_unit.fetch_block(thread)",
+        "        if not items:",
+        "            self.stats.fetch_idle_cycles += 1",
+        "            return",
+        "        self.fetch_buffer = (thread, items)",
+        "        stats = self.stats",
+        "        stats.fetched_blocks += 1",
+        "        stats.fetched_instructions += len(items)",
+        "        bus = self._bus",
+        "        if bus is not None:",
+        "            bus.emit(FetchEvent(now, thread.tid, items[0].pc,",
+        "                                len(items)))",
+    ]
+    return lines
+
+
+def _issue_horizon_lines():
+    """Divider-free ``_issue_horizon``: the release-time scan is dead."""
+    return [
+        "    def _issue_horizon(self, now):",
+        "        # Specialized for a configuration with no unpipelined",
+        "        # divider in service: every populated unit class has",
+        "        # occupancy 1, so an FU-blocked candidate frees at the",
+        "        # next fresh cycle and FuPool.next_free's per-instance",
+        "        # release scan is dead code. Mirrors the base method",
+        "        # otherwise (keep in sync).",
+        "        pool = self.fu_pool",
+        "        used_cycle = pool._used_cycle",
+        "        used = pool._used",
+        "        counts = pool._counts",
+        "        su = self.su",
+        "        fu_free_at = None",
+        "        flags = 0",
+        "        remaining = su.issuable",
+        "        for entry in su.ready_entries():",
+        "            info = entry.info",
+        "            fu_index = info.fu_index",
+        "            if (used_cycle[fu_index] == now",
+        "                    and used[fu_index] >= counts[fu_index]):",
+        "                flags |= 4  # _F_FU",
+        "                fu_free_at = now + 1",
+        "            elif not info.is_load:",
+        "                return None",
+        "            else:",
+        "                why = self._load_blocked(entry, now)",
+        "                if not why:",
+        "                    return None",
+        "                flags |= why",
+        "            remaining -= 1",
+        "            if remaining == 0:",
+        "                break",
+        "        return fu_free_at, flags",
+    ]
+
+
+def specialize_source(config):
+    """Generate the specialized engine module source for ``config``."""
+    facts = codegen_facts(config)
+    key = codegen_key(config)
+    facts_json = json.dumps(facts, sort_keys=True)
+    lines = [
+        '"""Config-specialized pipeline engine (auto-generated; do not',
+        "edit). Regenerate with repro.core.codegen.",
+        "",
+        f"engine version: {ENGINE_VERSION}",
+        f"codegen version: {CODEGEN_VERSION}",
+        f"key: {key}",
+        f"facts: {facts_json}",
+        '"""',
+        "",
+        "import gc",
+        "",
+        "from repro.core.pipeline import DeadlockError, PipelineSim",
+        "from repro.obs.events import FetchEvent",
+        "",
+        "",
+        "class SpecEngine(PipelineSim):",
+        '    """PipelineSim with the cycle loop specialized for one',
+        "    configuration shape. Same surface, bit-identical",
+        '    statistics (tests/test_spec.py)."""',
+        "",
+        f"    SPEC_KEY = {key!r}",
+        f"    SPEC_FACTS = {facts!r}",
+        "",
+    ]
+    lines += _run_lines(facts)
+    lines.append("")
+    lines += _fetch_lines(facts)
+    if facts["no_unpipelined"]:
+        lines.append("")
+        lines += _issue_horizon_lines()
+    return "\n".join(lines) + "\n"
+
+
+# -------------------------------------------------------------- factory
+
+
+def _resolve_cache(cache):
+    """Map the ``cache`` argument to a CodegenCache or ``None``.
+
+    ``"default"`` resolves the shared on-disk cache (honouring the
+    ``REPRO_CODEGEN_CACHE`` override, where ``0``/``off`` disables
+    disk caching); ``None``/``False`` means in-process only; anything
+    else is used as a cache object directly.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache == "default":
+        from repro.harness.codecache import CodegenCache, default_dir
+        root = default_dir()
+        if root is None:
+            return None
+        return _DEFAULT_CACHES.setdefault(str(root), CodegenCache(root))
+    return cache
+
+
+def spec_engine_class(config, cache="default"):
+    """The compiled ``SpecEngine`` class for ``config``'s shape.
+
+    Resolution order: process class cache, then the on-disk source
+    cache, then fresh generation (populating both). The returned class
+    subclasses :class:`PipelineSim` and is constructed the same way:
+    ``spec_engine_class(config)(program, config)``.
+    """
+    key = codegen_key(config)
+    cls = _CLASS_CACHE.get(key)
+    if cls is not None:
+        return cls
+    disk = _resolve_cache(cache)
+    source = disk.get(key) if disk is not None else None
+    if source is None:
+        source = specialize_source(config)
+        if disk is not None:
+            disk.put(key, source)
+    code = compile(source, f"<spec:{key[:12]}>", "exec")
+    namespace = {}
+    exec(code, namespace)
+    cls = namespace["SpecEngine"]
+    _CLASS_CACHE[key] = cls
+    return cls
+
+
+def make_spec(program, config, cache="default"):
+    """Construct a specialized simulator: drop-in for ``PipelineSim``."""
+    return spec_engine_class(config, cache=cache)(program, config)
+
+
+def have_engine(config, cache="default"):
+    """True when ``config``'s specialized class is available for free.
+
+    Checks the process class cache, then the on-disk source cache,
+    without generating anything — ``repro stats --backend auto`` uses
+    this to resolve to ``spec`` only when a prior run already paid for
+    codegen.
+    """
+    key = codegen_key(config)
+    if key in _CLASS_CACHE:
+        return True
+    disk = _resolve_cache(cache)
+    return disk is not None and disk.get(key) is not None
+
+
+# ------------------------------------------------------------ source dump
+
+
+def _main(argv=None):
+    """Dump generated source for one config (CI artifact / inspection)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.codegen",
+        description="Generate and print the specialized engine source "
+                    "for a machine configuration.")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--fetch-policy", default="true_rr",
+                        choices=[p.value for p in FetchPolicy])
+    parser.add_argument("--su-entries", type=int, default=64)
+    parser.add_argument("--no-bypassing", action="store_true")
+    parser.add_argument("--no-fast-forward", action="store_true")
+    parser.add_argument("--out", default=None,
+                        help="write to this path instead of stdout")
+    args = parser.parse_args(argv)
+    config = MachineConfig(
+        nthreads=args.threads, fetch_policy=args.fetch_policy,
+        su_entries=args.su_entries, bypassing=not args.no_bypassing,
+        fast_forward=not args.no_fast_forward)
+    source = specialize_source(config)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(source)
+        print(f"wrote {len(source)} bytes ({codegen_key(config)[:16]}) "
+              f"to {args.out}")
+    else:
+        print(source, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -1,0 +1,199 @@
+"""Persistent on-disk cache of generated engine source.
+
+:mod:`repro.core.codegen` turns a configuration shape into specialized
+Python source. Generation is cheap but not free, and a sweep fleet
+(parallel workers, the ``repro serve`` worker pool) re-derives the same
+handful of shapes in every process — so the source is cached on disk,
+one ``.py`` file per codegen key, and validated before use.
+
+This is *source text*, not data, so the robustness bar is higher than
+the result cache's: a corrupt or tampered entry must never reach
+``exec``. The same crash-safety idioms as
+:class:`~repro.harness.diskcache.DiskResultCache` apply, plus a
+content check:
+
+* **Self-describing entries.** Every file starts with a metadata
+  comment recording the file format, ``ENGINE_VERSION``,
+  ``CODEGEN_VERSION``, the full codegen key, and a SHA-256 of the
+  body. A version or key mismatch is a *transparent miss* (stale,
+  regenerated, never reused); a body whose digest does not match its
+  header — a flipped byte, a truncated write — is **quarantined** to
+  ``<name>.corrupt-<n>`` with a :class:`CacheCorruptionWarning` and
+  regenerated. Nothing is silently deleted.
+* **Compile-validated, never executed.** ``get`` runs ``compile()``
+  (a syntax check only — no code runs) before returning source; files
+  that fail to compile are quarantined.
+* **Atomic, locked writes.** ``put`` writes a temp file and
+  ``os.replace``s it into place under an advisory ``flock``, so
+  concurrent workers racing to populate one entry cannot interleave
+  partial writes; the first complete write wins and the rest no-op.
+
+Default location: ``~/.cache/repro-sdsp/codegen/``. Override with the
+``REPRO_CODEGEN_CACHE`` environment variable (a directory path; the
+values ``0``, ``off``, or an empty string disable disk caching).
+"""
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import tempfile
+import warnings
+
+from repro.harness.diskcache import CacheCorruptionWarning, _FileLock
+
+#: Environment variable overriding the cache directory (or disabling).
+ENV_PATH = "REPRO_CODEGEN_CACHE"
+
+_DEFAULT_DIR = "~/.cache/repro-sdsp/codegen"
+
+#: On-disk entry layout version.
+CODECACHE_FORMAT = 1
+
+_META_PREFIX = "# repro-codegen "
+
+
+def default_dir():
+    """Cache directory honouring ``REPRO_CODEGEN_CACHE``; None = disabled."""
+    value = os.environ.get(ENV_PATH)
+    if value is None:
+        return pathlib.Path(_DEFAULT_DIR).expanduser()
+    if value.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return pathlib.Path(value).expanduser()
+
+
+def _body_digest(body):
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class CodegenCache:
+    """Directory of generated-source files keyed by codegen key."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        #: Version/key mismatches answered as transparent misses.
+        self.stale = 0
+        #: Corrupt files moved aside to ``<name>.corrupt-<n>``.
+        self.quarantined = 0
+
+    def _path(self, key):
+        return self.root / f"spec-{key[:24]}.py"
+
+    def _versions(self):
+        # Imported lazily so light-weight tools do not pay for the
+        # simulator import at module load (same idiom as diskcache).
+        from repro.core.codegen import CODEGEN_VERSION
+        from repro.core.pipeline import ENGINE_VERSION
+        return ENGINE_VERSION, CODEGEN_VERSION
+
+    # ------------------------------------------------------------- read
+
+    def get(self, key):
+        """Validated source for ``key``, or ``None`` (a miss).
+
+        Never executes cached content: validation is a metadata check,
+        a body digest comparison, and a ``compile()`` syntax check.
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        except UnicodeDecodeError:
+            self._quarantine(path, "not valid UTF-8")
+            self.misses += 1
+            return None
+        header, sep, body = text.partition("\n")
+        if not sep or not header.startswith(_META_PREFIX):
+            self._quarantine(path, "missing metadata header")
+            self.misses += 1
+            return None
+        try:
+            meta = json.loads(header[len(_META_PREFIX):])
+            if not isinstance(meta, dict):
+                raise ValueError("metadata is not an object")
+        except ValueError:
+            self._quarantine(path, "unparseable metadata header")
+            self.misses += 1
+            return None
+        engine, codegen = self._versions()
+        if (meta.get("format") != CODECACHE_FORMAT
+                or meta.get("engine") != engine
+                or meta.get("codegen") != codegen
+                or meta.get("key") != key):
+            # Stale (old engine/codegen, or a key-prefix collision):
+            # transparently regenerated, never reused.
+            self.stale += 1
+            self.misses += 1
+            return None
+        if meta.get("sha") != _body_digest(body):
+            self._quarantine(path, "body digest mismatch")
+            self.misses += 1
+            return None
+        try:
+            compile(body, str(path), "exec")
+        except (SyntaxError, ValueError):
+            self._quarantine(path, "source does not compile")
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    # ------------------------------------------------------------ write
+
+    def put(self, key, source):
+        """Persist ``source`` under ``key`` (atomic, locked, idempotent)."""
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        engine, codegen = self._versions()
+        meta = {"format": CODECACHE_FORMAT, "engine": engine,
+                "codegen": codegen, "key": key,
+                "sha": _body_digest(source)}
+        text = _META_PREFIX + json.dumps(meta, sort_keys=True) + "\n" + source
+        with _FileLock(path):
+            try:
+                existing = path.read_text()
+            except OSError:
+                existing = None
+            if existing == text:
+                return  # a concurrent worker won the race; identical
+            fd, tmp = tempfile.mkstemp(dir=str(self.root),
+                                       prefix=path.name, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    # ------------------------------------------------------ diagnostics
+
+    def _quarantine(self, path, reason):
+        """Move a corrupt entry aside to ``<name>.corrupt-<n>``."""
+        for n in itertools.count(1):
+            target = path.with_name(f"{path.name}.corrupt-{n}")
+            if not target.exists():
+                break
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # concurrently removed/quarantined; nothing to keep
+        self.quarantined += 1
+        warnings.warn(
+            f"cached generated source {path} is corrupt ({reason}); "
+            f"quarantined to {target} and regenerating",
+            CacheCorruptionWarning, stacklevel=4)
+
+    def counters(self):
+        """Session counters as a plain dict (tests, telemetry)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stale": self.stale, "quarantined": self.quarantined}

@@ -225,12 +225,12 @@ def _run_job(job):
     from repro.workloads import by_name
 
     (wname, spec, aligned, verify, instrument,
-     plan, index, attempt, inline) = job
+     plan, index, attempt, inline, backend) = job
     if plan is not None:
         plan.apply(index, attempt, inline=inline)
     workload = by_name(wname)
     config = MachineConfig.from_spec(spec)
-    runner = Runner(verify=verify, instrument=instrument)
+    runner = Runner(verify=verify, instrument=instrument, backend=backend)
     result = runner.run(workload, config, aligned=aligned)
     return Runner._to_payload(result)
 
@@ -344,7 +344,7 @@ class _Job:
     """Parent-side bookkeeping for one in-flight or queued grid job."""
 
     __slots__ = ("index", "key", "wname", "spec", "attempts", "eligible_at",
-                 "deadline")
+                 "deadline", "backend")
 
     def __init__(self, index, key, wname, spec):
         self.index = index
@@ -354,6 +354,7 @@ class _Job:
         self.attempts = 0       # attempts charged (begun and accounted)
         self.eligible_at = 0.0  # monotonic time before which not to submit
         self.deadline = None    # monotonic deadline of the running attempt
+        self.backend = "scalar"  # per-job engine: "scalar" or "spec"
 
 
 class _BatchJob:
@@ -580,7 +581,7 @@ class _GridExecutor:
     def _args(self, job, inline):
         return (job.wname, job.spec, self.aligned, self.verify,
                 self.instrument, self.fault_plan, job.index,
-                job.attempts - 1, inline)
+                job.attempts - 1, inline, job.backend)
 
     def _batch_args(self, batch, inline):
         members = batch.members
@@ -907,6 +908,15 @@ class _GridExecutor:
             return False
         delay = (self.backoff * (2.0 ** (job.attempts - 1))
                  if self.backoff else 0.0)
+        if getattr(job, "backend", "scalar") == "spec":
+            # Defense in depth, mirroring the batch disband philosophy:
+            # whatever went wrong, the retry runs on the reference
+            # interpreter so a codegen-side fault can never strand a job.
+            job.backend = "scalar"
+            if self.telemetry is not None:
+                self.telemetry.degraded_to_scalar(
+                    job.index, job.wname,
+                    reason=f"spec job {kind}; retrying scalar")
         if self.telemetry is not None:
             self.telemetry.job_retry(job.index, job.wname, kind,
                                      job.attempts, delay)
@@ -1017,6 +1027,35 @@ def _ledger_append(ledger, resolved, results, cached_indices, timestamp,
 #: envelope (group assembly, per-member payload mapping).
 AUTO_BATCH_MIN = 4
 
+#: ``backend="auto"``: smallest number of pending scalar jobs sharing a
+#: codegen shape (:func:`repro.core.codegen.codegen_key`) for the group
+#: to run on the specialized engine. One-off shapes stay on the
+#: interpreter — generation would not amortize within the sweep (though
+#: the on-disk source cache still amortizes it across sweeps).
+AUTO_SPEC_MIN = 2
+
+
+def _route_spec(singles):
+    """``backend="auto"``: move same-shape scalar singles to ``spec``.
+
+    Counts codegen keys across the un-batched jobs; every job whose
+    shape repeats at least :data:`AUTO_SPEC_MIN` times runs on the
+    specialized engine (the generated class is shared via the process
+    and disk codegen caches). Composes with batching: batch groups have
+    already been carved out, so spec picks up the same-config remainder.
+    """
+    from repro.core.codegen import codegen_key
+
+    keys = {}
+    for job in singles:
+        keys[job.index] = codegen_key(MachineConfig.from_spec(job.spec))
+    counts = {}
+    for key in keys.values():
+        counts[key] = counts.get(key, 0) + 1
+    for job in singles:
+        if counts[keys[job.index]] >= AUTO_SPEC_MIN:
+            job.backend = "spec"
+
 
 def run_grid(jobs, workers=None, verify=True, disk_cache=None,
              aligned=False, instrument=False, *, backend="scalar",
@@ -1053,13 +1092,18 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
         as before. ``"batch"`` groups uncached jobs that share a
         decoded program — key ``(workload, nthreads, program hash,
         instrument)`` — and advances each group inside one
-        :class:`~repro.core.batch.BatchEngine`; ``"auto"`` batches only
-        groups of :data:`AUTO_BATCH_MIN` or more and leaves the rest
-        scalar. Results are bit-identical across backends (enforced by
-        ``tests/test_batch.py``); per-job failure, retry, and timeout
-        semantics are preserved per member — one member failing never
-        poisons its batch-mates, whose results are kept and whose retry
-        budgets are not charged for the culprit's faults.
+        :class:`~repro.core.batch.BatchEngine`. ``"spec"`` runs every
+        job on the config-specialized generated engine
+        (:mod:`repro.core.codegen`). ``"auto"`` composes them: batch
+        for same-program groups of :data:`AUTO_BATCH_MIN` or more,
+        spec for remaining jobs whose codegen shape repeats at least
+        :data:`AUTO_SPEC_MIN` times, scalar for the rest. Results are
+        bit-identical across backends (enforced by ``tests/test_batch
+        .py`` and ``tests/test_spec.py``); per-job failure, retry, and
+        timeout semantics are preserved per member — one member failing
+        never poisons its batch-mates, whose results are kept and whose
+        retry budgets are not charged for the culprit's faults, and a
+        spec job's retry degrades to the reference interpreter.
     timeout:
         Per-job wall-clock seconds. A job past its deadline is presumed
         hung: its worker pool is torn down, innocents are requeued
@@ -1135,9 +1179,9 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
     from repro.harness.diskcache import DiskResultCache
     from repro.workloads import by_name
 
-    if backend not in ("scalar", "batch", "auto"):
+    if backend not in ("scalar", "batch", "spec", "auto"):
         raise ValueError(f"unknown backend {backend!r}; expected "
-                         f"'scalar', 'batch', or 'auto'")
+                         f"'scalar', 'batch', 'spec', or 'auto'")
     if disk_cache is not None and not isinstance(disk_cache,
                                                  DiskResultCache):
         disk_cache = DiskResultCache(disk_cache, schema=Runner.RESULT_SCHEMA)
@@ -1197,10 +1241,19 @@ def run_grid(jobs, workers=None, verify=True, disk_cache=None,
 
     if backend == "scalar":
         units = pending
+    elif backend == "spec":
+        for job in pending:
+            job.backend = "spec"
+        units = pending
     else:
         units = _group_batches(pending, resolved, aligned, instrument,
                                min_group=(AUTO_BATCH_MIN
                                           if backend == "auto" else 1))
+        if backend == "auto":
+            # Compose the backends: same-program groups went to batch
+            # above; same-shape scalar leftovers run specialized.
+            _route_spec([unit for unit in units
+                         if not isinstance(unit, _BatchJob)])
         if telemetry is not None:
             for unit in units:
                 if isinstance(unit, _BatchJob):

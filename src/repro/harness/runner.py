@@ -154,6 +154,12 @@ class Runner:
         ``stats.interval_metrics``. Instrumented runs use a distinct
         cache key (same cycle counts, richer payload), so they never
         collide with — or invalidate — plain entries.
+    backend:
+        ``"scalar"`` (default) runs the interpreter; ``"spec"`` runs a
+        config-specialized generated engine (:mod:`repro.core.codegen`)
+        — bit-identical statistics, so both backends share the same
+        result-cache keys (a cache replay keeps the backend that
+        originally executed, mirroring the batch path).
     """
 
     #: Fields every cached result payload must carry; passed to
@@ -163,7 +169,7 @@ class Runner:
     RESULT_SCHEMA = ("nthreads", "stats", "checksum", "verified")
 
     def __init__(self, verify=True, quiet=True, disk_cache=None,
-                 instrument=False):
+                 instrument=False, backend="scalar"):
         self.verify = verify
         self.quiet = quiet
         if disk_cache is not None and not isinstance(disk_cache,
@@ -172,6 +178,10 @@ class Runner:
                                          schema=Runner.RESULT_SCHEMA)
         self.disk_cache = disk_cache
         self.instrument = instrument
+        if backend not in ("scalar", "spec"):
+            raise ValueError(f"unknown Runner backend {backend!r} "
+                             f"(expected 'scalar' or 'spec')")
+        self.backend = backend
         self._cache = {}
 
     def run(self, workload, config=None, aligned=False, **overrides):
@@ -200,7 +210,11 @@ class Runner:
                 result = self._from_payload(workload, config, payload)
                 self._cache[key] = result
                 return result
-        sim = PipelineSim(program, config)
+        if self.backend == "spec":
+            from repro.core.codegen import spec_engine_class
+            sim = spec_engine_class(config)(program, config)
+        else:
+            sim = PipelineSim(program, config)
         if self.instrument:
             attr = sim.attach_attribution()
             sim.attach_metrics()
@@ -216,7 +230,7 @@ class Runner:
                 f"{workload.name} with {nthreads} threads computed "
                 f"{checksum!r}, expected {workload.expected(nthreads)!r}")
         result = RunResult(workload, nthreads, stats, checksum, verified,
-                           wall_seconds)
+                           wall_seconds, backend=self.backend)
         self._cache[key] = result
         if disk is not None:
             disk.put(disk_key, self._to_payload(result))

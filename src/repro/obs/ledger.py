@@ -173,9 +173,13 @@ def make_record(*, source, workload, config, stats, timestamp,
     is caller-supplied (see :func:`utc_now_iso`); the record id is a
     content fingerprint over everything else.
 
-    ``backend`` names the engine path that produced the result
-    (``"scalar"`` — one :meth:`PipelineSim.run` — or ``"batch"`` — a
-    :class:`~repro.core.batch.BatchEngine` group). For batch members,
+    ``backend`` names the engine path that produced the result:
+    ``"scalar"`` (one :meth:`PipelineSim.run`), ``"batch"`` (a
+    :class:`~repro.core.batch.BatchEngine` group), or ``"spec"`` (a
+    config-specialized generated engine, :mod:`repro.core.codegen`).
+    Always the backend that *executed* — an ``auto`` grid resolves to
+    the concrete route per job before anything is recorded. For batch
+    members,
     ``wall_seconds`` must be the amortized per-member share of the
     batch wall clock (the members ran interleaved; see
     ``docs/PERFORMANCE.md``), which keeps the derived

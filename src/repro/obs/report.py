@@ -228,7 +228,8 @@ def run_report(name, *, ledger, workloads=None, threads=None, workers=None,
     in-memory results — which is the property the regression acceptance
     test pins. Returns the rendered text; writes ``csv_path`` when
     given. ``backend`` is forwarded to :func:`run_grid` — the batch
-    backend changes only wall-clock cost, never a single table cell.
+    and spec backends change only wall-clock cost, never a single
+    table cell.
 
     ``sweep`` renders the table from the ledger records of an already
     *finished* sweep (no simulation happens); ``telemetry``, ``progress``

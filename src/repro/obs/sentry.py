@@ -115,10 +115,11 @@ def _run_once(program, config, instrument, backend):
     The scalar backend is a plain :class:`PipelineSim` run (with the
     full observability load, null event sink included, when
     instrumented); the batch backend wraps the same simulation in a
-    one-member :class:`~repro.core.batch.BatchEngine` group, so
-    ``repro check --backend batch`` pins the whole golden matrix
-    through the batch advance loop. Cycle counts must be identical
-    either way.
+    one-member :class:`~repro.core.batch.BatchEngine` group, and the
+    spec backend runs the config-specialized generated engine
+    (:mod:`repro.core.codegen`) — so ``repro check --backend
+    batch|spec`` pins the whole golden matrix through those loops.
+    Cycle counts must be identical every way.
     """
     if backend == "batch":
         from repro.core.batch import run_batch
@@ -126,7 +127,11 @@ def _run_once(program, config, instrument, backend):
         if outcome.error is not None:
             raise outcome.error
         return outcome.stats
-    sim = PipelineSim(program, config)
+    if backend == "spec":
+        from repro.core.codegen import spec_engine_class
+        sim = spec_engine_class(config)(program, config)
+    else:
+        sim = PipelineSim(program, config)
     if instrument:
         sim.attach_attribution()
         sim.attach_metrics()
@@ -152,10 +157,13 @@ def measure(reps=3, instrument=False, matrix=None, backend="scalar"):
     :class:`~repro.core.batch.BatchEngine` group instead of a plain
     :class:`PipelineSim` — the regression gate's way of pinning the
     golden matrix's cycle counts through the batch advance loop.
+    ``backend="spec"`` runs the config-specialized generated engine
+    (:mod:`repro.core.codegen`), pinning the generated loops the same
+    way.
     """
-    if backend not in ("scalar", "batch"):
+    if backend not in ("scalar", "batch", "spec"):
         raise ValueError(f"unknown backend {backend!r}; expected "
-                         f"'scalar' or 'batch'")
+                         f"'scalar', 'batch', or 'spec'")
     out = {}
     for label, wname, kwargs in (matrix or MATRIX):
         config = MachineConfig(**kwargs)
@@ -229,6 +237,56 @@ def measure_backends(reps=3):
         "wall_seconds": best_elapsed[backend],
     } for backend in ("scalar", "batch"))
     return scalar_entry, batch_entry
+
+
+def measure_spec(reps=3, matrix=None):
+    """Drift-resistant interpreter-vs-spec throughput measurement.
+
+    Interleaves the timed reps per matrix entry — scalar, spec, scalar,
+    spec — so host speed drift lands on both sides (the
+    :func:`measure_overhead` methodology), and asserts the two engines
+    return bit-identical stats on every rep. Returns
+    ``(measured_scalar, measured_spec)`` in the :func:`measure` format;
+    ``tools/perf_profile.py`` folds the per-label ratios into the
+    ``spec_over_scalar`` geomean stamped in ``BENCH_engine.json``.
+    """
+    from repro.core.codegen import spec_engine_class
+
+    out_scalar = {}
+    out_spec = {}
+    for label, wname, kwargs in (matrix or MATRIX):
+        config = MachineConfig(**kwargs)
+        program = by_name(wname).program(config.nthreads)
+        engines = {"scalar": PipelineSim, "spec": spec_engine_class(config)}
+        engines["spec"](program, config).run()  # warm-up (codegen, caches)
+        PipelineSim(program, config).run()
+        best = {"scalar": 0.0, "spec": 0.0}
+        best_elapsed = {"scalar": None, "spec": None}
+        stats = {"scalar": None, "spec": None}
+        for _ in range(reps):
+            for backend in ("scalar", "spec"):
+                sim = engines[backend](program, config)
+                start = time.perf_counter()
+                run_stats = sim.run()
+                elapsed = time.perf_counter() - start
+                stats[backend] = run_stats
+                rate = run_stats.cycles / elapsed
+                if rate > best[backend]:
+                    best[backend] = rate
+                    best_elapsed[backend] = elapsed
+            if stats["scalar"].to_dict() != stats["spec"].to_dict():
+                raise AssertionError(
+                    f"{label}: spec backend diverged from the interpreter "
+                    f"— simulated stats must be bit-identical")
+        for backend, out in (("scalar", out_scalar), ("spec", out_spec)):
+            run_stats = stats[backend]
+            out[label] = {
+                "cycles": run_stats.cycles,
+                "cycles_per_sec": round(best[backend]),
+                "wall_seconds": best_elapsed[backend],
+                "stats": run_stats.to_dict(),
+            }
+    return out_scalar, out_spec
 
 
 def measure_overhead(reps=3, matrix=None):

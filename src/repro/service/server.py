@@ -197,7 +197,12 @@ class JobService:
 
     Parameters mirror ``run_grid`` where they share meaning
     (``workers``, ``timeout``, ``retries``, ``backoff``, ``backend``,
-    ``verify``); the rest configure the service envelope:
+    ``verify``). ``backend`` accepts every ``run_grid`` value —
+    ``"auto"`` (the default) composes batch and spec per dispatch, and
+    worker processes of every dispatch share one on-disk codegen cache
+    (:mod:`repro.harness.codecache`), so a fleet pays source generation
+    once per config shape for the server's lifetime and beyond. The
+    rest configure the service envelope:
     ``queue_depth``/``rate``/``burst`` the admission controller,
     ``disk_cache``/``ledger`` the durable layers, ``sinks`` the
     server-lifetime telemetry sinks, ``allow_chaos`` the over-the-wire

@@ -1,0 +1,217 @@
+"""Codegen source cache: validation, quarantine, version invalidation,
+concurrent populate (see docs/PERFORMANCE.md, "Specialized backend").
+
+Cached entries are *source that will be exec'd*, so the suite's core
+claim is stronger than the result cache's: no corrupt, truncated, or
+stale entry may ever reach ``exec`` — validation failures quarantine
+the evidence and regenerate from scratch.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core import codegen
+from repro.core.codegen import codegen_key, spec_engine_class, \
+    specialize_source
+from repro.core.config import MachineConfig
+from repro.harness.codecache import (CodegenCache, default_dir,
+                                     _META_PREFIX)
+from repro.harness.diskcache import CacheCorruptionWarning
+from repro.workloads import by_name
+
+CONFIG = MachineConfig(nthreads=2)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CodegenCache(tmp_path / "codegen")
+
+
+def _populate(cache, config=CONFIG):
+    key = codegen_key(config)
+    source = specialize_source(config)
+    cache.put(key, source)
+    return key, source
+
+
+# ---------------------------------------------------------- round trip
+
+
+def test_put_get_roundtrip(cache):
+    key, source = _populate(cache)
+    assert cache.get(key) == source
+    assert cache.hits == 1
+    # A fresh instance reads the persisted file.
+    again = CodegenCache(cache.root)
+    assert again.get(key) == source
+
+
+def test_get_missing_is_miss(cache):
+    assert cache.get(codegen_key(CONFIG)) is None
+    assert cache.misses == 1 and cache.quarantined == 0
+
+
+def test_put_idempotent(cache):
+    key, source = _populate(cache)
+    before = cache._path(key).stat().st_mtime_ns
+    cache.put(key, source)  # identical: the second write no-ops
+    assert cache._path(key).stat().st_mtime_ns == before
+    assert cache.get(key) == source
+
+
+# ------------------------------------------------- corruption handling
+
+
+def test_truncated_entry_quarantined_and_regenerated(cache):
+    """A torn write (body cut short) fails the digest check: the
+    corpse is preserved, never compiled into a class."""
+    key, source = _populate(cache)
+    path = cache._path(key)
+    text = path.read_text()
+    path.write_text(text[:len(text) // 2])
+    with pytest.warns(CacheCorruptionWarning, match="digest"):
+        assert cache.get(key) is None
+    assert cache.quarantined == 1
+    corpse = path.with_name(path.name + ".corrupt-1")
+    assert corpse.exists() and not path.exists()
+    # Regeneration repopulates a valid entry.
+    cache.put(key, source)
+    assert cache.get(key) == source
+
+
+def test_unparseable_source_quarantined_not_execd(cache, monkeypatch):
+    """An entry that passes the digest check but does not compile is
+    quarantined by the syntax check — and because validation never
+    goes past ``compile()``, nothing in the file ran."""
+    key = codegen_key(CONFIG)
+    booby_trap = ("import sys\n"
+                  "sys.modules['TEST_CODECACHE_EXECUTED'] = True\n"
+                  "def broken(:\n")
+    cache.put(key, booby_trap)  # put() signs whatever it is given
+    import sys
+    with pytest.warns(CacheCorruptionWarning, match="compile"):
+        assert cache.get(key) is None
+    assert "TEST_CODECACHE_EXECUTED" not in sys.modules
+    assert cache.quarantined == 1
+
+
+def test_garbage_header_quarantined(cache):
+    key = codegen_key(CONFIG)
+    cache.root.mkdir(parents=True, exist_ok=True)
+    cache._path(key).write_text("not a cache entry at all\n")
+    with pytest.warns(CacheCorruptionWarning, match="header"):
+        assert cache.get(key) is None
+    assert cache.quarantined == 1
+
+
+def test_quarantine_numbering_never_overwrites(cache):
+    key, source = _populate(cache)
+    path = cache._path(key)
+    for n in (1, 2):
+        path.write_text(f"garbage #{n}\n")
+        with pytest.warns(CacheCorruptionWarning):
+            assert cache.get(key) is None
+    assert path.with_name(path.name
+                          + ".corrupt-1").read_text() == "garbage #1\n"
+    assert path.with_name(path.name
+                          + ".corrupt-2").read_text() == "garbage #2\n"
+
+
+# ---------------------------------------------- version invalidation
+
+
+def test_stale_version_is_transparent_miss_not_quarantine(cache):
+    """An entry recorded under an older codegen layout is regenerated
+    silently — no warning, the file left in place for the writer that
+    owns it."""
+    key, source = _populate(cache)
+    path = cache._path(key)
+    header, _, body = path.read_text().partition("\n")
+    import json
+    meta = json.loads(header[len(_META_PREFIX):])
+    meta["codegen"] = meta["codegen"] - 1
+    path.write_text(_META_PREFIX + json.dumps(meta, sort_keys=True)
+                    + "\n" + body)
+    assert cache.get(key) is None
+    assert cache.stale == 1 and cache.quarantined == 0
+    assert path.exists()  # nothing silently deleted
+
+
+def test_engine_version_bump_invalidates_end_to_end(tmp_path,
+                                                    monkeypatch):
+    """Bumping ENGINE_VERSION retires every cached class and entry:
+    the new key misses, fresh source is generated, and the resulting
+    engine still reproduces the interpreter bit-for-bit."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "cg"))
+    monkeypatch.setattr(codegen, "_CLASS_CACHE", {})
+    old_key = codegen_key(CONFIG)
+    spec_engine_class(CONFIG)
+    import repro.core.pipeline as pipeline
+    monkeypatch.setattr(pipeline, "ENGINE_VERSION",
+                        pipeline.ENGINE_VERSION + 1)
+    monkeypatch.setattr(codegen, "ENGINE_VERSION",
+                        codegen.ENGINE_VERSION + 1)
+    monkeypatch.setattr(codegen, "_CLASS_CACHE", {})
+    new_key = codegen_key(CONFIG)
+    assert new_key != old_key
+    cls = spec_engine_class(CONFIG)
+    assert cls.SPEC_KEY == new_key
+    program = by_name("LL2").program(2)
+    from repro.core import PipelineSim
+    assert (cls(program, CONFIG).run().to_dict()
+            == PipelineSim(program, CONFIG).run().to_dict())
+
+
+# ------------------------------------------------- concurrent workers
+
+
+def _hammer_codegen(job):
+    """Module-level so it pickles into pool workers."""
+    root, rounds = job
+    cache = CodegenCache(root)
+    key = codegen_key(CONFIG)
+    source = specialize_source(CONFIG)
+    for _ in range(rounds):
+        cache.put(key, source)
+        if cache.get(key) != source:
+            return False
+    return True
+
+
+def test_concurrent_populate_single_entry_safe(tmp_path):
+    """N processes racing to populate one key: the flock + atomic
+    rename leave exactly one valid entry and every reader sees intact
+    source throughout."""
+    root = str(tmp_path / "codegen")
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(_hammer_codegen,
+                                [(root, 6)] * 4))
+    assert all(results)
+    cache = CodegenCache(root)
+    key = codegen_key(CONFIG)
+    assert cache.get(key) == specialize_source(CONFIG)
+    stray = [p for p in cache.root.iterdir()
+             if p.suffix == ".tmp" or ".corrupt-" in p.name]
+    assert stray == []
+
+
+# ----------------------------------------------------- configuration
+
+
+def test_default_dir_env_override_and_disable(monkeypatch):
+    monkeypatch.delenv("REPRO_CODEGEN_CACHE", raising=False)
+    assert default_dir() is not None
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", "/tmp/elsewhere")
+    assert str(default_dir()) == "/tmp/elsewhere"
+    for off in ("0", "off", "none", ""):
+        monkeypatch.setenv("REPRO_CODEGEN_CACHE", off)
+        assert default_dir() is None
+
+
+def test_counters_shape(cache):
+    key, _ = _populate(cache)
+    cache.get(key)
+    cache.get("0" * 64)
+    assert cache.counters() == {"hits": 1, "misses": 1,
+                                "stale": 0, "quarantined": 0}

@@ -1,0 +1,356 @@
+"""Spec-backend suite: bit-identity with the interpreter, harness
+routing/degradation, sentry plumbing, and resolved-backend records
+(see docs/PERFORMANCE.md, "Specialized backend").
+
+The generated engine's whole contract is "same numbers, different
+code": every statistic, stall-attribution bucket, and checksum must
+match a plain :meth:`PipelineSim.run` of the same configuration
+bit-for-bit, on the golden matrix in both fast-forward modes and on
+randomized configuration shapes.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import MachineConfig, PipelineSim
+from repro.core import codegen
+from repro.core.config import CacheConfig
+from repro.core.codegen import (codegen_facts, codegen_key, make_spec,
+                                spec_engine_class)
+from repro.faults import FaultPlan
+from repro.harness import run_grid
+from repro.harness.runner import Runner
+from repro.obs import sentry
+from repro.workloads import by_name
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    """Keep generated-source cache writes out of the user's home."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen"))
+
+
+def _scalar_stats(program, config, instrument=False):
+    sim = PipelineSim(program, config)
+    if instrument:
+        attr = sim.attach_attribution()
+        sim.attach_metrics()
+    stats = sim.run()
+    if instrument:
+        attr.verify(stats)
+    return stats.to_dict()
+
+
+def _spec_stats(program, config, instrument=False):
+    sim = make_spec(program, config, cache=None)
+    if instrument:
+        attr = sim.attach_attribution()
+        sim.attach_metrics()
+    stats = sim.run()
+    if instrument:
+        attr.verify(stats)  # attribution reconciles on the spec loop too
+    return stats.to_dict()
+
+
+def _shape_jobs():
+    """Three jobs sharing one codegen shape (different programs)."""
+    return [(by_name(wname), MachineConfig(nthreads=2, su_entries=64))
+            for wname in ("LL2", "LL5", "Sieve")]
+
+
+# ------------------------------------------------------- bit-identity
+
+
+@pytest.mark.parametrize("fast_forward", [True, False],
+                         ids=["ff", "no-ff"])
+def test_spec_matches_scalar_on_regression_matrix(fast_forward):
+    """Every golden-matrix entry, interpreter vs generated engine."""
+    for label, wname, kwargs in sentry.MATRIX:
+        config = MachineConfig(fast_forward=fast_forward, **kwargs)
+        program = by_name(wname).program(config.nthreads)
+        assert (_spec_stats(program, config)
+                == _scalar_stats(program, config)), label
+
+
+def test_spec_matches_scalar_instrumented_attribution():
+    """Full observability load: stall attribution and interval metrics
+    fold identically through the generated loop."""
+    for label, wname, kwargs in sentry.MATRIX[:4]:
+        config = MachineConfig(**kwargs)
+        program = by_name(wname).program(config.nthreads)
+        assert (_spec_stats(program, config, instrument=True)
+                == _scalar_stats(program, config, instrument=True)), label
+
+
+def _outcome(fn, *args, **kwargs):
+    """Stats dict on success, or the full error identity on failure —
+    so a config that (say) livelocks must livelock *identically* on
+    both engines: same exception, same cycle, same hang report."""
+    try:
+        return ("ok", fn(*args, **kwargs))
+    except Exception as exc:  # noqa: BLE001 - parity is the assertion
+        return (type(exc).__name__, str(exc))
+
+
+def test_randomized_configs_spec_matches_scalar():
+    """Property test: random configuration shapes — thread counts, all
+    four fetch policies, SU depths, bypassing, fast-forward, cache
+    pressure, icache — must be bit-identical, differentially.  Some
+    shapes genuinely wedge (a tiny icache thrashed by four threads can
+    starve every fetch); those must produce the *same* SimulationHang,
+    so the watchdog horizon is tightened to keep them cheap."""
+    rng = random.Random(1996)
+    caches = [None,
+              CacheConfig(size_bytes=256, assoc=1, miss_penalty=64),
+              CacheConfig(size_bytes=128, line_words=4, assoc=1,
+                          miss_penalty=96)]
+    for _ in range(8):
+        kwargs = dict(
+            nthreads=rng.choice([1, 2, 4]),
+            su_entries=rng.choice([32, 64, 128]),
+            fetch_policy=rng.choice(["true_rr", "icount", "masked_rr",
+                                     "cond_switch"]),
+            bypassing=rng.choice([True, False]),
+            fast_forward=rng.choice([True, False]),
+            hang_cycles=20_000,
+        )
+        cache = rng.choice(caches)
+        if cache is not None:
+            kwargs["cache"] = cache
+        if rng.random() < 0.3:
+            kwargs["icache"] = CacheConfig(size_bytes=512, assoc=2,
+                                           miss_penalty=8)
+        config = MachineConfig(**kwargs)
+        program = by_name("LL2").program(config.nthreads)
+        instrument = rng.random() < 0.5
+        spec = _outcome(_spec_stats, program, config,
+                        instrument=instrument)
+        scalar = _outcome(_scalar_stats, program, config,
+                          instrument=instrument)
+        assert spec == scalar, kwargs
+
+
+def test_spec_deadlock_and_watchdog_match_interpreter():
+    """The generated loop raises the same guard errors."""
+    from repro.core.pipeline import DeadlockError, SimulationHang
+
+    program = by_name("LL2").program(2)
+    with pytest.raises(DeadlockError):
+        make_spec(program, MachineConfig(nthreads=2, max_cycles=50),
+                  cache=None).run()
+    with pytest.raises(SimulationHang):
+        make_spec(program, MachineConfig(nthreads=2, hang_cycles=1),
+                  cache=None).run()
+
+
+def test_spec_step_override_falls_back_to_interpreter_loop():
+    """Tests model wedges by replacing step(); the generated run()
+    must detect that and defer to the generic loop."""
+    config = MachineConfig(nthreads=2, hang_cycles=64)
+    program = by_name("LL2").program(2)
+    sim = make_spec(program, config, cache=None)
+    # Wedged: cycles tick, nothing commits (the test_watchdog idiom).
+    sim.step = lambda: setattr(sim, "cycle", sim.cycle + 1)
+
+    from repro.core.pipeline import SimulationHang
+    with pytest.raises(SimulationHang):
+        sim.run()
+
+
+# ------------------------------------------------------ key discipline
+
+
+def test_codegen_key_ignores_unfolded_config_knobs():
+    """Configs differing only in unfolded values (latency numbers,
+    cache geometry, thresholds) share one generated class."""
+    base = MachineConfig(nthreads=2)
+    same = [
+        base.replace(max_cycles=999),
+        base.replace(hang_cycles=77),          # presence folded, not value
+        base.replace(cache=CacheConfig(size_bytes=256, assoc=1,
+                                       miss_penalty=64)),
+    ]
+    for config in same:
+        assert codegen_key(config) == codegen_key(base)
+    different = [
+        base.replace(nthreads=4),
+        base.replace(fetch_policy="icount"),
+        base.replace(bypassing=False),
+        base.replace(fast_forward=False),
+        base.replace(su_entries=32),
+        base.replace(hang_cycles=0),           # watchdog presence flips
+    ]
+    for config in different:
+        assert codegen_key(config) != codegen_key(base)
+
+
+def test_spec_engine_class_memoized_per_shape():
+    base = MachineConfig(nthreads=2)
+    cls_a = spec_engine_class(base, cache=None)
+    cls_b = spec_engine_class(base.replace(max_cycles=999), cache=None)
+    assert cls_a is cls_b
+    assert cls_a.SPEC_KEY == codegen_key(base)
+    assert cls_a.SPEC_FACTS == codegen_facts(base)
+
+
+# --------------------------------------------------- harness routing
+
+
+def test_runner_spec_backend_bit_identical_and_cache_shared(tmp_path):
+    """Runner(backend='spec') returns the interpreter's numbers and
+    shares result-cache keys with scalar (bit-identical results)."""
+    workload = by_name("LL2")
+    config = MachineConfig(nthreads=2)
+    cache_path = tmp_path / "results.json"
+    scalar = Runner(disk_cache=cache_path).run(workload, config)
+    replay = Runner(backend="spec", disk_cache=cache_path).run(workload,
+                                                               config)
+    # The spec runner replays the scalar runner's cached result — the
+    # record keeps the backend that originally executed.
+    assert replay.backend == "scalar"
+    fresh = Runner(backend="spec").run(workload, config)
+    assert fresh.backend == "spec"
+    assert fresh.stats.to_dict() == scalar.stats.to_dict()
+    assert fresh.checksum == scalar.checksum
+
+
+def test_runner_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        Runner(backend="vector")
+
+
+def test_runner_legacy_payload_defaults_to_scalar_backend(tmp_path):
+    """Result-cache payloads predating the backend field read back as
+    scalar runs."""
+    workload = by_name("LL5")
+    config = MachineConfig(nthreads=1)
+    cache_path = tmp_path / "results.json"
+    runner = Runner(disk_cache=cache_path)
+    runner.run(workload, config)
+    document = json.loads(cache_path.read_text())
+    for entry in document["entries"].values():
+        entry["payload"].pop("backend")
+    cache_path.write_text(json.dumps(document))
+    replay = Runner(disk_cache=cache_path).run(workload, config)
+    assert replay.backend == "scalar"
+
+
+def test_run_grid_spec_backend_bit_identical_and_tagged():
+    jobs = _shape_jobs()
+    want = run_grid(jobs, workers=1)
+    got = run_grid(jobs, workers=1, backend="spec")
+    for scalar, spec in zip(want, got):
+        assert spec.ok
+        assert scalar.backend == "scalar"
+        assert spec.backend == "spec"
+        assert spec.stats.to_dict() == scalar.stats.to_dict()
+        assert spec.checksum == scalar.checksum
+
+
+def test_run_grid_auto_composes_batch_spec_scalar():
+    """auto routes same-program groups to batch, repeated leftover
+    shapes to spec, and singletons to scalar — results bit-identical."""
+    jobs = [(by_name("LL2"), MachineConfig(nthreads=2, su_entries=su))
+            for su in (32, 64, 128, 256)]          # batch group of 4
+    jobs += _shape_jobs()[1:]                       # 2 same-shape singles
+    jobs += [(by_name("Matrix"),
+              MachineConfig(nthreads=1, fetch_policy="icount"))]
+    results = run_grid(jobs, workers=1, backend="auto")
+    assert [r.backend for r in results] == (["batch"] * 4 + ["spec"] * 2
+                                            + ["scalar"])
+    for result, want in zip(results, run_grid(jobs, workers=1)):
+        assert result.stats.to_dict() == want.stats.to_dict()
+
+
+def test_spec_job_retry_degrades_to_scalar():
+    """A spec job's transient failure re-runs on the reference
+    interpreter (same philosophy as batch members disbanding)."""
+    jobs = _shape_jobs()
+    plan = FaultPlan().fail(indices=[1], attempts=1)
+    results = run_grid(jobs, workers=1, backend="spec", fault_plan=plan,
+                       backoff=0.0)
+    assert all(r.ok for r in results)
+    assert results[1].backend == "scalar"  # healed on the interpreter
+    assert [results[i].backend for i in (0, 2)] == ["spec"] * 2
+    want = run_grid(jobs, workers=1)
+    for result, ref in zip(results, want):
+        assert result.stats.to_dict() == ref.stats.to_dict()
+
+
+# ------------------------------------------------- resolved backend
+
+
+def test_run_grid_ledger_records_resolved_backend_never_auto(tmp_path):
+    from repro.obs.ledger import RunLedger
+
+    path = tmp_path / "ledger.jsonl"
+    jobs = _shape_jobs()
+    run_grid(jobs, workers=1, backend="auto", ledger=path)
+    records = RunLedger(path).records()
+    assert len(records) == len(jobs)
+    for record in records:
+        assert record["backend"] in ("scalar", "batch", "spec")
+        assert record["backend"] != "auto"
+
+
+def test_stats_json_emits_executed_backend(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "cg"))
+    assert main(["stats", "LL5", "--threads", "1", "--json",
+                 "--backend", "spec"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["backend"] == "spec"
+
+
+def test_stats_auto_resolves_to_concrete_backend(tmp_path, monkeypatch,
+                                                 capsys):
+    """--backend auto records the engine that executed: scalar on a
+    cold cache, spec once the shape's source has been paid for."""
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "cg"))
+    monkeypatch.setattr(codegen, "_CLASS_CACHE", {})
+    assert main(["stats", "LL5", "--threads", "1", "--json",
+                 "--backend", "auto"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["backend"] == "scalar"
+    spec_engine_class(MachineConfig(nthreads=1))  # pay for codegen
+    assert main(["stats", "LL5", "--threads", "1", "--json",
+                 "--backend", "auto"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["backend"] == "spec"
+    assert warm["stats"]["cycles"] == cold["stats"]["cycles"]
+
+
+# ------------------------------------------------------ sentry plumbing
+
+
+def test_sentry_measure_spec_backend_matches_cycles():
+    matrix = [sentry.MATRIX[0]]
+    scalar = sentry.measure(reps=1, matrix=matrix)
+    spec = sentry.measure(reps=1, matrix=matrix, backend="spec")
+    label = matrix[0][0]
+    assert scalar[label]["cycles"] == spec[label]["cycles"]
+
+
+def test_sentry_measure_spec_interleaved_pairs():
+    matrix = [sentry.MATRIX[0]]
+    off, on = sentry.measure_spec(reps=1, matrix=matrix)
+    label = matrix[0][0]
+    assert off[label]["cycles"] == on[label]["cycles"]
+    assert off[label]["stats"] == on[label]["stats"]
+
+
+def test_repro_check_spec_backend_on_golden_entry(capsys):
+    """`repro check --backend spec` pins the committed golden cycles
+    through the generated engine (the CI gate)."""
+    from repro.cli import main
+
+    assert main(["check", "--baseline", "BENCH_engine.json",
+                 "--entry", "LL2-1t-default", "--reps", "1",
+                 "--advisory-throughput", "--no-ledger",
+                 "--backend", "spec"]) == 0
+    assert "via spec backend" in capsys.readouterr().out

@@ -33,9 +33,13 @@ Usage::
     PYTHONPATH=src python tools/perf_profile.py --backend batch
         # matrix through one-member BatchEngine groups (cycles must
         # stay bit-identical; --smoke gates that in CI)
+    PYTHONPATH=src python tools/perf_profile.py --backend spec
+        # matrix through the config-specialized generated engine
+        # (cycles must stay bit-identical; --smoke gates that in CI)
     PYTHONPATH=src python tools/perf_profile.py --backend both
-        # interleaved scalar-vs-batch 8-config sweep; --update stamps
-        # the 'batch' section and the batch sweep entry
+        # all three: the interleaved scalar-vs-batch 8-config sweep
+        # plus the interleaved interpreter-vs-spec matrix; --update
+        # stamps the 'batch' and 'spec' sections (spec_over_scalar)
 
 Timings on shared CI hosts are noisy; the smoke gate therefore measures
 best-of-``--reps`` after a warm-up run and allows a generous 30% band.
@@ -52,7 +56,7 @@ import sys
 
 from repro.obs.sentry import (BATCH_SWEEP_LABEL, MATRIX, SMOKE_TOLERANCE,
                               check_baseline, measure, measure_backends,
-                              measure_overhead)
+                              measure_overhead, measure_spec)
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -214,6 +218,46 @@ def update_backends(scalar_entry, batch_entry, bench):
     return 0
 
 
+def report_spec(measured_scalar, measured_spec, bench):
+    """Print the per-entry interpreter-vs-spec comparison."""
+    ratios = []
+    for label, scalar_entry in measured_scalar.items():
+        spec_entry = measured_spec[label]
+        ratio = spec_entry["cycles_per_sec"] / scalar_entry["cycles_per_sec"]
+        ratios.append(ratio)
+        print(f"{label:24s} scalar {scalar_entry['cycles_per_sec']:>9,d} "
+              f"cyc/s  spec {spec_entry['cycles_per_sec']:>9,d} cyc/s  "
+              f"{ratio:5.2f}x")
+    print(f"{'geomean spec/scalar':24s} {geomean(ratios):9.2f}x")
+    committed = (bench or {}).get("spec", {}).get("spec_over_scalar")
+    if committed:
+        print(f"{'committed spec/scalar':24s} {committed:9.2f}x")
+
+
+def update_spec(measured_scalar, measured_spec, bench):
+    """Stamp the ``spec`` section (interpreter-vs-spec matrix numbers).
+
+    Like the ``batch`` section, this leaves the committed scalar matrix
+    baseline untouched — ``measure_spec`` already asserted bit-identical
+    stats per rep, so only throughput is news here.
+    """
+    bench = bench or {}
+    _stamp_provenance(bench)
+    ratios = [measured_spec[k]["cycles_per_sec"] / v["cycles_per_sec"]
+              for k, v in measured_scalar.items()]
+    bench["spec"] = {
+        "scalar_cycles_per_sec": {k: v["cycles_per_sec"]
+                                  for k, v in measured_scalar.items()},
+        "spec_cycles_per_sec": {k: v["cycles_per_sec"]
+                                for k, v in measured_spec.items()},
+        "spec_over_scalar": round(geomean(ratios), 3),
+    }
+    BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_PATH} (spec section; spec/scalar "
+          f"{bench['spec']['spec_over_scalar']})")
+    return 0
+
+
 def append_ledger(measured, ledger_path=None, backend="scalar"):
     """Append this profiling run to the durable run ledger.
 
@@ -255,11 +299,13 @@ def main(argv=None):
                              "'instrumentation' section in "
                              "BENCH_engine.json")
     parser.add_argument("--backend", default="scalar",
-                        choices=["scalar", "batch", "both"],
+                        choices=["scalar", "batch", "spec", "both"],
                         help="'batch' runs the matrix through one-member "
-                             "BatchEngine groups; 'both' runs the "
-                             "interleaved scalar-vs-batch 8-config sweep "
-                             "(see repro.obs.sentry.measure_backends)")
+                             "BatchEngine groups, 'spec' through the "
+                             "config-specialized generated engine; "
+                             "'both' runs all three comparisons — the "
+                             "interleaved scalar-vs-batch sweep plus the "
+                             "interleaved interpreter-vs-spec matrix")
     parser.add_argument("--ledger", default=None, metavar="PATH",
                         help="run-ledger file (default: REPRO_LEDGER or "
                              "~/.cache/repro-sdsp/ledger.jsonl)")
@@ -278,25 +324,37 @@ def main(argv=None):
             print("error: --backend both does not combine with "
                   "--instrumented", file=sys.stderr)
             return 2
-        # Interleaved scalar/batch reps of the same sweep — asserts
+        # Interleaved scalar/batch reps of the same sweep, then the
+        # interleaved interpreter/spec matrix — each asserts
         # bit-identical stats per rep before any number is reported.
         scalar_entry, batch_entry = measure_backends(args.reps)
+        spec_off, spec_on = measure_spec(args.reps)
         if args.json:
-            print(json.dumps({"scalar": scalar_entry, "batch": batch_entry},
+            slim = {label: {k: v for k, v in entry.items() if k != "stats"}
+                    for label, entry in spec_on.items()}
+            print(json.dumps({"scalar": scalar_entry, "batch": batch_entry,
+                              "spec_matrix": slim},
                              indent=1, sort_keys=True))
             return 0
         bench = load_bench()
         if args.smoke:
-            return smoke({BATCH_SWEEP_LABEL: batch_entry}, bench)
+            # The spec side's cycles pin bit-exactly against the same
+            # committed matrix labels as the scalar engine.
+            return smoke({BATCH_SWEEP_LABEL: batch_entry, **spec_on}, bench)
         if args.update:
-            return update_backends(scalar_entry, batch_entry, bench)
+            status = update_backends(scalar_entry, batch_entry, bench)
+            if status:
+                return status
+            return update_spec(spec_off, spec_on, load_bench())
         report_backends(scalar_entry, batch_entry, bench)
+        report_spec(spec_off, spec_on, bench)
         return 0
-    if args.update and args.backend == "batch":
+    if args.update and args.backend in ("batch", "spec"):
         # The committed matrix baseline is the scalar engine's; batch
-        # numbers live in the 'batch' section (--backend both --update).
-        print("error: --update records the scalar baseline; use "
-              "--backend both --update for the batch section",
+        # and spec numbers live in their own sections (--backend both
+        # --update).
+        print(f"error: --update records the scalar baseline; use "
+              f"--backend both --update for the {args.backend} section",
               file=sys.stderr)
         return 2
     measured = measure(args.reps, instrument=args.instrumented,
